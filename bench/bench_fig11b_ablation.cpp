@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 11 (b): ablation of the three contributions on the WD
+ * dataset.
+ *
+ * Paper result (execution-time increase over the full DiTile-DGNN):
+ * NoPs +38.9%, NoWos +18.9%, NoRa +12.0%, OnlyPs +23.0%,
+ * OnlyWos +45.9%, OnlyRa +68.8%.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/ditile_accelerator.hh"
+
+using namespace ditile;
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv);
+    if (options.datasets.size() > 1)
+        options.datasets = {"WD"};
+    const auto mconfig = bench::paperModel();
+    const auto dg = graph::makeDataset(options.datasets.front(),
+                                       options.datasetOptions());
+
+    const std::vector<std::string> variants = {
+        "full", "NoPs", "NoWos", "NoRa", "OnlyPs", "OnlyWos", "OnlyRa",
+    };
+    const std::vector<std::string> paper = {
+        "-", "+38.9%", "+18.9%", "+12.0%", "+23.0%", "+45.9%",
+        "+68.8%",
+    };
+
+    Table table("Figure 11b: ablation study (WD, execution time)");
+    table.setHeader({"Variant", "Cycles", "vs full", "paper"});
+
+    double full_cycles = 0.0;
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        core::DiTileAccelerator accel(
+            sim::AcceleratorConfig::defaults(),
+            core::DiTileOptions::fromVariant(variants[i]));
+        const auto result = accel.run(dg, mconfig);
+        const auto cycles = static_cast<double>(result.totalCycles);
+        if (i == 0)
+            full_cycles = cycles;
+        const double increase = cycles / full_cycles - 1.0;
+        table.addRow({variants[i] == "full" ? "DiTile-DGNN"
+                                            : variants[i],
+                      Table::sci(cycles),
+                      i == 0 ? "-" : "+" + Table::percent(increase),
+                      paper[i]});
+    }
+    bench::emit(table, options);
+    return 0;
+}

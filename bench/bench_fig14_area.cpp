@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 14: area breakdown of the chip, one tile and one PE.
+ *
+ * Paper result: tiles 77.8% / buffer 15.7% / NoC 5.6% / logic 0.9%
+ * of the chip; PE array 60.5% / distributed buffer 28.4% / reuse FIFO
+ * 8.1% / mesh 2.3% / control 0.7% of a tile; MAC array 59.4% / local
+ * buffer 23.8% / control 2.0% of a PE.
+ */
+
+#include "bench/bench_util.hh"
+#include "energy/area_model.hh"
+
+using namespace ditile;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::BenchOptions::parse(argc, argv);
+    const auto area = energy::computeArea();
+
+    {
+        Table table("Figure 14a: chip area breakdown");
+        table.setHeader({"Component", "Area (mm^2)", "Share", "paper"});
+        const double chip = area.total();
+        table.addRow({"Tile array", Table::num(area.tileArray / 1e6),
+                      Table::percent(area.tileArray / chip), "77.8%"});
+        table.addRow({"On-chip buffer",
+                      Table::num(area.onChipBuffer / 1e6),
+                      Table::percent(area.onChipBuffer / chip),
+                      "15.7%"});
+        table.addRow({"Reconfigurable NoC", Table::num(area.noc / 1e6),
+                      Table::percent(area.noc / chip), "5.6%"});
+        table.addRow({"Logic components",
+                      Table::num(area.logic / 1e6),
+                      Table::percent(area.logic / chip), "0.9%"});
+        bench::emit(table, options);
+    }
+    {
+        Table table("Figure 14b: tile area breakdown");
+        table.setHeader({"Component", "Area (mm^2)", "Share", "paper"});
+        const double tile = area.tile.total();
+        table.addRow({"PE array", Table::num(area.tile.peArray / 1e6),
+                      Table::percent(area.tile.peArray / tile),
+                      "60.5%"});
+        table.addRow({"Distributed buffer",
+                      Table::num(area.tile.distBuffer / 1e6),
+                      Table::percent(area.tile.distBuffer / tile),
+                      "28.4%"});
+        table.addRow({"Reuse FIFO",
+                      Table::num(area.tile.reuseFifo / 1e6),
+                      Table::percent(area.tile.reuseFifo / tile),
+                      "8.1%"});
+        table.addRow({"PE mesh", Table::num(area.tile.mesh / 1e6),
+                      Table::percent(area.tile.mesh / tile), "2.3%"});
+        table.addRow({"Control logic",
+                      Table::num(area.tile.control / 1e6),
+                      Table::percent(area.tile.control / tile),
+                      "0.7%"});
+        bench::emit(table, options);
+    }
+    {
+        Table table("Figure 14c: PE area breakdown");
+        table.setHeader({"Component", "Area (um^2)", "Share", "paper"});
+        const double pe = area.tile.pe.total();
+        table.addRow({"MAC array", Table::num(area.tile.pe.macArray),
+                      Table::percent(area.tile.pe.macArray / pe),
+                      "59.4%"});
+        table.addRow({"Local buffer",
+                      Table::num(area.tile.pe.localBuffer),
+                      Table::percent(area.tile.pe.localBuffer / pe),
+                      "23.8%"});
+        table.addRow({"PPU", Table::num(area.tile.pe.ppu),
+                      Table::percent(area.tile.pe.ppu / pe), "-"});
+        table.addRow({"Dispatcher",
+                      Table::num(area.tile.pe.dispatcher),
+                      Table::percent(area.tile.pe.dispatcher / pe),
+                      "-"});
+        table.addRow({"Control logic",
+                      Table::num(area.tile.pe.control),
+                      Table::percent(area.tile.pe.control / pe),
+                      "2.0%"});
+        bench::emit(table, options);
+    }
+    return 0;
+}

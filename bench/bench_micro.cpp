@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Google-benchmark micro benchmarks of the simulator substrates:
+ * graph generation, CSR construction, frontier expansion, workload
+ * labeling, NoC replay, DRAM replay, and the functional kernels.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dram/dram_model.hh"
+#include "graph/generator.hh"
+#include "model/functional.hh"
+#include "model/incremental.hh"
+#include "noc/flit_network.hh"
+#include "noc/network.hh"
+#include "sim/tile_model.hh"
+#include "workload/balance.hh"
+
+using namespace ditile;
+
+namespace {
+
+graph::Csr
+makeGraph(VertexId vertices, EdgeId edges, std::uint64_t seed = 7)
+{
+    Rng rng(seed);
+    return graph::generateRmat(vertices, edges, {}, rng);
+}
+
+void
+BM_RmatGenerate(benchmark::State &state)
+{
+    const auto vertices = static_cast<VertexId>(state.range(0));
+    for (auto _ : state) {
+        Rng rng(11);
+        auto g = graph::generateRmat(vertices, vertices * 8, {}, rng);
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 8);
+}
+BENCHMARK(BM_RmatGenerate)->Arg(1 << 10)->Arg(1 << 14);
+
+void
+BM_CsrFromEdges(benchmark::State &state)
+{
+    const auto vertices = static_cast<VertexId>(state.range(0));
+    const auto g = makeGraph(vertices, vertices * 8);
+    const auto edges = g.edgeList();
+    for (auto _ : state) {
+        auto rebuilt = graph::Csr::fromEdges(vertices, edges);
+        benchmark::DoNotOptimize(rebuilt.numAdjacencies());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(edges.size()));
+}
+BENCHMARK(BM_CsrFromEdges)->Arg(1 << 12)->Arg(1 << 15);
+
+void
+BM_FrontierExpansion(benchmark::State &state)
+{
+    const auto g = makeGraph(1 << 14, 1 << 17);
+    std::vector<VertexId> seeds;
+    for (VertexId v = 0; v < 256; ++v)
+        seeds.push_back(v * 17 % g.numVertices());
+    std::sort(seeds.begin(), seeds.end());
+    for (auto _ : state) {
+        auto out = graph::expandFrontier(g, seeds, 2);
+        benchmark::DoNotOptimize(out.size());
+    }
+}
+BENCHMARK(BM_FrontierExpansion);
+
+void
+BM_WorkloadLabeling(benchmark::State &state)
+{
+    const auto g = makeGraph(static_cast<VertexId>(state.range(0)),
+                             state.range(0) * 8);
+    for (auto _ : state) {
+        auto loads = workload::computeSnapshotLoads(g, 2);
+        benchmark::DoNotOptimize(loads.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WorkloadLabeling)->Arg(1 << 12)->Arg(1 << 15);
+
+void
+BM_BalancedPartition(benchmark::State &state)
+{
+    const auto g = makeGraph(1 << 15, 1 << 18);
+    const auto loads = workload::computeSnapshotLoads(g, 2);
+    for (auto _ : state) {
+        auto p = workload::balancedPartition(loads, 16);
+        benchmark::DoNotOptimize(p.numParts());
+    }
+}
+BENCHMARK(BM_BalancedPartition);
+
+void
+BM_NocReplay(benchmark::State &state)
+{
+    noc::NocConfig config;
+    config.topology = static_cast<noc::TopologyKind>(state.range(0));
+    Rng rng(3);
+    std::vector<noc::Message> msgs;
+    for (int i = 0; i < 4096; ++i) {
+        noc::Message m;
+        m.src = static_cast<TileId>(rng.uniformInt(0, 255));
+        m.dst = static_cast<TileId>(rng.uniformInt(0, 255));
+        m.bytes = static_cast<ByteCount>(rng.uniformInt(64, 4096));
+        msgs.push_back(m);
+    }
+    for (auto _ : state) {
+        auto res = noc::simulateTraffic(config, msgs);
+        benchmark::DoNotOptimize(res.makespan);
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_NocReplay)
+    ->Arg(static_cast<int>(noc::TopologyKind::Mesh))
+    ->Arg(static_cast<int>(noc::TopologyKind::Crossbar))
+    ->Arg(static_cast<int>(noc::TopologyKind::Reconfigurable));
+
+void
+BM_FlitNocReplay(benchmark::State &state)
+{
+    noc::FlitConfig config;
+    config.noc.rows = 8;
+    config.noc.cols = 8;
+    Rng rng(4);
+    std::vector<noc::Message> msgs;
+    for (int i = 0; i < 256; ++i) {
+        noc::Message m;
+        m.src = static_cast<TileId>(rng.uniformInt(0, 63));
+        m.dst = static_cast<TileId>(rng.uniformInt(0, 63));
+        m.bytes = static_cast<ByteCount>(rng.uniformInt(64, 1024));
+        msgs.push_back(m);
+    }
+    for (auto _ : state) {
+        auto res = noc::simulateFlitTraffic(config, msgs);
+        benchmark::DoNotOptimize(res.makespan);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_FlitNocReplay);
+
+void
+BM_TileModelSchedule(benchmark::State &state)
+{
+    sim::TileModel tile;
+    Rng rng(6);
+    std::vector<sim::VertexTask> tasks;
+    for (int i = 0; i < 2048; ++i) {
+        sim::VertexTask t;
+        t.macs = static_cast<OpCount>(rng.uniformInt(64, 2048));
+        t.postOps = 32;
+        t.inputBytes = 512;
+        tasks.push_back(t);
+    }
+    for (auto _ : state) {
+        auto res = tile.executePhase(tasks);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_TileModelSchedule);
+
+void
+BM_DramReplay(benchmark::State &state)
+{
+    dram::DramModel model;
+    std::vector<dram::DramRequest> reqs;
+    Rng rng(5);
+    for (int i = 0; i < 512; ++i) {
+        reqs.push_back({static_cast<std::uint64_t>(
+                            rng.uniformInt(0, 1 << 28)),
+                        static_cast<ByteCount>(
+                            rng.uniformInt(256, 1 << 16)),
+                        i % 3 == 0, 0});
+    }
+    for (auto _ : state) {
+        model.reset();
+        auto res = model.service(reqs);
+        benchmark::DoNotOptimize(res.completionCycle);
+    }
+}
+BENCHMARK(BM_DramReplay);
+
+void
+BM_GcnLayerFunctional(benchmark::State &state)
+{
+    const auto g = makeGraph(512, 4096);
+    Rng rng(9);
+    auto x = model::Matrix::random(g.numVertices(), 64, rng);
+    auto w = model::Matrix::random(64, 32, rng);
+    for (auto _ : state) {
+        auto out = model::gcnLayer(g, x, w);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+}
+BENCHMARK(BM_GcnLayerFunctional);
+
+void
+BM_LstmStepFunctional(benchmark::State &state)
+{
+    model::DgnnConfig config;
+    config.gcnDims = {64, 32};
+    config.lstmHidden = 32;
+    auto weights = model::DgnnWeights::random(config, 64, 13);
+    Rng rng(17);
+    auto z = model::Matrix::random(512, 32, rng);
+    model::Matrix h(512, 32);
+    model::Matrix c(512, 32);
+    for (auto _ : state) {
+        model::lstmStep(z, weights, h, c);
+        benchmark::DoNotOptimize(h.data().data());
+    }
+}
+BENCHMARK(BM_LstmStepFunctional);
+
+void
+BM_IncrementalPlanning(benchmark::State &state)
+{
+    graph::EvolutionConfig config;
+    config.numVertices = 1 << 13;
+    config.numEdges = 1 << 16;
+    config.numSnapshots = 8;
+    const auto dg = graph::generateDynamicGraph(config);
+    const model::DgnnConfig mconfig;
+    for (auto _ : state) {
+        model::IncrementalPlanner planner(dg, mconfig,
+                                          model::AlgoKind::DiTileAlg);
+        benchmark::DoNotOptimize(planner.plan(7).rnnVertices.size());
+    }
+}
+BENCHMARK(BM_IncrementalPlanning);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * NoC characterization: every interconnect style under the standard
+ * synthetic traffic patterns plus the two DGNN-shaped ones.
+ *
+ * Shows why the paper splits traffic across the two ring layers: the
+ * reconfigurable topology wins column-gather (spatial) traffic via
+ * Re-Link bypasses and matches the ring on row-shift
+ * (temporal/reuse) traffic, while the mesh pays full per-hop router
+ * costs and the crossbar concentrates on hotspots.
+ */
+
+#include "bench/bench_util.hh"
+#include "noc/network.hh"
+#include "noc/traffic_patterns.hh"
+
+using namespace ditile;
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::BenchOptions::parse(argc, argv);
+    constexpr int kRows = 16;
+    constexpr int kCols = 16;
+    constexpr std::size_t kMessages = 2048;
+    constexpr ByteCount kBytes = 512;
+
+    Table table("NoC makespan (cycles) by topology and pattern, "
+                "16x16, 2048 x 512B");
+    table.setHeader({"Pattern", "Mesh", "Ring", "Crossbar",
+                     "Reconfigurable"});
+    for (noc::TrafficPattern pattern : noc::allTrafficPatterns()) {
+        std::vector<std::string> row = {
+            noc::trafficPatternName(pattern)};
+        for (noc::TopologyKind kind :
+             {noc::TopologyKind::Mesh, noc::TopologyKind::Ring,
+              noc::TopologyKind::Crossbar,
+              noc::TopologyKind::Reconfigurable}) {
+            noc::NocConfig config;
+            config.rows = kRows;
+            config.cols = kCols;
+            config.topology = kind;
+            Rng rng(7); // same batch per topology.
+            auto msgs = noc::generateTraffic(pattern, kRows, kCols,
+                                             kMessages, kBytes, rng);
+            const auto res = noc::simulateTraffic(config,
+                                                  std::move(msgs));
+            row.push_back(Table::integer(static_cast<long long>(
+                res.makespan)));
+        }
+        table.addRow(row);
+    }
+    bench::emit(table, options);
+    return 0;
+}

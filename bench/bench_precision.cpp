@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Extension bench: numeric-precision sweep.
+ *
+ * The paper fixes FP32 (§7.1, citing its sufficiency for inference
+ * accuracy); this bench quantifies what FP16/INT8 would buy on the
+ * DiTile-DGNN design: every moved byte halves/quarters and the
+ * arithmetic energy drops per the 45 nm cost ratios.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/ditile_accelerator.hh"
+#include "energy/energy_model.hh"
+
+using namespace ditile;
+
+int
+main(int argc, char **argv)
+{
+    auto options = bench::BenchOptions::parse(argc, argv);
+    if (options.datasets.size() > 1)
+        options.datasets = {"WD", "TW"};
+
+    Table table("Precision sweep on DiTile-DGNN");
+    table.setHeader({"Dataset", "Precision", "Cycles", "DRAM bytes",
+                     "Energy (uJ)", "vs FP32 time", "vs FP32 energy"});
+    for (const auto &name : options.datasets) {
+        const auto dg = graph::makeDataset(name,
+                                           options.datasetOptions());
+        double base_cycles = 0.0;
+        double base_energy = 0.0;
+        for (auto [precision, compute_scale] :
+             {std::pair{model::Precision::Fp32, 1.0},
+              std::pair{model::Precision::Fp16, 0.27},
+              std::pair{model::Precision::Int8, 0.07}}) {
+            const auto mconfig =
+                bench::paperModel().withPrecision(precision);
+            auto hw = sim::AcceleratorConfig::defaults();
+            hw.energyTable = energy::scaleComputeEnergy(
+                hw.energyTable, compute_scale);
+            core::DiTileAccelerator accel(hw);
+            const auto r = accel.run(dg, mconfig);
+            const auto cycles = static_cast<double>(r.totalCycles);
+            const double joules = r.energy.totalPj();
+            if (precision == model::Precision::Fp32) {
+                base_cycles = cycles;
+                base_energy = joules;
+            }
+            table.addRow({dg.name(),
+                          model::precisionName(precision),
+                          Table::sci(cycles),
+                          Table::sci(static_cast<double>(
+                              r.dramTraffic.total())),
+                          Table::num(joules / 1e6, 1),
+                          Table::num(base_cycles / cycles, 2) + "x",
+                          Table::num(base_energy / joules, 2) + "x"});
+        }
+    }
+    bench::emit(table, options);
+    std::printf("paper uses FP32 throughout; narrower formats are an "
+                "extension study\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench accepts:
+ *   --scale=F      override the per-dataset default scale factor
+ *   --snapshots=T  snapshot count (default 8)
+ *   --seed=S       generator seed override
+ *   --datasets=PM,RD,...  subset selection
+ *   --csv          additionally print the table as CSV
+ */
+
+#ifndef DITILE_BENCH_BENCH_UTIL_HH
+#define DITILE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "graph/datasets.hh"
+#include "model/dgnn_config.hh"
+
+namespace ditile::bench {
+
+/**
+ * Bench-wide workload options parsed from the command line.
+ */
+struct BenchOptions
+{
+    double scale = 0.0;
+    SnapshotId numSnapshots = 8;
+    std::uint64_t seed = 0;
+    std::vector<std::string> datasets;
+    bool csv = false;
+
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        const CliFlags flags = CliFlags::parse(argc, argv);
+        BenchOptions o;
+        o.scale = flags.getDouble("scale", 0.0);
+        o.numSnapshots = static_cast<SnapshotId>(
+            flags.getInt("snapshots", 8));
+        o.seed = static_cast<std::uint64_t>(flags.getInt("seed", 0));
+        o.csv = flags.getBool("csv", false);
+        std::string list = flags.getString(
+            "datasets", "PM,RD,MB,TW,WD,FK");
+        std::size_t pos = 0;
+        while (pos < list.size()) {
+            const auto comma = list.find(',', pos);
+            const auto end = comma == std::string::npos ? list.size()
+                                                        : comma;
+            if (end > pos)
+                o.datasets.push_back(list.substr(pos, end - pos));
+            pos = end + 1;
+        }
+        return o;
+    }
+
+    graph::DatasetOptions
+    datasetOptions() const
+    {
+        graph::DatasetOptions d;
+        d.scale = scale;
+        d.numSnapshots = numSnapshots;
+        d.seed = seed;
+        return d;
+    }
+};
+
+/** The evaluated DGCN model (2-layer GCN + LSTM). */
+inline model::DgnnConfig
+paperModel()
+{
+    return model::DgnnConfig{};
+}
+
+/** Print the table, optionally followed by CSV. */
+inline void
+emit(const Table &table, const BenchOptions &options)
+{
+    table.print();
+    if (options.csv)
+        std::fputs(table.toCsv().c_str(), stdout);
+}
+
+/** "x.y%" reduction of value versus reference. */
+inline std::string
+reduction(double value, double reference)
+{
+    if (reference <= 0.0)
+        return "n/a";
+    return Table::percent(1.0 - value / reference);
+}
+
+} // namespace ditile::bench
+
+#endif // DITILE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Traffic-forecasting scenario (T-GCN-style workload, one of the
+ * paper's motivating applications).
+ *
+ * A road network is a near-planar grid with a few arterial shortcuts;
+ * sensors add/drop links as roads close and reopen. The model is a
+ * GCN + GRU DGNN (the paper notes its design applies to GRU variants
+ * directly). The example sweeps the forecast horizon (snapshot count)
+ * and shows how DiTile's redundancy elimination amortizes the cold
+ * first snapshot.
+ *
+ * Usage: traffic_forecast [--grid=N] [--seed=S]
+ */
+
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "core/ditile_accelerator.hh"
+#include "graph/dynamic_graph.hh"
+#include "sim/baselines.hh"
+
+using namespace ditile;
+
+namespace {
+
+/** Build an N x N road grid with arterial shortcuts. */
+std::vector<graph::Edge>
+roadNetwork(int n, Rng &rng)
+{
+    std::vector<graph::Edge> edges;
+    auto id = [n](int r, int c) {
+        return static_cast<VertexId>(r * n + c);
+    };
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+            if (c + 1 < n)
+                edges.emplace_back(id(r, c), id(r, c + 1));
+            if (r + 1 < n)
+                edges.emplace_back(id(r, c), id(r + 1, c));
+        }
+    }
+    // Arterials: long-range expressway links.
+    const int arterials = n;
+    for (int i = 0; i < arterials; ++i) {
+        const auto a = static_cast<VertexId>(
+            rng.uniformInt(0, n * n - 1));
+        const auto b = static_cast<VertexId>(
+            rng.uniformInt(0, n * n - 1));
+        if (a != b)
+            edges.emplace_back(a, b);
+    }
+    return edges;
+}
+
+/** Evolve the network: random closures and reopenings per interval. */
+graph::DynamicGraph
+evolvingRoadNetwork(int n, SnapshotId snapshots, Rng &rng)
+{
+    auto edges = roadNetwork(n, rng);
+    std::vector<graph::Csr> series;
+    const auto vertices = static_cast<VertexId>(n * n);
+    series.push_back(graph::Csr::fromEdges(vertices, edges));
+    std::vector<graph::Edge> closed;
+    for (SnapshotId t = 1; t < snapshots; ++t) {
+        // Close ~2% of roads, reopen half of the closed ones.
+        const auto closures = edges.size() / 50;
+        for (std::size_t i = 0; i < closures && !edges.empty(); ++i) {
+            const auto idx = static_cast<std::size_t>(rng.uniformInt(
+                0, static_cast<std::int64_t>(edges.size()) - 1));
+            closed.push_back(edges[idx]);
+            edges[idx] = edges.back();
+            edges.pop_back();
+        }
+        for (std::size_t i = 0; i < closed.size() / 2; ++i) {
+            edges.push_back(closed.back());
+            closed.pop_back();
+        }
+        series.push_back(graph::Csr::fromEdges(vertices, edges));
+    }
+    return graph::DynamicGraph("road-grid", std::move(series),
+                               /*feature_dim=*/32);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags = CliFlags::parse(argc, argv);
+    const int n = static_cast<int>(flags.getInt("grid", 64));
+    Rng rng(static_cast<std::uint64_t>(flags.getInt("seed", 7)));
+
+    // GCN + GRU forecaster (T-GCN style).
+    model::DgnnConfig config;
+    config.gcnDims = {64, 32};
+    config.lstmHidden = 32;
+    config.rnn = model::RnnKind::Gru;
+
+    Table table("Forecast-horizon sweep (GCN+GRU on a road grid)");
+    table.setHeader({"Horizon T", "DiTile cycles", "ReaDy cycles",
+                     "speedup", "DiTile cycles/snapshot"});
+    for (SnapshotId horizon : {2, 4, 8, 16}) {
+        const auto dg = evolvingRoadNetwork(n, horizon, rng);
+        core::DiTileAccelerator ditile;
+        auto ready = sim::makeReady();
+        const auto dt = ditile.run(dg, config);
+        const auto rd = ready->run(dg, config);
+        table.addRow({Table::integer(horizon),
+                      Table::integer(static_cast<long long>(
+                          dt.totalCycles)),
+                      Table::integer(static_cast<long long>(
+                          rd.totalCycles)),
+                      Table::num(static_cast<double>(rd.totalCycles) /
+                                     static_cast<double>(
+                                         dt.totalCycles),
+                                 2),
+                      Table::integer(static_cast<long long>(
+                          dt.totalCycles /
+                          static_cast<Cycle>(horizon)))});
+    }
+    table.print();
+    std::printf("longer horizons amortize the cold first snapshot: "
+                "DiTile's per-snapshot cost falls while ReaDy's "
+                "recomputation stays flat\n");
+    return 0;
+}

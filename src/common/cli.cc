@@ -1,0 +1,74 @@
+/**
+ * @file
+ * CliFlags implementation.
+ */
+
+#include "common/cli.hh"
+
+#include <cstdlib>
+
+namespace ditile {
+
+CliFlags
+CliFlags::parse(int argc, char **argv)
+{
+    CliFlags flags;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            flags.positional_.push_back(arg);
+            continue;
+        }
+        const std::string body = arg.substr(2);
+        const auto eq = body.find('=');
+        if (eq == std::string::npos) {
+            flags.values_.insert_or_assign(body, std::string("1"));
+        } else {
+            flags.values_.insert_or_assign(body.substr(0, eq),
+                                           body.substr(eq + 1));
+        }
+    }
+    return flags;
+}
+
+bool
+CliFlags::has(const std::string &name) const
+{
+    return values_.find(name) != values_.end();
+}
+
+std::string
+CliFlags::getString(const std::string &name,
+                    const std::string &fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+CliFlags::getDouble(const std::string &name, double fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(),
+                                                        nullptr);
+}
+
+long long
+CliFlags::getInt(const std::string &name, long long fallback) const
+{
+    auto it = values_.find(name);
+    return it == values_.end()
+        ? fallback
+        : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+bool
+CliFlags::getBool(const std::string &name, bool fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    return it->second != "0" && it->second != "false";
+}
+
+} // namespace ditile

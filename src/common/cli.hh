@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Tiny command-line flag parser shared by benches and examples.
+ *
+ * Supports flags of the form --name=value and bare --name (boolean true).
+ * Unrecognized flags are collected so google-benchmark flags can pass
+ * through untouched.
+ */
+
+#ifndef DITILE_COMMON_CLI_HH
+#define DITILE_COMMON_CLI_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ditile {
+
+/**
+ * Parsed command-line flags.
+ */
+class CliFlags
+{
+  public:
+    /** Parse argv; every "--k=v" or "--k" becomes an entry. */
+    static CliFlags parse(int argc, char **argv);
+
+    bool has(const std::string &name) const;
+    std::string getString(const std::string &name,
+                          const std::string &fallback) const;
+    double getDouble(const std::string &name, double fallback) const;
+    long long getInt(const std::string &name, long long fallback) const;
+    bool getBool(const std::string &name, bool fallback) const;
+
+    /** argv entries that were not --flags (e.g. positional args). */
+    const std::vector<std::string> &positional() const { return positional_; }
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace ditile
+
+#endif // DITILE_COMMON_CLI_HH

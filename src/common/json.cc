@@ -1,0 +1,134 @@
+/**
+ * @file
+ * JSON emission implementation.
+ */
+
+#include "common/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace ditile {
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+namespace {
+
+std::string
+numberToJson(double value)
+{
+    if (!std::isfinite(value))
+        return "null";
+    char buf[64];
+    // Round-trippable doubles without trailing noise for integers.
+    if (value == static_cast<double>(static_cast<long long>(value)) &&
+        std::fabs(value) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+    }
+    return buf;
+}
+
+} // namespace
+
+JsonObject &
+JsonObject::add(const std::string &key, const std::string &value)
+{
+    fields_.emplace_back(key, jsonQuote(value));
+    return *this;
+}
+
+JsonObject &
+JsonObject::add(const std::string &key, const char *value)
+{
+    return add(key, std::string(value));
+}
+
+JsonObject &
+JsonObject::add(const std::string &key, double value)
+{
+    fields_.emplace_back(key, numberToJson(value));
+    return *this;
+}
+
+JsonObject &
+JsonObject::add(const std::string &key, long long value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    fields_.emplace_back(key, buf);
+    return *this;
+}
+
+JsonObject &
+JsonObject::add(const std::string &key, bool value)
+{
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+}
+
+JsonObject &
+JsonObject::addRaw(const std::string &key, const std::string &json)
+{
+    fields_.emplace_back(key, json);
+    return *this;
+}
+
+JsonObject &
+JsonObject::addStats(const std::string &key, const StatSet &stats)
+{
+    JsonObject nested;
+    for (const auto &name : stats.names())
+        nested.add(name, stats.get(name));
+    return addRaw(key, nested.toString());
+}
+
+std::string
+JsonObject::toString(int indent) const
+{
+    const std::string pad(static_cast<std::size_t>(indent) + 2, ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent), ' ');
+    std::ostringstream out;
+    out << "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        out << (i ? ",\n" : "\n") << pad
+            << jsonQuote(fields_[i].first) << ": ";
+        // Re-indent nested objects line by line.
+        const std::string &value = fields_[i].second;
+        for (char c : value) {
+            out << c;
+            if (c == '\n')
+                out << std::string(2, ' ');
+        }
+    }
+    out << "\n" << close_pad << "}";
+    return out.str();
+}
+
+} // namespace ditile

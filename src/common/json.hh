@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal JSON emission for run results and stats.
+ *
+ * Write-only: the simulator exports run records for downstream
+ * analysis scripts; nothing here parses JSON.
+ */
+
+#ifndef DITILE_COMMON_JSON_HH
+#define DITILE_COMMON_JSON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace ditile {
+
+/**
+ * Ordered JSON object builder (insertion order preserved).
+ */
+class JsonObject
+{
+  public:
+    JsonObject &add(const std::string &key, const std::string &value);
+    JsonObject &add(const std::string &key, const char *value);
+    JsonObject &add(const std::string &key, double value);
+    JsonObject &add(const std::string &key, long long value);
+    JsonObject &add(const std::string &key, bool value);
+    JsonObject &addRaw(const std::string &key, const std::string &json);
+
+    /** Nest every stat of a StatSet under `key`. */
+    JsonObject &addStats(const std::string &key, const StatSet &stats);
+
+    /** Render with 2-space indentation. */
+    std::string toString(int indent = 0) const;
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/** Escape a string for JSON embedding (quotes included). */
+std::string jsonQuote(const std::string &s);
+
+} // namespace ditile
+
+#endif // DITILE_COMMON_JSON_HH

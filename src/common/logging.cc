@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Logging sink implementations.
+ */
+
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ditile {
+
+namespace {
+LogLevel g_level = LogLevel::Normal;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_level != LogLevel::Quiet)
+        std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace ditile

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers.
+ *
+ * Follows the gem5 split: panic() for internal invariant violations
+ * (simulator bugs -> abort) and fatal() for user/config errors
+ * (clean exit(1)). inform()/warn() report status without stopping.
+ */
+
+#ifndef DITILE_COMMON_LOGGING_HH
+#define DITILE_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace ditile {
+
+/** Verbosity threshold for inform(); warn() always prints. */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Process-wide log level (defaults to Normal). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail {
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+} // namespace detail
+
+/** Abort with a message: something that must never happen happened. */
+#define DITILE_PANIC(...) \
+    ::ditile::detail::panicImpl(__FILE__, __LINE__, \
+        ::ditile::detail::format(__VA_ARGS__))
+
+/** Exit(1) with a message: the configuration or input is unusable. */
+#define DITILE_FATAL(...) \
+    ::ditile::detail::fatalImpl(::ditile::detail::format(__VA_ARGS__))
+
+/** Assert a simulator invariant; compiled in all build types. */
+#define DITILE_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::ditile::detail::panicImpl(__FILE__, __LINE__, \
+                ::ditile::detail::format("assertion failed: " #cond " ", \
+                                         ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** Informational message (suppressed at LogLevel::Quiet). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/** Warning message (always printed). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::format(std::forward<Args>(args)...));
+}
+
+} // namespace ditile
+
+#endif // DITILE_COMMON_LOGGING_HH

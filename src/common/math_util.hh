@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small integer/float helpers used across the simulator.
+ */
+
+#ifndef DITILE_COMMON_MATH_UTIL_HH
+#define DITILE_COMMON_MATH_UTIL_HH
+
+#include <cstdint>
+#include <type_traits>
+
+namespace ditile {
+
+/** Ceiling division for non-negative integers. */
+template <typename T>
+constexpr T
+ceilDiv(T num, T den)
+{
+    static_assert(std::is_integral_v<T>);
+    return den == 0 ? 0 : (num + den - 1) / den;
+}
+
+/** Round value up to the next multiple of step (step > 0). */
+template <typename T>
+constexpr T
+roundUp(T value, T step)
+{
+    static_assert(std::is_integral_v<T>);
+    return ceilDiv(value, step) * step;
+}
+
+/** True if x is a power of two (x > 0). */
+constexpr bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Integer log2 (floor); log2Floor(1) == 0. Undefined for x == 0. */
+constexpr int
+log2Floor(std::uint64_t x)
+{
+    int r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** Clamp v into [lo, hi]. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+} // namespace ditile
+
+#endif // DITILE_COMMON_MATH_UTIL_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Table rendering implementation.
+ */
+
+#include "common/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ditile {
+
+Table::Table(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    DITILE_ASSERT(rows_.empty(), "header must precede rows");
+    header_ = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    DITILE_ASSERT(row.size() == header_.size(),
+                  "row width ", row.size(), " != header width ",
+                  header_.size());
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            if (row[c].size() > widths[c])
+                widths[c] = row[c].size();
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::ostringstream oss;
+        oss << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            oss << " " << row[c];
+            for (std::size_t p = row[c].size(); p < widths[c]; ++p)
+                oss << ' ';
+            oss << " |";
+        }
+        oss << "\n";
+        return oss.str();
+    };
+
+    std::ostringstream sep;
+    sep << "+";
+    for (std::size_t w : widths) {
+        for (std::size_t p = 0; p < w + 2; ++p)
+            sep << '-';
+        sep << "+";
+    }
+    sep << "\n";
+
+    std::ostringstream out;
+    if (!title_.empty())
+        out << "== " << title_ << " ==\n";
+    out << sep.str() << renderRow(header_) << sep.str();
+    for (const auto &row : rows_)
+        out << renderRow(row);
+    out << sep.str();
+    return out.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string q = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                q += "\"\"";
+            else
+                q += ch;
+        }
+        q += "\"";
+        return q;
+    };
+    std::ostringstream out;
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        out << (c ? "," : "") << quote(header_[c]);
+    out << "\n";
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            out << (c ? "," : "") << quote(row[c]);
+        out << "\n";
+    }
+    return out.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::integer(long long v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", v);
+    return buf;
+}
+
+std::string
+Table::percent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::sci(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+    return buf;
+}
+
+} // namespace ditile

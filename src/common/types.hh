@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every DiTile-DGNN subsystem.
+ *
+ * Keeping the width decisions in one place makes the memory footprint of
+ * the large graph containers predictable and lets the simulator switch to
+ * wider types in one edit if a workload ever overflows them.
+ */
+
+#ifndef DITILE_COMMON_TYPES_HH
+#define DITILE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace ditile {
+
+/** Vertex identifier within one snapshot (dense, zero-based). */
+using VertexId = std::int32_t;
+
+/** Edge identifier / edge count. Large graphs exceed 2^31 edges. */
+using EdgeId = std::int64_t;
+
+/** Snapshot index within a discrete-time dynamic graph. */
+using SnapshotId = std::int32_t;
+
+/** Tile index within the distributed tile array. */
+using TileId = std::int32_t;
+
+/** Processing-element index within one tile. */
+using PeId = std::int32_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Operation count (multiply-accumulate, add, activation, ...). */
+using OpCount = std::uint64_t;
+
+/** Byte count for traffic/buffer accounting. */
+using ByteCount = std::uint64_t;
+
+/** Energy in picojoules. */
+using EnergyPj = double;
+
+/** Area in square micrometers. */
+using AreaUm2 = double;
+
+/** Sentinel for "no vertex". */
+inline constexpr VertexId kInvalidVertex = -1;
+
+/** Sentinel for "no tile". */
+inline constexpr TileId kInvalidTile = -1;
+
+} // namespace ditile
+
+#endif // DITILE_COMMON_TYPES_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * DiTileAccelerator implementation.
+ */
+
+#include "core/ditile_accelerator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sim/engine.hh"
+
+namespace ditile::core {
+
+DiTileOptions
+DiTileOptions::fromVariant(const std::string &variant)
+{
+    DiTileOptions o;
+    if (variant == "DiTile-DGNN" || variant == "full") {
+        // all on
+    } else if (variant == "NoPs") {
+        o.parallelismStrategy = false;
+    } else if (variant == "NoWos") {
+        o.workloadBalance = false;
+    } else if (variant == "NoRa") {
+        o.reconfigurableNoc = false;
+    } else if (variant == "OnlyPs") {
+        o.workloadBalance = false;
+        o.reconfigurableNoc = false;
+    } else if (variant == "OnlyWos") {
+        o.parallelismStrategy = false;
+        o.reconfigurableNoc = false;
+    } else if (variant == "OnlyRa") {
+        o.parallelismStrategy = false;
+        o.workloadBalance = false;
+    } else {
+        DITILE_FATAL("unknown DiTile variant '", variant, "'");
+    }
+    return o;
+}
+
+DiTileAccelerator::DiTileAccelerator(sim::AcceleratorConfig hw,
+                                     DiTileOptions options)
+    : hw_(hw), options_(options)
+{
+}
+
+std::string
+DiTileAccelerator::name() const
+{
+    if (options_.parallelismStrategy && options_.workloadBalance &&
+        options_.reconfigurableNoc) {
+        return "DiTile-DGNN";
+    }
+    std::string n = "DiTile";
+    n += options_.parallelismStrategy ? "+Ps" : "-Ps";
+    n += options_.workloadBalance ? "+Wos" : "-Wos";
+    n += options_.reconfigurableNoc ? "+Ra" : "-Ra";
+    return n;
+}
+
+void
+DiTileAccelerator::prepare(const graph::DynamicGraph &dg,
+                           const model::DgnnConfig &model_config,
+                           sim::AcceleratorConfig &hw,
+                           sim::MappingSpec &mapping,
+                           sim::EngineOptions &engine_options)
+{
+    // Step (2): per-vertex workload labels.
+    const auto loads = workloadUnit_.computeLoads(dg, model_config);
+
+    // Step (3): Algorithm 1 — tiling factor + parallel factors.
+    lastPlan_ = strategyAdjuster_.adjust(dg, model_config, hw_,
+                                         options_.parallelismStrategy);
+
+    // Steps (4)-(6): Algorithm 2 — the BDW mapping.
+    lastMapping_ = workloadGenerator_.generate(
+        dg, loads, lastPlan_, hw_, options_.workloadBalance);
+
+    // Steps (8)-(9): interconnect mode.
+    const auto reconfig =
+        reconfigurationUnit_.configure(options_.reconfigurableNoc);
+    hw = hw_;
+    hw.noc.topology = reconfig.topology;
+
+    // Step (7): redundant-free execution policy feeding the engine.
+    engine_options = sim::EngineOptions{};
+    engine_options.algo = model::AlgoKind::DiTileAlg;
+    // Access-minimizing tiling forms subgraphs around connectivity;
+    // without the parallelism strategy the subgraphs respect no
+    // locality (the adjuster already doubled the tiling factor).
+    engine_options.accounting.crossFetchFraction =
+        lastPlan_.tiling.crossFetchFraction(
+            options_.parallelismStrategy
+                ? tiling::kOptimizedTilingLocality : 1.0);
+    engine_options.reuseFifoForwarding = true;
+    engine_options.detailedTileTiming = options_.detailedTileTiming;
+    engine_options.adaptiveRelink = options_.reconfigurableNoc;
+    engine_options.reconfigEventsPerSnapshot =
+        reconfig.reconfigEventsPerSnapshot;
+    // Uneven load skews the distributed-buffer occupancy: the hot
+    // tiles overflow and re-fetch, so off-chip traffic grows with the
+    // partition imbalance (paper §7.3's "uneven data distribution ...
+    // leading to increased DRAM access").
+    engine_options.dramTrafficScale = std::min(
+        1.25, 1.0 + 0.08 * (lastMapping_.imbalance - 1.0));
+
+    mapping = sim::MappingSpec{};
+    mapping.rowPartition = lastMapping_.rowPartition;
+    mapping.snapshotColumn = lastMapping_.snapshotColumn;
+}
+
+sim::RunResult
+DiTileAccelerator::run(const graph::DynamicGraph &dg,
+                       const model::DgnnConfig &model_config)
+{
+    sim::AcceleratorConfig hw;
+    sim::MappingSpec mapping;
+    sim::EngineOptions engine_options;
+    prepare(dg, model_config, hw, mapping, engine_options);
+    return sim::runEngine(dg, model_config, hw, mapping, engine_options,
+                          name());
+}
+
+sim::TrainingResult
+DiTileAccelerator::runTraining(const graph::DynamicGraph &dg,
+                               const model::DgnnConfig &model_config)
+{
+    sim::AcceleratorConfig hw;
+    sim::MappingSpec mapping;
+    sim::EngineOptions engine_options;
+    prepare(dg, model_config, hw, mapping, engine_options);
+    return sim::runTrainingIteration(dg, model_config, hw, mapping,
+                                     engine_options, name());
+}
+
+} // namespace ditile::core

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * DiTile-DGNN: the paper's accelerator (public façade).
+ *
+ * Composes the Figure-5 pipeline: workload computation ->
+ * parallelization strategy adjustment (Algorithm 1) -> balanced and
+ * dynamic workload generation (Algorithm 2) -> redundant-free
+ * execution planning -> NoC reconfiguration -> execution on the
+ * reconfigurable distributed tile array. The three contribution
+ * toggles drive the Figure-11(b) ablation variants.
+ */
+
+#ifndef DITILE_CORE_DITILE_ACCELERATOR_HH
+#define DITILE_CORE_DITILE_ACCELERATOR_HH
+
+#include <string>
+
+#include "core/units.hh"
+#include "sim/accelerator.hh"
+#include "sim/baselines.hh"
+#include "sim/training_engine.hh"
+
+namespace ditile::core {
+
+/**
+ * Contribution toggles (all on == the full DiTile-DGNN).
+ */
+struct DiTileOptions
+{
+    bool parallelismStrategy = true;  ///< Algorithm 1 (Ps in Fig. 11b).
+    bool workloadBalance = true;      ///< Algorithm 2 (Wos in Fig. 11b).
+    bool reconfigurableNoc = true;    ///< Re-Link array (Ra in Fig. 11b).
+
+    /** Time compute with the PE-level tile model (slower, finer). */
+    bool detailedTileTiming = false;
+
+    /** The six ablation variants plus the full design, by name. */
+    static DiTileOptions fromVariant(const std::string &variant);
+};
+
+/**
+ * The DiTile-DGNN accelerator model.
+ */
+class DiTileAccelerator : public sim::Accelerator
+{
+  public:
+    explicit DiTileAccelerator(
+        sim::AcceleratorConfig hw = sim::AcceleratorConfig::defaults(),
+        DiTileOptions options = {});
+
+    std::string name() const override;
+
+    sim::RunResult run(const graph::DynamicGraph &dg,
+                       const model::DgnnConfig &model_config) override;
+
+    /**
+     * Simulate one training iteration (paper §4.1's extension): the
+     * same Algorithm-1/2 front end, plus backward sweep, gradient
+     * all-reduce, and optimizer update.
+     */
+    sim::TrainingResult runTraining(
+        const graph::DynamicGraph &dg,
+        const model::DgnnConfig &model_config);
+
+    /** Algorithm-1 output of the most recent run (Fig. 10 inputs). */
+    const tiling::ParallelPlan &lastPlan() const { return lastPlan_; }
+
+    /** BDW mapping of the most recent run. */
+    const BalancedWorkloadGenerator::Output &lastMapping() const
+    {
+        return lastMapping_;
+    }
+
+    const DiTileOptions &options() const { return options_; }
+    const sim::AcceleratorConfig &hardware() const { return hw_; }
+
+  private:
+    /** Runs the Figure-5 front end and emits the engine inputs. */
+    void prepare(const graph::DynamicGraph &dg,
+                 const model::DgnnConfig &model_config,
+                 sim::AcceleratorConfig &hw, sim::MappingSpec &mapping,
+                 sim::EngineOptions &engine_options);
+
+    sim::AcceleratorConfig hw_;
+    DiTileOptions options_;
+    WorkloadComputationUnit workloadUnit_;
+    ParallelizationStrategyAdjuster strategyAdjuster_;
+    BalancedWorkloadGenerator workloadGenerator_;
+    ReconfigurationUnit reconfigurationUnit_;
+    tiling::ParallelPlan lastPlan_;
+    BalancedWorkloadGenerator::Output lastMapping_;
+};
+
+} // namespace ditile::core
+
+#endif // DITILE_CORE_DITILE_ACCELERATOR_HH

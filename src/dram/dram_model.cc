@@ -1,0 +1,136 @@
+/**
+ * @file
+ * DRAM model implementation.
+ */
+
+#include "dram/dram_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace ditile::dram {
+
+double
+DramResult::avgBandwidth() const
+{
+    return completionCycle
+        ? static_cast<double>(totalBytes()) /
+              static_cast<double>(completionCycle)
+        : 0.0;
+}
+
+StatSet
+DramResult::toStats() const
+{
+    StatSet s;
+    s.set("dram.completion_cycles", static_cast<double>(completionCycle));
+    s.set("dram.row_hits", static_cast<double>(rowHits));
+    s.set("dram.row_misses", static_cast<double>(rowMisses));
+    s.set("dram.row_conflicts", static_cast<double>(rowConflicts));
+    s.set("dram.read_bytes", static_cast<double>(readBytes));
+    s.set("dram.write_bytes", static_cast<double>(writeBytes));
+    return s;
+}
+
+DramModel::DramModel(const DramConfig &config)
+    : config_(config),
+      banks_(static_cast<std::size_t>(config.totalBanks())),
+      channelFreeAt_(static_cast<std::size_t>(config.channels), 0)
+{
+    DITILE_ASSERT(config.channels > 0 && config.banksPerChannel > 0);
+    DITILE_ASSERT(config.rowBytes > 0 &&
+                  config.channelBytesPerCycle > 0.0);
+}
+
+void
+DramModel::reset()
+{
+    for (auto &b : banks_) {
+        b.openRow = -1;
+        b.freeAt = 0;
+    }
+    std::fill(channelFreeAt_.begin(), channelFreeAt_.end(), Cycle{0});
+}
+
+DramResult
+DramModel::service(const std::vector<DramRequest> &requests)
+{
+    DramResult result;
+    for (const DramRequest &req : requests) {
+        if (req.bytes == 0)
+            continue;
+        if (req.write)
+            result.writeBytes += req.bytes;
+        else
+            result.readBytes += req.bytes;
+
+        // Chop into row-aligned chunks; rows interleave across banks
+        // (row id selects the bank, XOR-folded for channel spread).
+        std::uint64_t addr = req.addr;
+        ByteCount remaining = req.bytes;
+        while (remaining > 0) {
+            const std::uint64_t row = addr / config_.rowBytes;
+            const ByteCount row_off = addr % config_.rowBytes;
+            const ByteCount chunk =
+                std::min<ByteCount>(remaining, config_.rowBytes - row_off);
+
+            const auto bank_idx = static_cast<std::size_t>(
+                row % static_cast<std::uint64_t>(config_.totalBanks()));
+            const auto channel_idx = static_cast<std::size_t>(
+                bank_idx % static_cast<std::size_t>(config_.channels));
+            BankState &bank = banks_[bank_idx];
+            Cycle &bus_free = channelFreeAt_[channel_idx];
+
+            const Cycle start = std::max({req.issueCycle, bank.freeAt,
+                                          bus_free});
+            Cycle access;
+            if (bank.openRow == static_cast<std::int64_t>(row)) {
+                access = config_.rowHitCycles;
+                ++result.rowHits;
+            } else if (bank.openRow < 0) {
+                access = config_.rowMissCycles;
+                ++result.rowMisses;
+            } else {
+                access = config_.rowConflictCycles;
+                ++result.rowConflicts;
+            }
+            bank.openRow = static_cast<std::int64_t>(row);
+
+            const auto transfer = static_cast<Cycle>(
+                static_cast<double>(chunk) /
+                config_.channelBytesPerCycle + 0.999999);
+            const Cycle done = start + access + transfer;
+            bank.freeAt = done;
+            // The bus is busy only for the data transfer; the access
+            // latency overlaps with other banks' transfers.
+            bus_free = std::max(bus_free, start + access) + transfer;
+
+            result.completionCycle =
+                std::max(result.completionCycle, done);
+            addr += chunk;
+            remaining -= chunk;
+        }
+    }
+    return result;
+}
+
+DramResult
+DramModel::serviceStream(std::uint64_t addr, ByteCount bytes, bool write,
+                         Cycle issue_cycle)
+{
+    return service({DramRequest{addr, bytes, write, issue_cycle}});
+}
+
+std::uint64_t
+RegionAllocator::allocate(ByteCount bytes, ByteCount align)
+{
+    DITILE_ASSERT(align > 0);
+    next_ = roundUp<std::uint64_t>(next_, align);
+    const std::uint64_t base = next_;
+    next_ += bytes;
+    return base;
+}
+
+} // namespace ditile::dram

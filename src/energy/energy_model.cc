@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Energy model implementation.
+ */
+
+#include "energy/energy_model.hh"
+
+namespace ditile::energy {
+
+double
+EnergyTable::sramPjPerByte(ByteCount buffer_bytes) const
+{
+    if (buffer_bytes <= (32u << 10))
+        return sramSmallPjPerByte;
+    if (buffer_bytes <= (512u << 10))
+        return sramMediumPjPerByte;
+    return sramLargePjPerByte;
+}
+
+EnergyEvents &
+EnergyEvents::operator+=(const EnergyEvents &o)
+{
+    macs += o.macs;
+    aluOps += o.aluOps;
+    activations += o.activations;
+    localBufferBytes += o.localBufferBytes;
+    reuseFifoBytes += o.reuseFifoBytes;
+    distBufferBytes += o.distBufferBytes;
+    nocLinkBytes += o.nocLinkBytes;
+    nocRouterBytes += o.nocRouterBytes;
+    dramBytes += o.dramBytes;
+    dramActivates += o.dramActivates;
+    reconfigEvents += o.reconfigEvents;
+    return *this;
+}
+
+EnergyBreakdown &
+EnergyBreakdown::operator+=(const EnergyBreakdown &o)
+{
+    computePj += o.computePj;
+    onChipCommPj += o.onChipCommPj;
+    offChipCommPj += o.offChipCommPj;
+    controlPj += o.controlPj;
+    return *this;
+}
+
+StatSet
+EnergyBreakdown::toStats() const
+{
+    StatSet s;
+    s.set("energy.compute_pj", computePj);
+    s.set("energy.onchip_comm_pj", onChipCommPj);
+    s.set("energy.offchip_comm_pj", offChipCommPj);
+    s.set("energy.control_pj", controlPj);
+    s.set("energy.total_pj", totalPj());
+    return s;
+}
+
+EnergyTable
+scaleComputeEnergy(const EnergyTable &table, double compute_scale)
+{
+    EnergyTable scaled = table;
+    scaled.fp32AddPj *= compute_scale;
+    scaled.fp32MulPj *= compute_scale;
+    scaled.fp32MacPj *= compute_scale;
+    scaled.activationPj *= compute_scale;
+    return scaled;
+}
+
+EnergyBreakdown
+computeEnergy(const EnergyEvents &events, const EnergyTable &table)
+{
+    EnergyBreakdown e;
+    e.computePj =
+        static_cast<double>(events.macs) * table.fp32MacPj +
+        static_cast<double>(events.aluOps) * table.fp32AddPj +
+        static_cast<double>(events.activations) * table.activationPj;
+
+    e.onChipCommPj =
+        static_cast<double>(events.localBufferBytes) *
+            table.sramSmallPjPerByte +
+        static_cast<double>(events.reuseFifoBytes) *
+            table.sramMediumPjPerByte +
+        static_cast<double>(events.distBufferBytes) *
+            table.sramLargePjPerByte +
+        static_cast<double>(events.nocLinkBytes) * table.nocLinkPjPerByte +
+        static_cast<double>(events.nocRouterBytes) *
+            table.nocRouterPjPerByte;
+
+    e.offChipCommPj =
+        static_cast<double>(events.dramBytes) * table.dramPjPerByte +
+        static_cast<double>(events.dramActivates) * table.dramActivatePj;
+
+    const double total_ops = static_cast<double>(
+        events.macs + events.aluOps + events.activations);
+    e.controlPj =
+        static_cast<double>(events.reconfigEvents) *
+            table.reconfigEventPj +
+        total_ops * table.controlPerOpPj +
+        table.controlOverheadFraction *
+            (e.computePj + e.onChipCommPj + e.offChipCommPj);
+    return e;
+}
+
+} // namespace ditile::energy

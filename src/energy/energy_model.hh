@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Per-event energy model (Horowitz 45 nm table substitute).
+ *
+ * The paper estimates energy from on/off-chip communication and
+ * computation counts "according to the analytical model proposed in
+ * [Horowitz, ISSCC'14 energy table for a 45 nm process]". This module
+ * encodes those per-event costs and converts raw event counts into the
+ * four energy categories of Figure 12: computation, off-chip
+ * communication, on-chip communication, and control/configuration.
+ */
+
+#ifndef DITILE_ENERGY_ENERGY_MODEL_HH
+#define DITILE_ENERGY_ENERGY_MODEL_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace ditile::energy {
+
+/**
+ * Per-event costs in picojoules, 45 nm class.
+ */
+struct EnergyTable
+{
+    // Computation (Horowitz ISSCC'14, 45 nm).
+    double fp32AddPj = 0.9;
+    double fp32MulPj = 3.7;
+    double fp32MacPj = 4.6;      ///< Fused multiply-accumulate.
+    double activationPj = 4.0;   ///< ReLU/sigmoid/tanh via LUT+ALU.
+
+    // On-chip storage, per byte, by capacity class.
+    double sramSmallPjPerByte = 1.25;  ///< <= 32 KB (PE local buffer).
+    double sramMediumPjPerByte = 2.5;  ///< <= 512 KB (reuse FIFO).
+    double sramLargePjPerByte = 6.0;   ///< > 512 KB (distributed buffer).
+
+    // On-chip network, per byte.
+    double nocLinkPjPerByte = 0.6;   ///< One link traversal.
+    double nocRouterPjPerByte = 1.0; ///< One router traversal.
+
+    // Off-chip, per byte (~640 pJ per 32-bit word).
+    double dramPjPerByte = 160.0;
+    double dramActivatePj = 909.0;   ///< Per row activate.
+
+    // Control.
+    double reconfigEventPj = 5000.0; ///< One Re-Link reconfiguration.
+    double controlPerOpPj = 0.02;    ///< Sequencing overhead per op.
+
+    /**
+     * Controller/dispatcher energy as a fraction of the datapath
+     * energy (compute + on-chip + off-chip): clocking, instruction
+     * issue and configuration distribution track overall activity.
+     */
+    double controlOverheadFraction = 0.04;
+
+    /** SRAM cost per byte for a buffer of the given capacity. */
+    double sramPjPerByte(ByteCount buffer_bytes) const;
+};
+
+/**
+ * Raw event counts the accelerator models produce.
+ */
+struct EnergyEvents
+{
+    OpCount macs = 0;
+    OpCount aluOps = 0;          ///< Element-wise adds/multiplies.
+    OpCount activations = 0;
+    ByteCount localBufferBytes = 0;   ///< PE local buffer traffic.
+    ByteCount reuseFifoBytes = 0;     ///< Reuse FIFO traffic.
+    ByteCount distBufferBytes = 0;    ///< Distributed buffer traffic.
+    ByteCount nocLinkBytes = 0;       ///< Sum of bytes x links.
+    ByteCount nocRouterBytes = 0;     ///< Sum of bytes x router stops.
+    ByteCount dramBytes = 0;
+    std::uint64_t dramActivates = 0;
+    std::uint64_t reconfigEvents = 0;
+
+    EnergyEvents &operator+=(const EnergyEvents &o);
+};
+
+/**
+ * Figure-12 energy categories, picojoules.
+ */
+struct EnergyBreakdown
+{
+    double computePj = 0.0;
+    double onChipCommPj = 0.0;
+    double offChipCommPj = 0.0;
+    double controlPj = 0.0;
+
+    double
+    totalPj() const
+    {
+        return computePj + onChipCommPj + offChipCommPj + controlPj;
+    }
+
+    EnergyBreakdown &operator+=(const EnergyBreakdown &o);
+
+    /** Export into a StatSet for report merging. */
+    StatSet toStats() const;
+};
+
+/** Convert event counts to the Figure-12 categories. */
+EnergyBreakdown computeEnergy(const EnergyEvents &events,
+                              const EnergyTable &table = {});
+
+/**
+ * Scale a table's arithmetic costs for a narrower datapath (Horowitz
+ * 45 nm: FP16 multiply ~1.1 pJ, INT8 ~0.2 pJ vs FP32's 3.7 pJ;
+ * per-byte storage/transport costs are width-independent — narrower
+ * values simply move fewer bytes).
+ *
+ * @param compute_scale 1.0 for FP32, ~0.27 FP16, ~0.07 INT8.
+ */
+EnergyTable scaleComputeEnergy(const EnergyTable &table,
+                               double compute_scale);
+
+} // namespace ditile::energy
+
+#endif // DITILE_ENERGY_ENERGY_MODEL_HH

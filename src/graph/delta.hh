@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Snapshot-to-snapshot change record (the "O" of a dynamic graph).
+ *
+ * A GraphDelta lists the undirected edges added and removed between two
+ * consecutive snapshots and derives the affected-vertex set — the
+ * quantity that drives every redundancy-elimination algorithm in the
+ * paper (Re-Alg recomputes everything; Race/Mega/DiTile restrict work to
+ * neighborhoods of affected vertices).
+ */
+
+#ifndef DITILE_GRAPH_DELTA_HH
+#define DITILE_GRAPH_DELTA_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/csr.hh"
+
+namespace ditile::graph {
+
+/**
+ * Edge-level difference between two snapshots of equal vertex count.
+ */
+class GraphDelta
+{
+  public:
+    GraphDelta() = default;
+
+    /** Compute the exact delta between prev and next. */
+    static GraphDelta diff(const Csr &prev, const Csr &next);
+
+    const std::vector<Edge> &addedEdges() const { return added_; }
+    const std::vector<Edge> &removedEdges() const { return removed_; }
+
+    /**
+     * Vertices incident to any changed edge, sorted ascending.
+     * These are the "dissimilar" vertices of the paper.
+     */
+    const std::vector<VertexId> &affectedVertices() const
+    {
+        return affected_;
+    }
+
+    /** Fraction of vertices affected: the paper's dissimilarity rate. */
+    double dissimilarity(VertexId num_vertices) const;
+
+    /** Total changed edges (additions + removals). */
+    std::size_t numChanges() const
+    {
+        return added_.size() + removed_.size();
+    }
+
+    /** Build directly from change lists (generator fast path). */
+    static GraphDelta fromChanges(std::vector<Edge> added,
+                                  std::vector<Edge> removed);
+
+  private:
+    void rebuildAffected();
+
+    std::vector<Edge> added_;
+    std::vector<Edge> removed_;
+    std::vector<VertexId> affected_;
+};
+
+/**
+ * Expand a seed vertex set by `hops` BFS levels on a snapshot.
+ *
+ * Returns the union of the seeds and all vertices within `hops` edges of
+ * a seed, sorted ascending. This is the L-layer affected-set expansion
+ * that incremental DGNN algorithms use: a changed vertex invalidates the
+ * layer-l features of everything within l hops.
+ */
+std::vector<VertexId> expandFrontier(const Csr &g,
+                                     const std::vector<VertexId> &seeds,
+                                     int hops);
+
+} // namespace ditile::graph
+
+#endif // DITILE_GRAPH_DELTA_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Discrete-time dynamic graph: DG = {G^1, G^2, ..., G^T} (paper Eq. 1).
+ *
+ * Owns the snapshot sequence, the per-step deltas, and the feature
+ * dimensionality of the vertex inputs. All DGNN algorithms and the
+ * accelerator models consume this container.
+ */
+
+#ifndef DITILE_GRAPH_DYNAMIC_GRAPH_HH
+#define DITILE_GRAPH_DYNAMIC_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/csr.hh"
+#include "graph/delta.hh"
+
+namespace ditile::graph {
+
+/**
+ * Sequence of snapshots over a fixed vertex universe plus deltas.
+ */
+class DynamicGraph
+{
+  public:
+    DynamicGraph() = default;
+
+    /**
+     * Build from a snapshot sequence; deltas are derived automatically.
+     *
+     * @param name Human-readable workload name for reports.
+     * @param snapshots At least one snapshot; all with equal numVertices.
+     * @param feature_dim Input feature vector width per vertex.
+     */
+    DynamicGraph(std::string name, std::vector<Csr> snapshots,
+                 int feature_dim);
+
+    /**
+     * Fast path: snapshots plus precomputed deltas (generators know the
+     * changes they made, so re-diffing would be wasted work).
+     * deltas.size() must equal snapshots.size() - 1.
+     */
+    DynamicGraph(std::string name, std::vector<Csr> snapshots,
+                 std::vector<GraphDelta> deltas, int feature_dim);
+
+    const std::string &name() const { return name_; }
+
+    /** Number of snapshots T. */
+    SnapshotId numSnapshots() const
+    {
+        return static_cast<SnapshotId>(snapshots_.size());
+    }
+
+    /** Shared vertex-universe size. */
+    VertexId numVertices() const
+    {
+        return snapshots_.empty() ? 0 : snapshots_.front().numVertices();
+    }
+
+    int featureDim() const { return featureDim_; }
+
+    const Csr &snapshot(SnapshotId t) const;
+
+    /** Delta from snapshot t-1 to snapshot t (t in [1, T)). */
+    const GraphDelta &delta(SnapshotId t) const;
+
+    /** Mean undirected edge count across snapshots. */
+    double avgEdges() const;
+
+    /** Max undirected edge count across snapshots. */
+    EdgeId maxEdges() const;
+
+    /**
+     * Mean dissimilarity rate across consecutive snapshot pairs
+     * (the paper's "Dis"; 0 for single-snapshot graphs).
+     */
+    double avgDissimilarity() const;
+
+    /** Dissimilarity of the step into snapshot t (t in [1, T)). */
+    double dissimilarity(SnapshotId t) const;
+
+  private:
+    std::string name_;
+    std::vector<Csr> snapshots_;
+    std::vector<GraphDelta> deltas_;
+    int featureDim_ = 0;
+};
+
+} // namespace ditile::graph
+
+#endif // DITILE_GRAPH_DYNAMIC_GRAPH_HH

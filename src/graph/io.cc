@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Edge-list I/O implementation.
+ */
+
+#include "graph/io.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace ditile::graph {
+
+namespace {
+
+bool
+isCommentOrBlank(const std::string &line)
+{
+    for (char c : line) {
+        if (c == ' ' || c == '\t' || c == '\r')
+            continue;
+        return c == '#' || c == '%';
+    }
+    return true;
+}
+
+std::vector<Edge>
+parseEdges(std::istream &in, VertexId &max_id)
+{
+    std::vector<Edge> edges;
+    std::string line;
+    std::size_t line_no = 0;
+    max_id = -1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (isCommentOrBlank(line))
+            continue;
+        std::istringstream fields(line);
+        long long u = -1;
+        long long v = -1;
+        if (!(fields >> u >> v)) {
+            DITILE_FATAL("edge-list parse error at line ", line_no,
+                         ": '", line, "'");
+        }
+        if (u < 0 || v < 0) {
+            DITILE_FATAL("negative vertex id at line ", line_no);
+        }
+        edges.emplace_back(static_cast<VertexId>(u),
+                           static_cast<VertexId>(v));
+        max_id = std::max<VertexId>(max_id, static_cast<VertexId>(
+            std::max(u, v)));
+    }
+    return edges;
+}
+
+} // namespace
+
+Csr
+readEdgeList(std::istream &in, VertexId num_vertices)
+{
+    VertexId max_id = -1;
+    const auto edges = parseEdges(in, max_id);
+    const VertexId universe = num_vertices > 0 ? num_vertices
+                                               : max_id + 1;
+    if (num_vertices > 0 && max_id >= num_vertices) {
+        DITILE_FATAL("edge list references vertex ", max_id,
+                     " outside the declared universe of ",
+                     num_vertices);
+    }
+    return Csr::fromEdges(std::max<VertexId>(universe, 0), edges);
+}
+
+Csr
+readEdgeListFile(const std::string &path, VertexId num_vertices)
+{
+    std::ifstream in(path);
+    if (!in)
+        DITILE_FATAL("cannot open edge list '", path, "'");
+    return readEdgeList(in, num_vertices);
+}
+
+void
+writeEdgeList(std::ostream &out, const Csr &g)
+{
+    out << "# ditile edge list: " << g.numVertices() << " vertices, "
+        << g.numEdges() << " undirected edges\n";
+    for (auto [u, v] : g.edgeList())
+        out << u << ' ' << v << '\n';
+}
+
+void
+writeEdgeListFile(const std::string &path, const Csr &g)
+{
+    std::ofstream out(path);
+    if (!out)
+        DITILE_FATAL("cannot write edge list '", path, "'");
+    writeEdgeList(out, g);
+}
+
+DynamicGraph
+readSnapshotFiles(const std::string &name,
+                  const std::vector<std::string> &paths,
+                  int feature_dim, VertexId num_vertices)
+{
+    DITILE_ASSERT(!paths.empty(), "need at least one snapshot file");
+
+    // First pass: determine the shared universe if not given.
+    std::vector<std::vector<Edge>> per_snapshot;
+    VertexId universe = num_vertices;
+    for (const auto &path : paths) {
+        std::ifstream in(path);
+        if (!in)
+            DITILE_FATAL("cannot open snapshot '", path, "'");
+        VertexId max_id = -1;
+        per_snapshot.push_back(parseEdges(in, max_id));
+        if (num_vertices == 0)
+            universe = std::max(universe, max_id + 1);
+        else if (max_id >= num_vertices)
+            DITILE_FATAL("snapshot '", path, "' references vertex ",
+                         max_id, " outside the declared universe");
+    }
+
+    std::vector<Csr> snapshots;
+    snapshots.reserve(per_snapshot.size());
+    for (const auto &edges : per_snapshot)
+        snapshots.push_back(Csr::fromEdges(universe, edges));
+    return DynamicGraph(name, std::move(snapshots), feature_dim);
+}
+
+ContinuousDynamicGraph
+readEventStream(const std::string &name, Csr initial, std::istream &in)
+{
+    std::vector<GraphEvent> events;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (isCommentOrBlank(line))
+            continue;
+        std::istringstream fields(line);
+        std::string op;
+        long long u = -1;
+        long long v = -1;
+        double ts = 0.0;
+        if (!(fields >> op >> u >> v >> ts) ||
+            (op != "+" && op != "-")) {
+            DITILE_FATAL("event parse error at line ", line_no, ": '",
+                         line, "'");
+        }
+        GraphEvent e;
+        e.kind = op == "+" ? GraphEvent::Kind::AddEdge
+                           : GraphEvent::Kind::RemoveEdge;
+        e.u = static_cast<VertexId>(u);
+        e.v = static_cast<VertexId>(v);
+        e.timestamp = ts;
+        events.push_back(e);
+    }
+    return ContinuousDynamicGraph(name, std::move(initial),
+                                  std::move(events));
+}
+
+} // namespace ditile::graph

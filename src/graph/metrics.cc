@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Graph metrics implementation.
+ */
+
+#include "graph/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ditile::graph {
+
+DegreeStats
+degreeStats(const Csr &g)
+{
+    DegreeStats stats;
+    const VertexId n = g.numVertices();
+    if (n == 0)
+        return stats;
+
+    std::vector<VertexId> degrees(static_cast<std::size_t>(n));
+    double sum = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+        degrees[static_cast<std::size_t>(v)] = g.degree(v);
+        sum += g.degree(v);
+    }
+    std::sort(degrees.begin(), degrees.end());
+
+    stats.mean = sum / static_cast<double>(n);
+    stats.median = degrees[static_cast<std::size_t>(n) / 2];
+    stats.p99 = degrees[static_cast<std::size_t>(
+        std::min<double>(n - 1, 0.99 * n))];
+    stats.max = degrees.back();
+
+    double sq = 0.0;
+    for (VertexId d : degrees) {
+        const double delta = d - stats.mean;
+        sq += delta * delta;
+    }
+    stats.variance = sq / static_cast<double>(n);
+    stats.cv = stats.mean > 0.0
+        ? std::sqrt(stats.variance) / stats.mean : 0.0;
+
+    // Gini over the sorted degrees.
+    if (sum > 0.0) {
+        double weighted = 0.0;
+        for (VertexId i = 0; i < n; ++i) {
+            weighted += static_cast<double>(i + 1) *
+                degrees[static_cast<std::size_t>(i)];
+        }
+        stats.gini = 2.0 * weighted / (static_cast<double>(n) * sum) -
+            (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+    }
+    return stats;
+}
+
+double
+averageClusteringCoefficient(const Csr &g)
+{
+    double total = 0.0;
+    VertexId counted = 0;
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const auto nbrs = g.neighbors(v);
+        const auto k = static_cast<double>(nbrs.size());
+        if (k < 2.0)
+            continue;
+        std::size_t links = 0;
+        for (std::size_t i = 0; i < nbrs.size(); ++i) {
+            for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+                links += g.hasEdge(nbrs[i], nbrs[j]);
+            }
+        }
+        total += 2.0 * static_cast<double>(links) / (k * (k - 1.0));
+        ++counted;
+    }
+    return counted ? total / static_cast<double>(counted) : 0.0;
+}
+
+double
+edgeJaccard(const Csr &a, const Csr &b)
+{
+    DITILE_ASSERT(a.numVertices() == b.numVertices());
+    const auto ea = a.edgeList();
+    const auto eb = b.edgeList();
+    std::size_t inter = 0;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ea.size() && j < eb.size()) {
+        if (ea[i] == eb[j]) {
+            ++inter;
+            ++i;
+            ++j;
+        } else if (ea[i] < eb[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    const std::size_t uni = ea.size() + eb.size() - inter;
+    return uni ? static_cast<double>(inter) /
+                     static_cast<double>(uni)
+               : 1.0;
+}
+
+} // namespace ditile::graph

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Structural graph metrics.
+ *
+ * The synthetic-workload substitution (DESIGN.md) rests on the claim
+ * that the accelerator's behaviour depends on a small set of
+ * structural properties — size, degree skew, locality, inter-snapshot
+ * similarity. This module measures them, so tests can assert the
+ * generated graphs actually exhibit the target properties and users
+ * can compare their own datasets against the synthetic equivalents
+ * (`ditile_inspect stats`).
+ */
+
+#ifndef DITILE_GRAPH_METRICS_HH
+#define DITILE_GRAPH_METRICS_HH
+
+#include "graph/csr.hh"
+
+namespace ditile::graph {
+
+/**
+ * Degree-distribution summary.
+ */
+struct DegreeStats
+{
+    double mean = 0.0;
+    double median = 0.0;
+    double p99 = 0.0;          ///< 99th-percentile degree.
+    VertexId max = 0;
+    double variance = 0.0;
+    /** Coefficient of variation: stddev / mean (skew indicator;
+     *  ~O(1/sqrt(mean)) for Erdos-Renyi, >> that for power laws). */
+    double cv = 0.0;
+    /** Gini coefficient of the degree distribution in [0, 1):
+     *  0 = perfectly uniform, -> 1 = a few hubs own everything. */
+    double gini = 0.0;
+};
+
+/** Degree statistics of one graph. */
+DegreeStats degreeStats(const Csr &g);
+
+/**
+ * Average local clustering coefficient over vertices with degree
+ * >= 2 (exact triangle counting; O(sum deg^2) — intended for the
+ * scaled evaluation graphs).
+ */
+double averageClusteringCoefficient(const Csr &g);
+
+/**
+ * Jaccard similarity of two snapshots' edge sets:
+ * |intersection| / |union| (1 = identical).
+ */
+double edgeJaccard(const Csr &a, const Csr &b);
+
+} // namespace ditile::graph
+
+#endif // DITILE_GRAPH_METRICS_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * VertexPartition implementation.
+ */
+
+#include "graph/partition.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace ditile::graph {
+
+VertexPartition::VertexPartition(VertexId num_vertices, int num_parts)
+    : owner_(static_cast<std::size_t>(num_vertices), kInvalidTile),
+      numParts_(num_parts)
+{
+    DITILE_ASSERT(num_parts > 0);
+}
+
+VertexPartition
+VertexPartition::contiguous(VertexId num_vertices, int num_parts)
+{
+    VertexPartition p(num_vertices, num_parts);
+    const VertexId block = std::max<VertexId>(
+        1, ceilDiv(num_vertices, static_cast<VertexId>(num_parts)));
+    for (VertexId v = 0; v < num_vertices; ++v)
+        p.owner_[static_cast<std::size_t>(v)] =
+            std::min(num_parts - 1, static_cast<int>(v / block));
+    return p;
+}
+
+VertexPartition
+VertexPartition::roundRobin(VertexId num_vertices, int num_parts)
+{
+    VertexPartition p(num_vertices, num_parts);
+    for (VertexId v = 0; v < num_vertices; ++v)
+        p.owner_[static_cast<std::size_t>(v)] =
+            static_cast<int>(v % num_parts);
+    return p;
+}
+
+void
+VertexPartition::assign(VertexId v, int part)
+{
+    DITILE_ASSERT(v >= 0 && v < numVertices());
+    DITILE_ASSERT(part >= 0 && part < numParts_);
+    owner_[static_cast<std::size_t>(v)] = part;
+}
+
+int
+VertexPartition::owner(VertexId v) const
+{
+    DITILE_ASSERT(v >= 0 && v < numVertices());
+    return owner_[static_cast<std::size_t>(v)];
+}
+
+std::vector<VertexId>
+VertexPartition::members(int part) const
+{
+    std::vector<VertexId> out;
+    for (VertexId v = 0; v < numVertices(); ++v)
+        if (owner_[static_cast<std::size_t>(v)] == part)
+            out.push_back(v);
+    return out;
+}
+
+std::vector<VertexId>
+VertexPartition::partSizes() const
+{
+    std::vector<VertexId> sizes(static_cast<std::size_t>(numParts_), 0);
+    for (int o : owner_)
+        if (o != kInvalidTile)
+            ++sizes[static_cast<std::size_t>(o)];
+    return sizes;
+}
+
+EdgeId
+VertexPartition::cutEdges(const Csr &g) const
+{
+    DITILE_ASSERT(g.numVertices() == numVertices());
+    EdgeId cut = 0;
+    for (VertexId u = 0; u < g.numVertices(); ++u) {
+        for (VertexId v : g.neighbors(u)) {
+            if (u < v && owner(u) != owner(v))
+                ++cut;
+        }
+    }
+    return cut;
+}
+
+double
+VertexPartition::imbalance(const std::vector<double> &vertex_weight) const
+{
+    DITILE_ASSERT(vertex_weight.size() ==
+                  static_cast<std::size_t>(numVertices()));
+    std::vector<double> load(static_cast<std::size_t>(numParts_), 0.0);
+    double total = 0.0;
+    for (VertexId v = 0; v < numVertices(); ++v) {
+        const int o = owner(v);
+        if (o == kInvalidTile)
+            continue;
+        load[static_cast<std::size_t>(o)] +=
+            vertex_weight[static_cast<std::size_t>(v)];
+        total += vertex_weight[static_cast<std::size_t>(v)];
+    }
+    if (total <= 0.0)
+        return 1.0;
+    const double mean = total / static_cast<double>(numParts_);
+    const double worst = *std::max_element(load.begin(), load.end());
+    return worst / mean;
+}
+
+} // namespace ditile::graph

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Vertex-to-tile partition container and quality metrics.
+ *
+ * The workload optimizer produces these; the accelerator models consume
+ * them to derive per-tile computation and the NoC message streams.
+ */
+
+#ifndef DITILE_GRAPH_PARTITION_HH
+#define DITILE_GRAPH_PARTITION_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/csr.hh"
+
+namespace ditile::graph {
+
+/**
+ * Assignment of every vertex to one owning tile.
+ */
+class VertexPartition
+{
+  public:
+    VertexPartition() = default;
+
+    /** All vertices initially unassigned (kInvalidTile). */
+    VertexPartition(VertexId num_vertices, int num_parts);
+
+    /** Contiguous block partition (vertex v -> v / ceil(V/parts)). */
+    static VertexPartition contiguous(VertexId num_vertices,
+                                      int num_parts);
+
+    /** Round-robin partition (vertex v -> v % parts). */
+    static VertexPartition roundRobin(VertexId num_vertices,
+                                      int num_parts);
+
+    void assign(VertexId v, int part);
+    int owner(VertexId v) const;
+
+    VertexId numVertices() const
+    {
+        return static_cast<VertexId>(owner_.size());
+    }
+    int numParts() const { return numParts_; }
+
+    /** Vertices owned by one part, ascending. */
+    std::vector<VertexId> members(int part) const;
+
+    /** Per-part vertex counts. */
+    std::vector<VertexId> partSizes() const;
+
+    /** Edges of g whose endpoints live in different parts. */
+    EdgeId cutEdges(const Csr &g) const;
+
+    /**
+     * Load imbalance of a per-vertex weight vector under this partition:
+     * max part weight / mean part weight (1.0 == perfectly balanced).
+     */
+    double imbalance(const std::vector<double> &vertex_weight) const;
+
+  private:
+    std::vector<int> owner_;
+    int numParts_ = 0;
+};
+
+} // namespace ditile::graph
+
+#endif // DITILE_GRAPH_PARTITION_HH

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Accounting implementation.
+ */
+
+#include "model/accounting.hh"
+
+#include "common/logging.hh"
+
+namespace ditile::model {
+
+OpsBreakdown &
+OpsBreakdown::operator+=(const OpsBreakdown &o)
+{
+    aggregationMacs += o.aggregationMacs;
+    combinationMacs += o.combinationMacs;
+    rnnMacs += o.rnnMacs;
+    activationOps += o.activationOps;
+    elementwiseOps += o.elementwiseOps;
+    return *this;
+}
+
+DramBreakdown &
+DramBreakdown::operator+=(const DramBreakdown &o)
+{
+    weightBytes += o.weightBytes;
+    adjacencyBytes += o.adjacencyBytes;
+    inputFeatureBytes += o.inputFeatureBytes;
+    intermediateBytes += o.intermediateBytes;
+    outputBytes += o.outputBytes;
+    return *this;
+}
+
+bool
+AccountingParams::cachesIntermediates(AlgoKind kind)
+{
+    return kind == AlgoKind::RaceAlg || kind == AlgoKind::DiTileAlg;
+}
+
+OpCount
+rnnMacsPerVertex(const DgnnConfig &config)
+{
+    const auto z = static_cast<OpCount>(config.gnnOutputDim());
+    const auto h = static_cast<OpCount>(config.lstmHidden);
+    // LSTM (Eq. 4): four z*W and four h*U products. GRU: three of
+    // each (reset, update, candidate).
+    const OpCount pairs = config.rnn == RnnKind::Lstm ? 4 : 3;
+    return pairs * z * h + pairs * h * h;
+}
+
+OpCount
+rnnActivationsPerVertex(const DgnnConfig &config)
+{
+    const auto h = static_cast<OpCount>(config.lstmHidden);
+    // LSTM: 3 sigmoid + 2 tanh vectors. GRU: 2 sigmoid + 1 tanh.
+    return (config.rnn == RnnKind::Lstm ? 5 : 3) * h;
+}
+
+OpCount
+rnnElementwisePerVertex(const DgnnConfig &config)
+{
+    const auto h = static_cast<OpCount>(config.lstmHidden);
+    // LSTM: f.c, i.g, their sum, o.tanh(c). GRU: r.h, u.h, (1-u).c
+    // and the final sum.
+    return 4 * h;
+}
+
+OpsBreakdown
+countSnapshotOps(const graph::DynamicGraph &dg, SnapshotId t,
+                 const DgnnConfig &config, const SnapshotPlan &plan)
+{
+    (void)t;
+    const int feature_dim = dg.featureDim();
+    OpsBreakdown ops;
+
+    for (int l = 0; l < config.numGcnLayers(); ++l) {
+        const auto &lw = plan.gcn[static_cast<std::size_t>(l)];
+        const auto in_dim =
+            static_cast<OpCount>(config.gcnInputDim(l, feature_dim));
+        const auto out_dim =
+            static_cast<OpCount>(config.gcnOutputDim(l));
+        const auto verts = static_cast<OpCount>(lw.vertices.size());
+        const auto gathers = static_cast<OpCount>(lw.gatherEdges);
+
+        // Aggregation: one MAC per gathered feature element; the +verts
+        // term is the self-loop contribution of the normalized
+        // Laplacian.
+        ops.aggregationMacs += (gathers + verts) * in_dim;
+        // Combination: dense (1 x in_dim) * (in_dim x out_dim) per
+        // vertex.
+        ops.combinationMacs += verts * in_dim * out_dim;
+        // ReLU per produced element.
+        ops.activationOps += verts * out_dim;
+    }
+
+    // Recurrent kernel (Eq. 4 for LSTM, the 6-product variant for
+    // GRU).
+    const auto rnn_verts = static_cast<OpCount>(plan.rnnVertices.size());
+    ops.rnnMacs += rnn_verts * rnnMacsPerVertex(config);
+    ops.activationOps += rnn_verts * rnnActivationsPerVertex(config);
+    ops.elementwiseOps += rnn_verts * rnnElementwisePerVertex(config);
+    return ops;
+}
+
+DramBreakdown
+countSnapshotDram(const graph::DynamicGraph &dg, SnapshotId t,
+                  const DgnnConfig &config, AlgoKind kind,
+                  const SnapshotPlan &plan,
+                  const AccountingParams &params)
+{
+    DITILE_ASSERT(params.crossFetchFraction >= 0.0 &&
+                  params.crossFetchFraction <= 1.0,
+                  "cross-fetch fraction must be in [0, 1]");
+    const auto bpv = static_cast<ByteCount>(config.bytesPerValue);
+    const int feature_dim = dg.featureDim();
+    const graph::Csr &g = dg.snapshot(t);
+    DramBreakdown dram;
+
+    // Weights: streamed once per snapshot; small relative to features.
+    ByteCount weight_values = 0;
+    int in_dim = feature_dim;
+    for (int l = 0; l < config.numGcnLayers(); ++l) {
+        weight_values += static_cast<ByteCount>(in_dim)
+            * static_cast<ByteCount>(config.gcnDims[
+                  static_cast<std::size_t>(l)]);
+        in_dim = config.gcnDims[static_cast<std::size_t>(l)];
+    }
+    const auto z_dim = static_cast<ByteCount>(config.gnnOutputDim());
+    const auto hidden = static_cast<ByteCount>(config.lstmHidden);
+    weight_values += 4 * z_dim * hidden + 4 * hidden * hidden;
+    dram.weightBytes = weight_values * bpv;
+
+    // Adjacency: full CSR on a full recompute, delta records otherwise.
+    if (plan.fullRecompute) {
+        dram.adjacencyBytes =
+            static_cast<ByteCount>(g.numAdjacencies()) * 4 +
+            static_cast<ByteCount>(g.numVertices()) * 4;
+    } else {
+        dram.adjacencyBytes =
+            static_cast<ByteCount>(plan.adjacencyUpdates) * 8;
+    }
+
+    // Layer-0 inputs: every distinct touched feature once, plus the
+    // Eq. 6 cross-subgraph refetch term — one extra fetch per gathered
+    // adjacency entry whose source lives in another subgraph.
+    const auto &l0 = plan.gcn.front();
+    dram.inputFeatureBytes = static_cast<ByteCount>(
+        (static_cast<double>(l0.uniqueInputs) +
+         static_cast<double>(l0.gatherEdges) *
+             params.crossFetchFraction) *
+        static_cast<double>(feature_dim) * static_cast<double>(bpv));
+
+    // Inter-layer intermediates: written by layer l-1, read (with the
+    // same cross-subgraph refetch behaviour) by layer l. Algorithms
+    // with intermediate-feature reuse keep most of this on chip;
+    // Re/Mega stream it through DRAM.
+    const double spill = AccountingParams::cachesIntermediates(kind)
+        ? params.cachedIntermediateFraction
+        : params.uncachedIntermediateFraction;
+    for (int l = 1; l < config.numGcnLayers(); ++l) {
+        const auto &prev = plan.gcn[static_cast<std::size_t>(l - 1)];
+        const auto &cur = plan.gcn[static_cast<std::size_t>(l)];
+        const auto dim = static_cast<ByteCount>(
+            config.gcnOutputDim(l - 1));
+        const ByteCount write =
+            static_cast<ByteCount>(prev.vertices.size()) * dim * bpv;
+        const auto read = static_cast<ByteCount>(
+            (static_cast<double>(cur.uniqueInputs) +
+             static_cast<double>(cur.gatherEdges) *
+                 params.crossFetchFraction) *
+            static_cast<double>(dim) * static_cast<double>(bpv));
+        dram.intermediateBytes += static_cast<ByteCount>(
+            static_cast<double>(write + read) * spill);
+    }
+
+    // Outputs: z written for the last-layer set; h/c read old state and
+    // write new state for the RNN set.
+    const auto &last = plan.gcn.back();
+    const auto rnn_verts =
+        static_cast<ByteCount>(plan.rnnVertices.size());
+    dram.outputBytes =
+        static_cast<ByteCount>(last.vertices.size()) * z_dim * bpv +
+        rnn_verts * hidden * bpv * 2 + // write h, c
+        rnn_verts * hidden * bpv * 2;  // read h^{t-1}, c^{t-1}
+    return dram;
+}
+
+OpsBreakdown
+countTotalOps(const graph::DynamicGraph &dg, const DgnnConfig &config,
+              AlgoKind kind)
+{
+    IncrementalPlanner planner(dg, config, kind);
+    OpsBreakdown total;
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t)
+        total += countSnapshotOps(dg, t, config, planner.plan(t));
+    return total;
+}
+
+DramBreakdown
+countTotalDram(const graph::DynamicGraph &dg, const DgnnConfig &config,
+               AlgoKind kind, const AccountingParams &params)
+{
+    IncrementalPlanner planner(dg, config, kind);
+    DramBreakdown total;
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t)
+        total += countSnapshotDram(dg, t, config, kind, planner.plan(t),
+                                   params);
+    return total;
+}
+
+} // namespace ditile::model

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Operation and DRAM-traffic accounting (Figures 7 and 8 quantities).
+ *
+ * Converts SnapshotPlans into arithmetic-operation counts and off-chip
+ * byte volumes. The paper's simulator "monitors the number of arithmetic
+ * operations and the number of accesses across the memory hierarchy"
+ * (§7.1); this module is that monitor, kept separate from timing so the
+ * same numbers feed the DRAM simulator, the energy model and the
+ * figure benches.
+ */
+
+#ifndef DITILE_MODEL_ACCOUNTING_HH
+#define DITILE_MODEL_ACCOUNTING_HH
+
+#include "graph/dynamic_graph.hh"
+#include "model/dgnn_config.hh"
+#include "model/incremental.hh"
+
+namespace ditile::model {
+
+/**
+ * Arithmetic-operation counts for one or more snapshots.
+ */
+struct OpsBreakdown
+{
+    OpCount aggregationMacs = 0;  ///< GCN gather multiply-accumulates.
+    OpCount combinationMacs = 0;  ///< GCN weight-matrix MACs.
+    OpCount rnnMacs = 0;          ///< LSTM matrix MACs (8 matmuls).
+    OpCount activationOps = 0;    ///< ReLU / sigmoid / tanh evaluations.
+    OpCount elementwiseOps = 0;   ///< LSTM gate element-wise mul/add.
+
+    /** Total scalar arithmetic (one MAC counts as two operations). */
+    OpCount
+    totalArithmetic() const
+    {
+        return 2 * (aggregationMacs + combinationMacs + rnnMacs)
+            + activationOps + elementwiseOps;
+    }
+
+    OpCount totalMacs() const
+    {
+        return aggregationMacs + combinationMacs + rnnMacs;
+    }
+
+    OpsBreakdown &operator+=(const OpsBreakdown &o);
+};
+
+/**
+ * Off-chip traffic by data class, in bytes.
+ */
+struct DramBreakdown
+{
+    ByteCount weightBytes = 0;
+    ByteCount adjacencyBytes = 0;
+    ByteCount inputFeatureBytes = 0;
+    ByteCount intermediateBytes = 0;
+    ByteCount outputBytes = 0;
+
+    ByteCount
+    total() const
+    {
+        return weightBytes + adjacencyBytes + inputFeatureBytes
+            + intermediateBytes + outputBytes;
+    }
+
+    DramBreakdown &operator+=(const DramBreakdown &o);
+};
+
+/**
+ * Dataflow-quality knobs the accounting depends on. These are computed
+ * by the tiling layer (DiTile) or fixed per baseline (paper-described
+ * dataflows); the model library stays independent of the tiling
+ * library by taking them as plain numbers.
+ */
+struct AccountingParams
+{
+    /**
+     * Fraction of gathered adjacency entries whose source feature
+     * lives outside the gathering subgraph and must be re-fetched
+     * from DRAM (Eq. 6's cross-subgraph term: (1 - 1/a) under random
+     * tiling, lower for locality-aware tiling). Input bytes for layer
+     * l are (uniqueInputs_l + gatherEdges_l * crossFetchFraction) *
+     * dim * bytes.
+     */
+    double crossFetchFraction = 0.0;
+
+    /**
+     * Fraction of inter-layer intermediate traffic that spills to DRAM
+     * when the algorithm caches intermediates on chip (Race, DiTile).
+     */
+    double cachedIntermediateFraction = 0.15;
+
+    /**
+     * Same fraction for algorithms without intermediate-feature reuse
+     * (Re, Mega): within-snapshot double buffering still keeps about
+     * half the stream on chip, but nothing survives to the next layer
+     * pass.
+     */
+    double uncachedIntermediateFraction = 0.5;
+
+    /** True if the algorithm reuses intermediate features on chip. */
+    static bool cachesIntermediates(AlgoKind kind);
+};
+
+/** MACs one vertex's recurrent step costs (8 matmuls LSTM, 6 GRU). */
+OpCount rnnMacsPerVertex(const DgnnConfig &config);
+
+/** Activation evaluations per vertex per recurrent step. */
+OpCount rnnActivationsPerVertex(const DgnnConfig &config);
+
+/** Element-wise operations per vertex per recurrent step. */
+OpCount rnnElementwisePerVertex(const DgnnConfig &config);
+
+/** Ops for one snapshot given its plan. */
+OpsBreakdown countSnapshotOps(const graph::DynamicGraph &dg, SnapshotId t,
+                              const DgnnConfig &config,
+                              const SnapshotPlan &plan);
+
+/** DRAM bytes for one snapshot given its plan. */
+DramBreakdown countSnapshotDram(const graph::DynamicGraph &dg,
+                                SnapshotId t, const DgnnConfig &config,
+                                AlgoKind kind, const SnapshotPlan &plan,
+                                const AccountingParams &params);
+
+/** Ops summed over every snapshot for one algorithm. */
+OpsBreakdown countTotalOps(const graph::DynamicGraph &dg,
+                           const DgnnConfig &config, AlgoKind kind);
+
+/** DRAM bytes summed over every snapshot for one algorithm. */
+DramBreakdown countTotalDram(const graph::DynamicGraph &dg,
+                             const DgnnConfig &config, AlgoKind kind,
+                             const AccountingParams &params);
+
+} // namespace ditile::model
+
+#endif // DITILE_MODEL_ACCOUNTING_HH

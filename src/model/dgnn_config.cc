@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Display names for the model variants.
+ */
+
+#include "model/dgnn_config.hh"
+
+namespace ditile::model {
+
+const char *
+aggregatorName(GnnAggregator kind)
+{
+    switch (kind) {
+      case GnnAggregator::GcnNormalized: return "GCN";
+      case GnnAggregator::SageMean: return "GraphSAGE-mean";
+      case GnnAggregator::GinSum: return "GIN";
+    }
+    DITILE_PANIC("unreachable aggregator kind");
+}
+
+const char *
+rnnKindName(RnnKind kind)
+{
+    switch (kind) {
+      case RnnKind::Lstm: return "LSTM";
+      case RnnKind::Gru: return "GRU";
+    }
+    DITILE_PANIC("unreachable RNN kind");
+}
+
+const char *
+precisionName(Precision precision)
+{
+    switch (precision) {
+      case Precision::Fp32: return "FP32";
+      case Precision::Fp16: return "FP16";
+      case Precision::Int8: return "INT8";
+    }
+    DITILE_PANIC("unreachable precision");
+}
+
+int
+precisionBytes(Precision precision)
+{
+    switch (precision) {
+      case Precision::Fp32: return 4;
+      case Precision::Fp16: return 2;
+      case Precision::Int8: return 1;
+    }
+    DITILE_PANIC("unreachable precision");
+}
+
+} // namespace ditile::model

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * DGNN model hyperparameters (paper Section 2.2, Eq. 2-4).
+ *
+ * The evaluated model is the classic DGCN: an L-layer GCN per snapshot
+ * feeding an LSTM over the per-vertex output features. The config pins
+ * the layer widths; the input width comes from the dataset.
+ */
+
+#ifndef DITILE_MODEL_DGNN_CONFIG_HH
+#define DITILE_MODEL_DGNN_CONFIG_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace ditile::model {
+
+/**
+ * GNN aggregation variant (paper §2.2: "many GNN variants have been
+ * proposed such as GraphSAGE and Graph Isomorphism Networks (GINs);
+ * their key computations can be abstracted in the form of adjacency
+ * matrices"). The variant selects the neighbor coefficients; the
+ * gather/combine structure — and therefore the accelerator dataflow —
+ * is identical.
+ */
+enum class GnnAggregator
+{
+    GcnNormalized, ///< Kipf: 1/sqrt(deg~u * deg~v), self loops.
+    SageMean,      ///< GraphSAGE-mean: self + mean of neighbors.
+    GinSum,        ///< GIN: (1 + eps) * self + sum of neighbors.
+};
+
+/** Display name for an aggregator. */
+const char *aggregatorName(GnnAggregator kind);
+
+/**
+ * Recurrent kernel variant (paper §2.2: "this work can also be
+ * efficiently applied to other RNN variants, such as gated recurrent
+ * units (GRUs)"). LSTM uses eight matrix products per step (Eq. 4);
+ * GRU uses six.
+ */
+enum class RnnKind { Lstm, Gru };
+
+/** Display name for an RNN kind. */
+const char *rnnKindName(RnnKind kind);
+
+/**
+ * Numeric representation (paper §7.1: "the 32-bit floating-point
+ * representation is used in the evaluation, which proves to be
+ * sufficient for maintaining inference accuracy" — i.e. narrower
+ * formats are the natural next question, so the simulator models
+ * them: precision scales every byte count and the per-op energy).
+ */
+enum class Precision { Fp32, Fp16, Int8 };
+
+/** Display name for a precision. */
+const char *precisionName(Precision precision);
+
+/** Bytes per value under a precision. */
+int precisionBytes(Precision precision);
+
+/**
+ * Model-shape description shared by the functional engine, the op
+ * accounting, and every accelerator model.
+ */
+struct DgnnConfig
+{
+    /**
+     * Output width of each GCN layer; size() == L (paper uses L = 2).
+     * Layer l maps width(l-1) -> gcnDims[l], with width(-1) = input
+     * feature dim of the dataset.
+     */
+    std::vector<int> gcnDims = {256, 128};
+
+    /** LSTM hidden/cell width (H in Eq. 4). */
+    int lstmHidden = 128;
+
+    /** Bytes per value (FP32 per the paper's evaluation). */
+    int bytesPerValue = 4;
+
+    /** GNN aggregation variant (GCN in the evaluation). */
+    GnnAggregator aggregator = GnnAggregator::GcnNormalized;
+
+    /** Recurrent kernel variant (LSTM in the evaluation). */
+    RnnKind rnn = RnnKind::Lstm;
+
+    /** Numeric format (FP32 in the evaluation). */
+    Precision precision = Precision::Fp32;
+
+    /** Copy with the precision (and bytesPerValue) switched. */
+    DgnnConfig
+    withPrecision(Precision p) const
+    {
+        DgnnConfig c = *this;
+        c.precision = p;
+        c.bytesPerValue = precisionBytes(p);
+        return c;
+    }
+
+    /** Number of GCN layers L. */
+    int
+    numGcnLayers() const
+    {
+        return static_cast<int>(gcnDims.size());
+    }
+
+    /** Input width of GCN layer l given the dataset feature width. */
+    int
+    gcnInputDim(int layer, int feature_dim) const
+    {
+        DITILE_ASSERT(layer >= 0 && layer < numGcnLayers());
+        return layer == 0 ? feature_dim : gcnDims[layer - 1];
+    }
+
+    /** Output width of GCN layer l. */
+    int
+    gcnOutputDim(int layer) const
+    {
+        DITILE_ASSERT(layer >= 0 && layer < numGcnLayers());
+        return gcnDims[layer];
+    }
+
+    /** Width of the GNN output vector z fed to the LSTM. */
+    int
+    gnnOutputDim() const
+    {
+        DITILE_ASSERT(!gcnDims.empty());
+        return gcnDims.back();
+    }
+};
+
+} // namespace ditile::model
+
+#endif // DITILE_MODEL_DGNN_CONFIG_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Functional DGNN reference implementation.
+ */
+
+#include "model/functional.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ditile::model {
+
+DgnnWeights
+DgnnWeights::random(const DgnnConfig &config, int feature_dim,
+                    std::uint64_t seed)
+{
+    Rng rng(seed);
+    DgnnWeights w;
+    int in_dim = feature_dim;
+    for (int l = 0; l < config.numGcnLayers(); ++l) {
+        w.gcn.push_back(Matrix::random(in_dim, config.gcnDims[l], rng));
+        in_dim = config.gcnDims[l];
+    }
+    const int z_dim = config.gnnOutputDim();
+    const int hidden = config.lstmHidden;
+    w.wi = Matrix::random(z_dim, hidden, rng);
+    w.wf = Matrix::random(z_dim, hidden, rng);
+    w.wo = Matrix::random(z_dim, hidden, rng);
+    w.wc = Matrix::random(z_dim, hidden, rng);
+    w.ui = Matrix::random(hidden, hidden, rng);
+    w.uf = Matrix::random(hidden, hidden, rng);
+    w.uo = Matrix::random(hidden, hidden, rng);
+    w.uc = Matrix::random(hidden, hidden, rng);
+    return w;
+}
+
+Matrix
+gcnLayer(const graph::Csr &g, const Matrix &x, const Matrix &w, bool relu)
+{
+    DITILE_ASSERT(x.rows() == g.numVertices(),
+                  "feature rows must equal vertex count");
+
+    // Symmetric normalization with self loops: deg~ = deg + 1.
+    const VertexId n = g.numVertices();
+    std::vector<float> inv_sqrt(static_cast<std::size_t>(n));
+    for (VertexId v = 0; v < n; ++v) {
+        inv_sqrt[static_cast<std::size_t>(v)] =
+            1.0f / std::sqrt(static_cast<float>(g.degree(v) + 1));
+    }
+
+    // Aggregate: agg[v] = sum_{u in N(v) U {v}} norm(u,v) * x[u].
+    Matrix agg(n, x.cols());
+    for (VertexId v = 0; v < n; ++v) {
+        float *out = agg.row(v);
+        const float dv = inv_sqrt[static_cast<std::size_t>(v)];
+        // Self loop contribution.
+        {
+            const float coef = dv * dv;
+            const float *in = x.row(v);
+            for (int c = 0; c < x.cols(); ++c)
+                out[c] += coef * in[c];
+        }
+        for (VertexId u : g.neighbors(v)) {
+            const float coef = dv * inv_sqrt[static_cast<std::size_t>(u)];
+            const float *in = x.row(u);
+            for (int c = 0; c < x.cols(); ++c)
+                out[c] += coef * in[c];
+        }
+    }
+
+    // Combine: out = agg * W, then optional ReLU.
+    Matrix out = agg.matmul(w);
+    if (relu)
+        out.apply([](float v) { return v > 0.0f ? v : 0.0f; });
+    return out;
+}
+
+Matrix
+gnnLayer(const graph::Csr &g, const Matrix &x, const Matrix &w,
+         GnnAggregator aggregator, bool relu)
+{
+    if (aggregator == GnnAggregator::GcnNormalized)
+        return gcnLayer(g, x, w, relu);
+    DITILE_ASSERT(x.rows() == g.numVertices());
+
+    const VertexId n = g.numVertices();
+    Matrix agg(n, x.cols());
+    for (VertexId v = 0; v < n; ++v) {
+        float *out = agg.row(v);
+        float self_coef;
+        float neighbor_coef;
+        if (aggregator == GnnAggregator::SageMean) {
+            // Self plus the mean of the neighborhood.
+            self_coef = 1.0f;
+            neighbor_coef = g.degree(v) > 0
+                ? 1.0f / static_cast<float>(g.degree(v)) : 0.0f;
+        } else {
+            // GIN: (1 + eps) * self + sum of neighbors, eps = 0.1.
+            self_coef = 1.1f;
+            neighbor_coef = 1.0f;
+        }
+        {
+            const float *in = x.row(v);
+            for (int c = 0; c < x.cols(); ++c)
+                out[c] += self_coef * in[c];
+        }
+        for (VertexId u : g.neighbors(v)) {
+            const float *in = x.row(u);
+            for (int c = 0; c < x.cols(); ++c)
+                out[c] += neighbor_coef * in[c];
+        }
+    }
+    Matrix out = agg.matmul(w);
+    if (relu)
+        out.apply([](float v) { return v > 0.0f ? v : 0.0f; });
+    return out;
+}
+
+Matrix
+gnnForward(const graph::Csr &g, const Matrix &features,
+           const DgnnConfig &config, const DgnnWeights &weights)
+{
+    DITILE_ASSERT(static_cast<int>(weights.gcn.size()) ==
+                  config.numGcnLayers());
+    Matrix x = features;
+    for (int l = 0; l < config.numGcnLayers(); ++l)
+        x = gnnLayer(g, x, weights.gcn[static_cast<std::size_t>(l)],
+                     config.aggregator);
+    return x;
+}
+
+void
+lstmStep(const Matrix &z, const DgnnWeights &weights, Matrix &h_inout,
+         Matrix &c_inout)
+{
+    // Eq. 4: eight matmuls then element-wise gates.
+    Matrix gi = z.matmul(weights.wi).add(h_inout.matmul(weights.ui));
+    Matrix gf = z.matmul(weights.wf).add(h_inout.matmul(weights.uf));
+    Matrix go = z.matmul(weights.wo).add(h_inout.matmul(weights.uo));
+    Matrix gc = z.matmul(weights.wc).add(h_inout.matmul(weights.uc));
+
+    gi.apply([](float v) { return sigmoid(v); });
+    gf.apply([](float v) { return sigmoid(v); });
+    go.apply([](float v) { return sigmoid(v); });
+    gc.apply([](float v) { return std::tanh(v); });
+
+    c_inout = gf.hadamard(c_inout).add(gi.hadamard(gc));
+    Matrix ct = c_inout;
+    ct.apply([](float v) { return std::tanh(v); });
+    h_inout = go.hadamard(ct);
+}
+
+void
+gruStep(const Matrix &z, const DgnnWeights &weights, Matrix &h_inout)
+{
+    // r = sigmoid(W_i z + U_i h); u = sigmoid(W_f z + U_f h);
+    // c = tanh(W_c z + U_c (r . h)); h' = u . h + (1 - u) . c.
+    Matrix r = z.matmul(weights.wi).add(h_inout.matmul(weights.ui));
+    Matrix u = z.matmul(weights.wf).add(h_inout.matmul(weights.uf));
+    r.apply([](float v) { return sigmoid(v); });
+    u.apply([](float v) { return sigmoid(v); });
+
+    Matrix gated = r.hadamard(h_inout);
+    Matrix c = z.matmul(weights.wc).add(gated.matmul(weights.uc));
+    c.apply([](float v) { return std::tanh(v); });
+
+    Matrix one_minus_u = u;
+    one_minus_u.apply([](float v) { return 1.0f - v; });
+    h_inout = u.hadamard(h_inout).add(one_minus_u.hadamard(c));
+}
+
+void
+rnnStep(const Matrix &z, const DgnnConfig &config,
+        const DgnnWeights &weights, Matrix &h_inout, Matrix &c_inout)
+{
+    if (config.rnn == RnnKind::Lstm)
+        lstmStep(z, weights, h_inout, c_inout);
+    else
+        gruStep(z, weights, h_inout);
+}
+
+std::vector<DgnnState>
+dgnnForward(const graph::DynamicGraph &dg, const Matrix &features,
+            const DgnnConfig &config, const DgnnWeights &weights)
+{
+    const VertexId n = dg.numVertices();
+    DITILE_ASSERT(features.rows() == n);
+    DITILE_ASSERT(features.cols() == dg.featureDim());
+
+    std::vector<DgnnState> states;
+    states.reserve(static_cast<std::size_t>(dg.numSnapshots()));
+
+    Matrix h(n, config.lstmHidden);
+    Matrix c(n, config.lstmHidden);
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
+        DgnnState s;
+        s.z = gnnForward(dg.snapshot(t), features, config, weights);
+        rnnStep(s.z, config, weights, h, c);
+        s.h = h;
+        s.c = c;
+        states.push_back(std::move(s));
+    }
+    return states;
+}
+
+} // namespace ditile::model

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Exact functional DGNN reference (GCN + LSTM), Eq. 2-4 of the paper.
+ *
+ * Computes real FP32 feature values on real graphs. Used by tests to
+ * prove that the incremental execution plans (Race/Mega/DiTile) are
+ * result-preserving relative to full recomputation, and by examples to
+ * demonstrate the API end to end.
+ */
+
+#ifndef DITILE_MODEL_FUNCTIONAL_HH
+#define DITILE_MODEL_FUNCTIONAL_HH
+
+#include <vector>
+
+#include "graph/dynamic_graph.hh"
+#include "model/dgnn_config.hh"
+#include "model/matrix.hh"
+
+namespace ditile::model {
+
+/**
+ * All learned parameters of the DGCN model.
+ */
+struct DgnnWeights
+{
+    /** One weight matrix per GCN layer (in_dim x out_dim). */
+    std::vector<Matrix> gcn;
+
+    /** LSTM input-side weights W_i, W_f, W_o, W_c (z_dim x hidden). */
+    Matrix wi, wf, wo, wc;
+
+    /** LSTM hidden-side weights U_i, U_f, U_o, U_c (hidden x hidden). */
+    Matrix ui, uf, uo, uc;
+
+    /** Deterministic random initialization matching config shapes. */
+    static DgnnWeights random(const DgnnConfig &config, int feature_dim,
+                              std::uint64_t seed);
+};
+
+/**
+ * Per-snapshot DGNN state: GNN outputs and LSTM hidden/cell features.
+ */
+struct DgnnState
+{
+    Matrix z; ///< GNN output features, V x gnnOutputDim.
+    Matrix h; ///< LSTM hidden features, V x lstmHidden.
+    Matrix c; ///< LSTM cell features,   V x lstmHidden.
+};
+
+/**
+ * One GCN layer: out = ReLU(Ahat * x * W) with symmetric normalization
+ * Ahat = D^-1/2 (A + I) D^-1/2 (self loops included, Kipf-style).
+ *
+ * @param relu Apply the ReLU nonlinearity (disabled on no layer in the
+ *        evaluated model, but exposed for generality).
+ */
+Matrix gcnLayer(const graph::Csr &g, const Matrix &x, const Matrix &w,
+                bool relu = true);
+
+/**
+ * One GNN layer under any aggregator variant: the aggregator selects
+ * the self/neighbor coefficients, then agg * W (+ ReLU). GcnNormalized
+ * reproduces gcnLayer exactly.
+ */
+Matrix gnnLayer(const graph::Csr &g, const Matrix &x, const Matrix &w,
+                GnnAggregator aggregator, bool relu = true);
+
+/**
+ * Full L-layer GCN for one snapshot: returns z^t (Eq. 3).
+ */
+Matrix gnnForward(const graph::Csr &g, const Matrix &features,
+                  const DgnnConfig &config, const DgnnWeights &weights);
+
+/**
+ * One LSTM step for all vertices (Eq. 4): consumes z^t and the previous
+ * hidden/cell state, produces the next hidden/cell state.
+ */
+void lstmStep(const Matrix &z, const DgnnWeights &weights,
+              Matrix &h_inout, Matrix &c_inout);
+
+/**
+ * One GRU step for all vertices: six matrix products (reset, update,
+ * candidate) instead of the LSTM's eight; the cell state is unused.
+ * Uses the i/f/c weight triples of DgnnWeights.
+ */
+void gruStep(const Matrix &z, const DgnnWeights &weights,
+             Matrix &h_inout);
+
+/**
+ * One recurrent step dispatching on config.rnn (LSTM or GRU).
+ */
+void rnnStep(const Matrix &z, const DgnnConfig &config,
+             const DgnnWeights &weights, Matrix &h_inout,
+             Matrix &c_inout);
+
+/**
+ * Run the full DGNN over every snapshot (Eq. 2).
+ *
+ * @param features Initial vertex features, shared by all snapshots
+ *        (unchanged vertices keep their features; structural change is
+ *        carried by the snapshots themselves).
+ * @return One DgnnState per snapshot.
+ */
+std::vector<DgnnState> dgnnForward(const graph::DynamicGraph &dg,
+                                   const Matrix &features,
+                                   const DgnnConfig &config,
+                                   const DgnnWeights &weights);
+
+} // namespace ditile::model
+
+#endif // DITILE_MODEL_FUNCTIONAL_HH

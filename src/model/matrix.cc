@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Matrix implementation.
+ */
+
+#include "model/matrix.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ditile::model {
+
+Matrix::Matrix(int rows, int cols, float fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            fill)
+{
+    DITILE_ASSERT(rows >= 0 && cols >= 0);
+}
+
+Matrix
+Matrix::random(int rows, int cols, Rng &rng, float scale)
+{
+    Matrix m(rows, cols);
+    for (float &v : m.data_)
+        v = static_cast<float>(rng.uniformReal(-scale, scale));
+    return m;
+}
+
+Matrix
+Matrix::matmul(const Matrix &other) const
+{
+    DITILE_ASSERT(cols_ == other.rows_, "matmul shape mismatch: ",
+                  rows_, "x", cols_, " * ", other.rows_, "x", other.cols_);
+    Matrix out(rows_, other.cols_);
+    for (int r = 0; r < rows_; ++r) {
+        for (int k = 0; k < cols_; ++k) {
+            const float a = at(r, k);
+            if (a == 0.0f)
+                continue;
+            const float *brow = other.row(k);
+            float *orow = out.row(r);
+            for (int c = 0; c < other.cols_; ++c)
+                orow[c] += a * brow[c];
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::add(const Matrix &other) const
+{
+    DITILE_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
+    Matrix out = *this;
+    for (std::size_t i = 0; i < out.data_.size(); ++i)
+        out.data_[i] += other.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::hadamard(const Matrix &other) const
+{
+    DITILE_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
+    Matrix out = *this;
+    for (std::size_t i = 0; i < out.data_.size(); ++i)
+        out.data_[i] *= other.data_[i];
+    return out;
+}
+
+float
+Matrix::maxAbsDiff(const Matrix &other) const
+{
+    DITILE_ASSERT(rows_ == other.rows_ && cols_ == other.cols_);
+    float worst = 0.0f;
+    for (std::size_t i = 0; i < data_.size(); ++i) {
+        const float d = std::fabs(data_[i] - other.data_[i]);
+        if (d > worst)
+            worst = d;
+    }
+    return worst;
+}
+
+float
+sigmoid(float x)
+{
+    if (x >= 0.0f) {
+        const float e = std::exp(-x);
+        return 1.0f / (1.0f + e);
+    }
+    const float e = std::exp(x);
+    return e / (1.0f + e);
+}
+
+} // namespace ditile::model

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal dense row-major matrix for the functional DGNN reference.
+ *
+ * This is deliberately a correctness vehicle, not a performance one: the
+ * functional engine exists so tests can check that the incremental
+ * algorithms produce bit-identical results to full recomputation, and so
+ * examples can show real numbers flowing through the API.
+ */
+
+#ifndef DITILE_MODEL_MATRIX_HH
+#define DITILE_MODEL_MATRIX_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace ditile::model {
+
+/**
+ * Dense row-major float matrix.
+ */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(int rows, int cols, float fill = 0.0f);
+
+    /** Deterministic uniform [-scale, scale) initialization. */
+    static Matrix random(int rows, int cols, Rng &rng, float scale = 0.1f);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+
+    float &at(int r, int c) { return data_[idx(r, c)]; }
+    float at(int r, int c) const { return data_[idx(r, c)]; }
+
+    float *row(int r) { return data_.data() + idx(r, 0); }
+    const float *row(int r) const { return data_.data() + idx(r, 0); }
+
+    /** this * other (naive triple loop). */
+    Matrix matmul(const Matrix &other) const;
+
+    /** Element-wise sum; shapes must match. */
+    Matrix add(const Matrix &other) const;
+
+    /** Element-wise (Hadamard) product; shapes must match. */
+    Matrix hadamard(const Matrix &other) const;
+
+    /** Apply a scalar function element-wise in place. */
+    template <typename F>
+    void
+    apply(F &&f)
+    {
+        for (float &v : data_)
+            v = f(v);
+    }
+
+    /** Max absolute element difference against another matrix. */
+    float maxAbsDiff(const Matrix &other) const;
+
+    const std::vector<float> &data() const { return data_; }
+
+  private:
+    std::size_t
+    idx(int r, int c) const
+    {
+        return static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_)
+            + static_cast<std::size_t>(c);
+    }
+
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** Numerically stable logistic sigmoid. */
+float sigmoid(float x);
+
+} // namespace ditile::model
+
+#endif // DITILE_MODEL_MATRIX_HH

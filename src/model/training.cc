@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Training-stage accounting implementation.
+ */
+
+#include "model/training.hh"
+
+namespace ditile::model {
+
+TrainingOps
+countTrainingOps(const graph::DynamicGraph &dg, const DgnnConfig &config,
+                 AlgoKind kind)
+{
+    TrainingOps total;
+    IncrementalPlanner planner(dg, config, kind);
+
+    // Parameter count for the weight update.
+    OpCount weight_values = 0;
+    int in_dim = dg.featureDim();
+    for (int l = 0; l < config.numGcnLayers(); ++l) {
+        weight_values += static_cast<OpCount>(in_dim) *
+            static_cast<OpCount>(config.gcnDims[
+                static_cast<std::size_t>(l)]);
+        in_dim = config.gcnDims[static_cast<std::size_t>(l)];
+    }
+    const auto z_dim = static_cast<OpCount>(config.gnnOutputDim());
+    const auto hidden = static_cast<OpCount>(config.lstmHidden);
+    const OpCount pairs = config.rnn == RnnKind::Lstm ? 4 : 3;
+    weight_values += pairs * z_dim * hidden + pairs * hidden * hidden;
+
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
+        const auto &plan = planner.plan(t);
+        const auto fwd = countSnapshotOps(dg, t, config, plan);
+        total.forward += fwd;
+
+        // Backward: dL/dx re-runs every gather with transposed
+        // coefficients and dL/dW re-runs every combination against
+        // the cached activations — two MACs per forward MAC — plus
+        // the activation-derivative element-wise pass.
+        OpsBreakdown bwd;
+        bwd.aggregationMacs = 2 * fwd.aggregationMacs;
+        bwd.combinationMacs = 2 * fwd.combinationMacs;
+        bwd.rnnMacs = 2 * fwd.rnnMacs;
+        bwd.activationOps = fwd.activationOps;    // derivative eval.
+        bwd.elementwiseOps = 2 * fwd.elementwiseOps;
+        total.backward += bwd;
+
+        // SGD-style update: one multiply-add per parameter per
+        // snapshot contributing gradients.
+        total.weightUpdateOps += 2 * weight_values;
+    }
+    return total;
+}
+
+} // namespace ditile::model

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Training-stage operation accounting (paper §4.1: "the proposed
+ * methodology can be applied to the training stage where gradient and
+ * embedding propagation follow graph structure as well").
+ *
+ * Training adds, per forward snapshot, a backward sweep whose gradient
+ * flows traverse the same adjacency structure: gradients with respect
+ * to the inputs re-run the gather (transposed), gradients with respect
+ * to the weights re-run the combination, and the recurrent kernel
+ * backpropagates through time within the snapshot window. The
+ * redundancy-elimination plans apply unchanged because unchanged
+ * vertices contribute unchanged gradients.
+ */
+
+#ifndef DITILE_MODEL_TRAINING_HH
+#define DITILE_MODEL_TRAINING_HH
+
+#include "model/accounting.hh"
+
+namespace ditile::model {
+
+/**
+ * Operation counts for one training iteration (forward + backward +
+ * weight update) over the whole dynamic graph.
+ */
+struct TrainingOps
+{
+    OpsBreakdown forward;
+    OpsBreakdown backward;
+    OpCount weightUpdateOps = 0;
+
+    OpCount
+    totalArithmetic() const
+    {
+        return forward.totalArithmetic() + backward.totalArithmetic()
+            + weightUpdateOps;
+    }
+};
+
+/**
+ * Count one training iteration under the given update algorithm.
+ *
+ * Backward gathers/combinations mirror the forward plan (input- and
+ * weight-gradient products double the MAC count); the weight update
+ * costs one multiply-add per parameter per snapshot that touched it.
+ */
+TrainingOps countTrainingOps(const graph::DynamicGraph &dg,
+                             const DgnnConfig &config, AlgoKind kind);
+
+} // namespace ditile::model
+
+#endif // DITILE_MODEL_TRAINING_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cycle-stepped wormhole network model.
+ *
+ * The phase-level engine uses the fast segment-serialization model in
+ * network.hh; this model is its ground truth for small
+ * configurations: packets are decomposed into flits, the head flit
+ * advances one link per cycle when the next link is free, and a
+ * packet holds every link on its path from head-acquisition until its
+ * tail drains — so head-of-line blocking chains, the phenomenon the
+ * fast model approximates with FCFS link queues, emerge naturally.
+ * Tests cross-validate the two models; studies that need flit-level
+ * fidelity (e.g. Re-Link arbitration experiments) can use this one
+ * directly.
+ */
+
+#ifndef DITILE_NOC_FLIT_NETWORK_HH
+#define DITILE_NOC_FLIT_NETWORK_HH
+
+#include <vector>
+
+#include "noc/network.hh"
+
+namespace ditile::noc {
+
+/**
+ * Flit-level parameters on top of the shared NocConfig.
+ */
+struct FlitConfig
+{
+    NocConfig noc;
+    int flitBytes = 32;      ///< Payload per flit.
+    Cycle maxCycles = 50'000'000; ///< Deadlock/runaway guard.
+};
+
+/**
+ * Replay a message batch flit by flit.
+ *
+ * Uses the same Topology routes as the fast model. Arbitration is
+ * oldest-first (by injection cycle, then batch order) each cycle.
+ * Returns the same NocResult record so callers can compare models
+ * directly.
+ */
+NocResult simulateFlitTraffic(const FlitConfig &config,
+                              std::vector<Message> messages);
+
+/** Analytic zero-load wormhole latency: hops + flits - 1 + stops. */
+Cycle flitZeroLoadLatency(const FlitConfig &config,
+                          const Message &message);
+
+} // namespace ditile::noc
+
+#endif // DITILE_NOC_FLIT_NETWORK_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * NoC message and configuration types.
+ */
+
+#ifndef DITILE_NOC_MESSAGE_HH
+#define DITILE_NOC_MESSAGE_HH
+
+#include "common/types.hh"
+
+namespace ditile::noc {
+
+/** Which DGNN communication pattern a message belongs to (paper §4.2). */
+enum class TrafficClass { Temporal, Spatial, Reuse, Control };
+
+/** Display name for a traffic class. */
+const char *trafficClassName(TrafficClass cls);
+
+/**
+ * One bulk transfer between two tiles.
+ *
+ * Messages are aggregates (all bytes moving src->dst in one phase),
+ * not single flits; the network model serializes them over links with
+ * contention.
+ */
+struct Message
+{
+    TileId src = 0;
+    TileId dst = 0;
+    ByteCount bytes = 0;
+    Cycle injectCycle = 0;
+    TrafficClass cls = TrafficClass::Spatial;
+};
+
+/** Interconnect style of an accelerator (paper baselines + DiTile). */
+enum class TopologyKind
+{
+    Mesh,          ///< 2D mesh, XY routing (ReaDy).
+    Ring,          ///< Row/column rings, no bypass.
+    Crossbar,      ///< Single-hop any-to-any with output contention
+                   ///< (RACE engines).
+    Reconfigurable ///< DiTile: horizontal rings + vertical rings with
+                   ///< Re-Link bypass segments.
+};
+
+/** Display name for a topology kind. */
+const char *topologyKindName(TopologyKind kind);
+
+/**
+ * Physical NoC parameters.
+ */
+struct NocConfig
+{
+    int rows = 16;
+    int cols = 16;
+    /** Payload bytes a link moves per cycle (flit width x issue rate). */
+    int linkBytesPerCycle = 32;
+    /** Pipeline latency per router traversal, cycles. */
+    Cycle routerLatencyCycles = 2;
+    TopologyKind topology = TopologyKind::Reconfigurable;
+    /**
+     * Re-Link bypass span: a vertical message stops at a router only
+     * every `reLinkSpan` hops when the reconfigurable bypasses are
+     * engaged (Reconfigurable topology only).
+     */
+    int reLinkSpan = 4;
+
+    int numTiles() const { return rows * cols; }
+};
+
+} // namespace ditile::noc
+
+#endif // DITILE_NOC_MESSAGE_HH

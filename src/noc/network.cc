@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Network simulation implementation.
+ */
+
+#include "noc/network.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace ditile::noc {
+
+namespace {
+
+/** Serialization cycles for one message over one link. */
+Cycle
+serializationCycles(const NocConfig &config, ByteCount bytes)
+{
+    return ceilDiv<Cycle>(static_cast<Cycle>(bytes),
+                          static_cast<Cycle>(config.linkBytesPerCycle));
+}
+
+} // namespace
+
+StatSet
+NocResult::toStats() const
+{
+    StatSet s;
+    s.set("noc.makespan_cycles", static_cast<double>(makespan));
+    s.set("noc.avg_latency_cycles", avgLatency);
+    s.set("noc.messages", static_cast<double>(numMessages));
+    s.set("noc.total_bytes", static_cast<double>(totalBytes));
+    s.set("noc.hop_bytes", static_cast<double>(hopBytes));
+    s.set("noc.router_bytes", static_cast<double>(routerBytes));
+    s.set("noc.total_hops", static_cast<double>(totalHops));
+    s.set("noc.router_stops", static_cast<double>(routerStops));
+    s.set("noc.temporal_bytes",
+          static_cast<double>(bytesByClass[
+              static_cast<int>(TrafficClass::Temporal)]));
+    s.set("noc.spatial_bytes",
+          static_cast<double>(bytesByClass[
+              static_cast<int>(TrafficClass::Spatial)]));
+    s.set("noc.reuse_bytes",
+          static_cast<double>(bytesByClass[
+              static_cast<int>(TrafficClass::Reuse)]));
+    s.set("noc.control_bytes",
+          static_cast<double>(bytesByClass[
+              static_cast<int>(TrafficClass::Control)]));
+    return s;
+}
+
+NocResult
+simulateTraffic(const NocConfig &config, std::vector<Message> messages)
+{
+    auto topology = Topology::create(config);
+    NocResult result;
+
+    std::stable_sort(messages.begin(), messages.end(),
+        [](const Message &a, const Message &b) {
+            return a.injectCycle < b.injectCycle;
+        });
+
+    std::vector<Cycle> link_free(
+        static_cast<std::size_t>(topology->numLinks()), 0);
+    double latency_sum = 0.0;
+
+    for (const Message &m : messages) {
+        DITILE_ASSERT(m.src >= 0 && m.src < config.numTiles() &&
+                      m.dst >= 0 && m.dst < config.numTiles(),
+                      "message endpoints out of range");
+        ++result.numMessages;
+        result.totalBytes += m.bytes;
+        result.bytesByClass[static_cast<int>(m.cls)] += m.bytes;
+
+        const auto hops = topology->route(m.src, m.dst, m.cls);
+        Cycle t = m.injectCycle;
+        const Cycle ser = serializationCycles(config, m.bytes);
+        // Links between router stops form one bypass segment: the
+        // message serializes once over the whole segment (cut-through
+        // across bypassed routers), so Re-Link bypasses save both the
+        // router latency and the per-hop re-serialization.
+        std::size_t seg_begin = 0;
+        for (std::size_t h = 0; h < hops.size(); ++h) {
+            result.hopBytes += m.bytes;
+            ++result.totalHops;
+            if (!hops[h].routerStop)
+                continue;
+            Cycle start = t;
+            for (std::size_t k = seg_begin; k <= h; ++k) {
+                start = std::max(start, link_free[
+                    static_cast<std::size_t>(hops[k].link)]);
+            }
+            t = start + ser;
+            for (std::size_t k = seg_begin; k <= h; ++k) {
+                link_free[static_cast<std::size_t>(hops[k].link)] = t;
+            }
+            t += config.routerLatencyCycles;
+            result.routerBytes += m.bytes;
+            ++result.routerStops;
+            seg_begin = h + 1;
+        }
+        latency_sum += static_cast<double>(t - m.injectCycle);
+        result.makespan = std::max(result.makespan, t);
+    }
+
+    result.avgLatency = result.numMessages
+        ? latency_sum / static_cast<double>(result.numMessages) : 0.0;
+    return result;
+}
+
+Cycle
+zeroLoadLatency(const NocConfig &config, const Message &message)
+{
+    auto topology = Topology::create(config);
+    const auto hops = topology->route(message.src, message.dst,
+                                      message.cls);
+    const Cycle ser = serializationCycles(config, message.bytes);
+    Cycle t = 0;
+    for (const Hop &hop : hops) {
+        if (hop.routerStop)
+            t += ser + config.routerLatencyCycles;
+    }
+    return t;
+}
+
+} // namespace ditile::noc

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Re-Link reconfiguration controller (paper §6.1).
+ *
+ * The Re-Link architecture "consists of simple transistors that
+ * dynamically enable or disable bypass connections between
+ * non-adjacent routers". This controller decides, per communication
+ * phase, which bypass span the vertical rings should engage: long
+ * bypasses help long-haul irregular gathers but starve short-range
+ * traffic of router stops (a message cannot exit mid-segment, so a
+ * span-S configuration rounds every vertical trip up to multiples of
+ * S before the final stop).
+ *
+ * The decision input is the phase's vertical-distance histogram; the
+ * controller scores each candidate span with the same cut-through
+ * latency model the network simulator charges and picks the best,
+ * also reporting the reconfiguration events the switch fabric spends.
+ */
+
+#ifndef DITILE_NOC_RELINK_CONTROLLER_HH
+#define DITILE_NOC_RELINK_CONTROLLER_HH
+
+#include <vector>
+
+#include "noc/message.hh"
+
+namespace ditile::noc {
+
+/**
+ * Chosen configuration for one phase.
+ */
+struct RelinkDecision
+{
+    int span = 1;                  ///< Selected bypass span.
+    double expectedLatency = 0.0;  ///< Score of the winner.
+    std::uint64_t reconfigEvents = 0; ///< Switch toggles performed.
+};
+
+/**
+ * Chooses bypass spans phase by phase and tracks switch costs.
+ */
+class RelinkController
+{
+  public:
+    /**
+     * @param rows Vertical ring length.
+     * @param candidate_spans Spans the switch fabric supports
+     *        (always includes 1 = no bypass).
+     */
+    explicit RelinkController(int rows,
+                              std::vector<int> candidate_spans = {1, 2,
+                                                                  4,
+                                                                  8});
+
+    /**
+     * Pick the span minimizing the expected per-message vertical
+     * latency for a batch of messages (only their vertical hop
+     * distances matter).
+     *
+     * @param vertical_distances One entry per message: ring-minimal
+     *        vertical distance (0 entries are ignored).
+     * @param router_latency Cycles per router stop.
+     */
+    RelinkDecision decide(const std::vector<int> &vertical_distances,
+                          Cycle router_latency);
+
+    /** Cumulative switch toggles across all decide() calls. */
+    std::uint64_t totalReconfigEvents() const { return totalEvents_; }
+
+    /** Currently engaged span (1 before any decision). */
+    int currentSpan() const { return currentSpan_; }
+
+    /**
+     * Router stops a vertical trip of `distance` hops pays under a
+     * given span (the model the ring topology implements: stop every
+     * `span` hops plus the final stop).
+     */
+    static int stopsForDistance(int distance, int span);
+
+  private:
+    int rows_;
+    std::vector<int> candidates_;
+    int currentSpan_ = 1;
+    std::uint64_t totalEvents_ = 0;
+};
+
+} // namespace ditile::noc
+
+#endif // DITILE_NOC_RELINK_CONTROLLER_HH

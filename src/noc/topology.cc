@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Topology implementations: mesh, rings, crossbar, reconfigurable.
+ */
+
+#include "noc/topology.hh"
+
+#include "common/logging.hh"
+
+namespace ditile::noc {
+
+const char *
+trafficClassName(TrafficClass cls)
+{
+    switch (cls) {
+      case TrafficClass::Temporal: return "temporal";
+      case TrafficClass::Spatial: return "spatial";
+      case TrafficClass::Reuse: return "reuse";
+      case TrafficClass::Control: return "control";
+    }
+    DITILE_PANIC("unreachable traffic class");
+}
+
+const char *
+topologyKindName(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::Mesh: return "mesh";
+      case TopologyKind::Ring: return "ring";
+      case TopologyKind::Crossbar: return "crossbar";
+      case TopologyKind::Reconfigurable: return "reconfigurable";
+    }
+    DITILE_PANIC("unreachable topology kind");
+}
+
+namespace {
+
+/** Direction encoding for grid link ids. */
+enum Dir { East = 0, West = 1, South = 2, North = 3 };
+
+/**
+ * Shared grid-link helpers: every node owns four outgoing directed
+ * links (E/W/S/N); ring topologies use the same ids with wraparound.
+ */
+class GridBase : public Topology
+{
+  public:
+    GridBase(int rows, int cols)
+        : rows_(rows), cols_(cols)
+    {
+        DITILE_ASSERT(rows > 0 && cols > 0);
+    }
+
+    LinkId numLinks() const override { return rows_ * cols_ * 4; }
+
+  protected:
+    int row(TileId t) const { return t / cols_; }
+    int col(TileId t) const { return t % cols_; }
+    TileId tile(int r, int c) const { return r * cols_ + c; }
+
+    LinkId
+    link(TileId from, Dir dir) const
+    {
+        return from * 4 + static_cast<LinkId>(dir);
+    }
+
+    int rows_;
+    int cols_;
+};
+
+/**
+ * 2D mesh with dimension-ordered (XY) routing; ReaDy's interconnect
+ * style.
+ */
+class MeshTopology : public GridBase
+{
+  public:
+    using GridBase::GridBase;
+
+    std::vector<Hop>
+    route(TileId src, TileId dst, TrafficClass) const override
+    {
+        std::vector<Hop> hops;
+        int r = row(src);
+        int c = col(src);
+        const int rd = row(dst);
+        const int cd = col(dst);
+        while (c != cd) {
+            const Dir d = cd > c ? East : West;
+            hops.push_back({link(tile(r, c), d), true});
+            c += cd > c ? 1 : -1;
+        }
+        while (r != rd) {
+            const Dir d = rd > r ? South : North;
+            hops.push_back({link(tile(r, c), d), true});
+            r += rd > r ? 1 : -1;
+        }
+        return hops;
+    }
+};
+
+/**
+ * Row rings + column rings with minimal-direction routing; the
+ * no-bypass variant of the paper's dual-layer interconnect.
+ */
+class RingTopology : public GridBase
+{
+  public:
+    RingTopology(int rows, int cols, int relink_span)
+        : GridBase(rows, cols), span_(relink_span)
+    {
+        DITILE_ASSERT(span_ >= 1);
+    }
+
+    std::vector<Hop>
+    route(TileId src, TileId dst, TrafficClass) const override
+    {
+        std::vector<Hop> hops;
+        int r = row(src);
+        int c = col(src);
+        const int rd = row(dst);
+        const int cd = col(dst);
+
+        // Horizontal ring: minimal direction around the row.
+        {
+            const int fwd = (cd - c + cols_) % cols_;
+            const bool east = fwd <= cols_ / 2;
+            int steps = east ? fwd : cols_ - fwd;
+            while (steps-- > 0) {
+                hops.push_back({link(tile(r, c), east ? East : West),
+                                true});
+                c = (c + (east ? 1 : cols_ - 1)) % cols_;
+            }
+        }
+        // Vertical ring: minimal direction; with a Re-Link span > 1,
+        // intermediate routers are bypassed (link still occupied, no
+        // router stop) and the message stops every span_ hops.
+        {
+            const int fwd = (rd - r + rows_) % rows_;
+            const bool south = fwd <= rows_ / 2;
+            int steps = south ? fwd : rows_ - fwd;
+            int until_stop = span_;
+            while (steps-- > 0) {
+                const bool last = steps == 0;
+                const bool stop = last || --until_stop == 0;
+                if (stop)
+                    until_stop = span_;
+                hops.push_back({link(tile(r, c), south ? South : North),
+                                stop});
+                r = (r + (south ? 1 : rows_ - 1)) % rows_;
+            }
+        }
+        return hops;
+    }
+
+  private:
+    int span_;
+};
+
+/**
+ * Single-stage crossbar: one hop, contention on the destination input
+ * port; RACE's engine interconnect.
+ */
+class CrossbarTopology : public Topology
+{
+  public:
+    explicit CrossbarTopology(int tiles)
+        : tiles_(tiles)
+    {
+    }
+
+    std::vector<Hop>
+    route(TileId src, TileId dst, TrafficClass) const override
+    {
+        if (src == dst)
+            return {};
+        return {{static_cast<LinkId>(dst), true}};
+    }
+
+    LinkId numLinks() const override { return tiles_; }
+
+  private:
+    int tiles_;
+};
+
+} // namespace
+
+std::unique_ptr<Topology>
+Topology::create(const NocConfig &config)
+{
+    switch (config.topology) {
+      case TopologyKind::Mesh:
+        return std::make_unique<MeshTopology>(config.rows, config.cols);
+      case TopologyKind::Ring:
+        return std::make_unique<RingTopology>(config.rows, config.cols,
+                                              1);
+      case TopologyKind::Crossbar:
+        return std::make_unique<CrossbarTopology>(config.numTiles());
+      case TopologyKind::Reconfigurable:
+        return std::make_unique<RingTopology>(config.rows, config.cols,
+                                              config.reLinkSpan);
+    }
+    DITILE_PANIC("unreachable topology kind");
+}
+
+} // namespace ditile::noc

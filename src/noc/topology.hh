@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Route computation for the four interconnect styles.
+ *
+ * A Topology converts (src tile, dst tile, traffic class) into an
+ * ordered list of hops. Each hop names a directed link resource and
+ * whether the message stops at the downstream router (Re-Link bypasses
+ * traverse links without a router stop).
+ */
+
+#ifndef DITILE_NOC_TOPOLOGY_HH
+#define DITILE_NOC_TOPOLOGY_HH
+
+#include <memory>
+#include <vector>
+
+#include "noc/message.hh"
+
+namespace ditile::noc {
+
+/** Dense identifier of a directed physical link. */
+using LinkId = std::int32_t;
+
+/**
+ * One step of a route: traverse `link`; if `routerStop`, pay the
+ * router pipeline latency at the downstream node.
+ */
+struct Hop
+{
+    LinkId link = 0;
+    bool routerStop = true;
+};
+
+/**
+ * Abstract route oracle for one interconnect style.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Hops from src to dst (empty if src == dst). */
+    virtual std::vector<Hop> route(TileId src, TileId dst,
+                                   TrafficClass cls) const = 0;
+
+    /** Number of directed link resources. */
+    virtual LinkId numLinks() const = 0;
+
+    /** Build the topology matching config.topology. */
+    static std::unique_ptr<Topology> create(const NocConfig &config);
+};
+
+} // namespace ditile::noc
+
+#endif // DITILE_NOC_TOPOLOGY_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Synthetic traffic generation.
+ */
+
+#include "noc/traffic_patterns.hh"
+
+#include "common/logging.hh"
+
+namespace ditile::noc {
+
+const char *
+trafficPatternName(TrafficPattern pattern)
+{
+    switch (pattern) {
+      case TrafficPattern::UniformRandom: return "uniform-random";
+      case TrafficPattern::Transpose: return "transpose";
+      case TrafficPattern::Hotspot: return "hotspot";
+      case TrafficPattern::Neighbor: return "neighbor";
+      case TrafficPattern::ColumnGather: return "column-gather";
+      case TrafficPattern::RowShift: return "row-shift";
+    }
+    DITILE_PANIC("unreachable traffic pattern");
+}
+
+const std::vector<TrafficPattern> &
+allTrafficPatterns()
+{
+    static const std::vector<TrafficPattern> all = {
+        TrafficPattern::UniformRandom, TrafficPattern::Transpose,
+        TrafficPattern::Hotspot,       TrafficPattern::Neighbor,
+        TrafficPattern::ColumnGather,  TrafficPattern::RowShift,
+    };
+    return all;
+}
+
+std::vector<Message>
+generateTraffic(TrafficPattern pattern, int rows, int cols,
+                std::size_t count, ByteCount bytes, Rng &rng)
+{
+    DITILE_ASSERT(rows > 0 && cols > 0);
+    const int tiles = rows * cols;
+    std::vector<Message> messages;
+    messages.reserve(count);
+
+    for (std::size_t i = 0; i < count; ++i) {
+        Message m;
+        m.bytes = bytes;
+        switch (pattern) {
+          case TrafficPattern::UniformRandom: {
+            m.src = static_cast<TileId>(rng.uniformInt(0, tiles - 1));
+            m.dst = static_cast<TileId>(rng.uniformInt(0, tiles - 1));
+            break;
+          }
+          case TrafficPattern::Transpose: {
+            // Requires a square grid to be a permutation; emit the
+            // i-th tile's transpose partner, cycling.
+            const auto t = static_cast<int>(i) % tiles;
+            const int r = t / cols;
+            const int c = t % cols;
+            m.src = static_cast<TileId>(t);
+            m.dst = static_cast<TileId>((c % rows) * cols +
+                                        (r % cols));
+            break;
+          }
+          case TrafficPattern::Hotspot: {
+            m.src = static_cast<TileId>(rng.uniformInt(0, tiles - 1));
+            m.dst = static_cast<TileId>(tiles / 2);
+            break;
+          }
+          case TrafficPattern::Neighbor: {
+            const auto t = static_cast<int>(i) % tiles;
+            const int r = t / cols;
+            const int c = t % cols;
+            m.src = static_cast<TileId>(t);
+            m.dst = static_cast<TileId>(r * cols + (c + 1) % cols);
+            break;
+          }
+          case TrafficPattern::ColumnGather: {
+            const auto c = static_cast<int>(rng.uniformInt(0,
+                                                           cols - 1));
+            m.src = static_cast<TileId>(
+                rng.uniformInt(0, rows - 1) * cols + c);
+            m.dst = static_cast<TileId>(
+                rng.uniformInt(0, rows - 1) * cols + c);
+            m.cls = TrafficClass::Spatial;
+            break;
+          }
+          case TrafficPattern::RowShift: {
+            const auto t = static_cast<int>(i) % tiles;
+            const int r = t / cols;
+            const int c = t % cols;
+            m.src = static_cast<TileId>(t);
+            m.dst = static_cast<TileId>(r * cols + (c + 1) % cols);
+            m.cls = TrafficClass::Temporal;
+            break;
+          }
+        }
+        messages.push_back(m);
+    }
+    return messages;
+}
+
+} // namespace ditile::noc

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Synthetic NoC traffic patterns.
+ *
+ * Standard interconnect-evaluation workloads (the style of Garnet's
+ * synthetic-traffic mode): uniform random, transpose, hotspot,
+ * neighbor, and the two DGNN-shaped patterns this design cares about —
+ * column gather (spatial phase) and row shift (temporal/reuse phase).
+ * Used by the micro benches and topology tests to characterize the
+ * interconnects independently of any graph workload.
+ */
+
+#ifndef DITILE_NOC_TRAFFIC_PATTERNS_HH
+#define DITILE_NOC_TRAFFIC_PATTERNS_HH
+
+#include <vector>
+
+#include "common/rng.hh"
+#include "noc/message.hh"
+
+namespace ditile::noc {
+
+/** The supported synthetic patterns. */
+enum class TrafficPattern
+{
+    UniformRandom, ///< Independent uniform src/dst pairs.
+    Transpose,     ///< (r, c) -> (c, r).
+    Hotspot,       ///< Everyone sends to one tile.
+    Neighbor,      ///< Each tile to its east neighbor (wrapping).
+    ColumnGather,  ///< Random pairs within each column (GNN spatial).
+    RowShift,      ///< Each tile to the next column, same row
+                   ///< (temporal/reuse boundary).
+};
+
+/** Display name. */
+const char *trafficPatternName(TrafficPattern pattern);
+
+/** All patterns, for sweeps. */
+const std::vector<TrafficPattern> &allTrafficPatterns();
+
+/**
+ * Generate `count` messages of `bytes` each under a pattern on a
+ * rows x cols grid. Deterministic in `rng`.
+ */
+std::vector<Message> generateTraffic(TrafficPattern pattern, int rows,
+                                     int cols, std::size_t count,
+                                     ByteCount bytes, Rng &rng);
+
+} // namespace ditile::noc
+
+#endif // DITILE_NOC_TRAFFIC_PATTERNS_HH

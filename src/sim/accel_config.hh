@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Hardware configuration shared by every accelerator model.
+ *
+ * Defaults reproduce the paper's "Accelerator Modeling" paragraph:
+ * 16x16 tiles, each with a 4x4 PE array; each PE a 4x4 multiplier array
+ * with a matching accumulator; 700 MHz on-chip clock; 4 MB distributed
+ * buffer, 512 KB reuse FIFO and 256 KB PE-local buffer. Baselines are
+ * scaled to the same multiplier count, storage and bandwidth (paper
+ * "Baselines" paragraph) and differ only in topology and policies.
+ */
+
+#ifndef DITILE_SIM_ACCEL_CONFIG_HH
+#define DITILE_SIM_ACCEL_CONFIG_HH
+
+#include "common/types.hh"
+#include "dram/dram_model.hh"
+#include "energy/energy_model.hh"
+#include "noc/message.hh"
+
+namespace ditile::sim {
+
+/**
+ * Full hardware description of one accelerator instance.
+ */
+struct AcceleratorConfig
+{
+    int tileRows = 16;
+    int tileCols = 16;
+    int pesPerTile = 16;  ///< 4 x 4 PEs.
+    int macsPerPe = 16;   ///< 4 x 4 multipliers + adders.
+    double frequencyGhz = 0.7;
+
+    ByteCount distBufferBytes = 4u << 20;
+    ByteCount reuseFifoBytes = 512u << 10;
+    ByteCount localBufferBytes = 256u << 10;
+
+    noc::NocConfig noc;
+    dram::DramConfig dram;
+    energy::EnergyTable energyTable;
+
+    /** Per-snapshot system configuration / control latency. */
+    Cycle perSnapshotConfigCycles = 200;
+
+    int totalTiles() const { return tileRows * tileCols; }
+    int macsPerTile() const { return pesPerTile * macsPerPe; }
+    int totalMacs() const { return totalTiles() * macsPerTile(); }
+
+    /** Defaults with the NoC grid matched to the tile grid. */
+    static AcceleratorConfig
+    defaults()
+    {
+        AcceleratorConfig c;
+        c.noc.rows = c.tileRows;
+        c.noc.cols = c.tileCols;
+        return c;
+    }
+};
+
+} // namespace ditile::sim
+
+#endif // DITILE_SIM_ACCEL_CONFIG_HH

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Abstract accelerator interface.
+ */
+
+#ifndef DITILE_SIM_ACCELERATOR_HH
+#define DITILE_SIM_ACCELERATOR_HH
+
+#include <memory>
+#include <string>
+
+#include "graph/dynamic_graph.hh"
+#include "model/dgnn_config.hh"
+#include "sim/run_result.hh"
+
+namespace ditile::sim {
+
+/**
+ * One accelerator model: executes a DGNN inference over a dynamic
+ * graph and reports timing, traffic and energy.
+ */
+class Accelerator
+{
+  public:
+    virtual ~Accelerator() = default;
+
+    /** Display name, e.g. "ReaDy" or "DiTile-DGNN". */
+    virtual std::string name() const = 0;
+
+    /** Simulate one full inference. */
+    virtual RunResult run(const graph::DynamicGraph &dg,
+                          const model::DgnnConfig &model_config) = 0;
+};
+
+} // namespace ditile::sim
+
+#endif // DITILE_SIM_ACCELERATOR_HH

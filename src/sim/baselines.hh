@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The four baseline accelerators (paper §7.1, "Baselines").
+ *
+ * All are scaled to DiTile's multiplier count, on-chip storage, and
+ * off/on-chip bandwidth, as the paper prescribes; they differ in
+ * update algorithm, interconnect, mapping, and resource policy:
+ *
+ *  - **ReaDy**: Re-Alg; hierarchical mesh-based PE array serving both
+ *    kernels with computation resources statically partitioned by the
+ *    average kernel workloads; temporal parallelism with contiguous
+ *    (unbalanced) vertex placement.
+ *  - **DGNN-Booster**: Re-Alg; generic dual-pipeline FPGA framework
+ *    with per-batch dispatch — a global synchronization between the
+ *    GNN phase of the snapshots and the RNN chain; simple ring
+ *    interconnect.
+ *  - **RACE**: Race-Alg (redundancy-aware incremental); engine-based
+ *    architecture with the PEs split evenly between a GNN engine and
+ *    an RNN engine joined by a crossbar; the static 50/50 split makes
+ *    it sensitive to GNN/RNN workload imbalance.
+ *  - **MEGA**: Mega-Alg (deletion-to-addition); spatial (snapshot)
+ *    partitioning — vertices spread over the whole tile grid, every
+ *    tile processes every snapshot sequentially, no inter-tile
+ *    temporal traffic but irregular all-to-all gather on a mesh.
+ */
+
+#ifndef DITILE_SIM_BASELINES_HH
+#define DITILE_SIM_BASELINES_HH
+
+#include "sim/accel_config.hh"
+#include "sim/accelerator.hh"
+
+namespace ditile::sim {
+
+std::unique_ptr<Accelerator>
+makeReady(const AcceleratorConfig &hw = AcceleratorConfig::defaults());
+
+std::unique_ptr<Accelerator>
+makeDgnnBooster(const AcceleratorConfig &hw =
+                    AcceleratorConfig::defaults());
+
+std::unique_ptr<Accelerator>
+makeRace(const AcceleratorConfig &hw = AcceleratorConfig::defaults());
+
+std::unique_ptr<Accelerator>
+makeMega(const AcceleratorConfig &hw = AcceleratorConfig::defaults());
+
+/**
+ * Baseline cross-subgraph fetch fraction: baselines tile only to fit
+ * the buffer, without the Eq. 6 access-minimizing subgraph formation,
+ * so their subgraphs fragment roughly twice as much as DiTile's
+ * optimized tiling and respect no locality (see DESIGN.md "Key
+ * modeling decisions").
+ */
+double baselineCrossFetchFraction(const graph::DynamicGraph &dg,
+                                  const model::DgnnConfig &model_config,
+                                  const AcceleratorConfig &hw);
+
+} // namespace ditile::sim
+
+#endif // DITILE_SIM_BASELINES_HH

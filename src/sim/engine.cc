@@ -1,0 +1,552 @@
+/**
+ * @file
+ * Shared execution-engine implementation.
+ */
+
+#include "sim/engine.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+#include "common/rng.hh"
+#include "noc/network.hh"
+#include "noc/relink_controller.hh"
+#include "sim/tile_model.hh"
+
+namespace ditile::sim {
+
+namespace {
+
+/** Sparse (src,dst) -> bytes accumulator for message aggregation. */
+class TrafficMatrix
+{
+  public:
+    void
+    add(TileId src, TileId dst, ByteCount bytes)
+    {
+        if (src == dst || bytes == 0)
+            return;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
+             << 32) |
+            static_cast<std::uint32_t>(dst);
+        bytes_[key] += bytes;
+    }
+
+    /** Flush into a message list with the given class and inject time. */
+    void
+    emit(std::vector<noc::Message> &out, noc::TrafficClass cls,
+         Cycle inject) const
+    {
+        for (const auto &[key, bytes] : bytes_) {
+            noc::Message m;
+            m.src = static_cast<TileId>(key >> 32);
+            m.dst = static_cast<TileId>(key & 0xffffffffu);
+            m.bytes = bytes;
+            m.injectCycle = inject;
+            m.cls = cls;
+            out.push_back(m);
+        }
+    }
+
+  private:
+    std::unordered_map<std::uint64_t, ByteCount> bytes_;
+};
+
+/** Cycles to execute `macs` MACs on `units` MAC units. */
+Cycle
+computeCycles(OpCount macs, double units)
+{
+    if (macs == 0)
+        return 0;
+    DITILE_ASSERT(units >= 1.0, "compute phase has no MAC units");
+    return static_cast<Cycle>(
+        static_cast<double>(macs) / units + 0.999999);
+}
+
+} // namespace
+
+RunResult
+runEngine(const graph::DynamicGraph &dg,
+          const model::DgnnConfig &model_config,
+          const AcceleratorConfig &hw, const MappingSpec &mapping,
+          const EngineOptions &options,
+          const std::string &accelerator_name)
+{
+    const SnapshotId num_snapshots = dg.numSnapshots();
+    const VertexId num_vertices = dg.numVertices();
+    const int feature_dim = dg.featureDim();
+    const auto bpv = static_cast<ByteCount>(model_config.bytesPerValue);
+    const auto z_bytes =
+        static_cast<ByteCount>(model_config.gnnOutputDim()) * bpv;
+    const auto h_bytes =
+        static_cast<ByteCount>(model_config.lstmHidden) * bpv;
+
+    if (mapping.spatialOnly) {
+        DITILE_ASSERT(mapping.tilePartition.numVertices() == num_vertices,
+                      "tile partition does not cover the graph");
+    } else {
+        DITILE_ASSERT(mapping.rowPartition.numVertices() == num_vertices,
+                      "row partition does not cover the graph");
+        DITILE_ASSERT(static_cast<SnapshotId>(
+                          mapping.snapshotColumn.size()) == num_snapshots,
+                      "snapshot->column map must cover every snapshot");
+    }
+
+    model::IncrementalPlanner planner(dg, model_config, options.algo);
+    dram::DramModel dram_model(hw.dram);
+
+    // Stable address regions so row-buffer locality behaves like a real
+    // allocation would.
+    dram::RegionAllocator regions;
+    const auto feature_bytes_total = static_cast<ByteCount>(num_vertices) *
+        static_cast<ByteCount>(feature_dim) * bpv;
+    const std::uint64_t weight_base = regions.allocate(16u << 20);
+    const std::uint64_t adjacency_base = regions.allocate(
+        static_cast<ByteCount>(dg.maxEdges()) * 16 + 4096);
+    const std::uint64_t feature_base =
+        regions.allocate(feature_bytes_total + 4096);
+    const std::uint64_t intermediate_base = regions.allocate(
+        static_cast<ByteCount>(num_vertices) * z_bytes * 4 + 4096);
+    const std::uint64_t output_base = regions.allocate(
+        static_cast<ByteCount>(num_vertices) * (z_bytes + 2 * h_bytes)
+        + 4096);
+
+    RunResult result;
+    result.acceleratorName = accelerator_name;
+    result.workloadName = dg.name();
+
+    // Per-snapshot derived quantities.
+    std::vector<Cycle> dram_done(static_cast<std::size_t>(num_snapshots));
+    std::vector<Cycle> gnn_compute(
+        static_cast<std::size_t>(num_snapshots));
+    std::vector<Cycle> rnn_compute(
+        static_cast<std::size_t>(num_snapshots));
+    std::vector<Cycle> spatial_comm(
+        static_cast<std::size_t>(num_snapshots));
+    std::vector<Cycle> temporal_comm(
+        static_cast<std::size_t>(num_snapshots));
+
+    const double tile_macs = hw.macsPerTile();
+    const OpCount rnn_vertex_macs =
+        model::rnnMacsPerVertex(model_config);
+    noc::RelinkController relink_controller(hw.tileRows);
+    Cycle dram_cursor = 0;
+
+    for (SnapshotId t = 0; t < num_snapshots; ++t) {
+        const graph::Csr &g = dg.snapshot(t);
+        const model::SnapshotPlan plan = planner.plan(t);
+
+        // ---- Accounting (ops + off-chip bytes). ----
+        const auto ops =
+            model::countSnapshotOps(dg, t, model_config, plan);
+        result.ops += ops;
+        const auto dram_traffic = model::countSnapshotDram(
+            dg, t, model_config, options.algo, plan, options.accounting);
+        result.dramTraffic += dram_traffic;
+
+        // ---- Off-chip replay. ----
+        // Full recomputation streams regions sequentially (row-buffer
+        // friendly); incremental snapshots gather scattered subsets,
+        // so their reads are split into pseudo-randomly placed chunks
+        // that exercise row misses and bank conflicts.
+        std::vector<dram::DramRequest> requests;
+        auto scaled = [&](ByteCount bytes) {
+            return static_cast<ByteCount>(
+                static_cast<double>(bytes) * options.dramTrafficScale);
+        };
+        auto push_read = [&](std::uint64_t base, ByteCount region_bytes,
+                             ByteCount bytes) {
+            bytes = scaled(bytes);
+            if (bytes == 0)
+                return;
+            if (plan.fullRecompute || bytes >= region_bytes) {
+                requests.push_back({base, bytes, false, dram_cursor});
+                return;
+            }
+            const auto chunks = static_cast<ByteCount>(clamp<ByteCount>(
+                bytes / 1024, 1, 4096));
+            const ByteCount chunk = bytes / chunks;
+            for (ByteCount i = 0; i < chunks; ++i) {
+                const std::uint64_t span =
+                    region_bytes > chunk ? region_bytes - chunk : 1;
+                const std::uint64_t offset = mix64(
+                    (static_cast<std::uint64_t>(t) << 32) ^ i ^ base)
+                    % span;
+                const ByteCount size = i + 1 == chunks
+                    ? bytes - chunk * (chunks - 1) : chunk;
+                requests.push_back({base + offset, size, false,
+                                    dram_cursor});
+            }
+        };
+        const ByteCount intermediate_region =
+            static_cast<ByteCount>(num_vertices) * z_bytes * 4;
+        requests.push_back({weight_base,
+                            scaled(dram_traffic.weightBytes), false,
+                            dram_cursor});
+        requests.push_back({adjacency_base,
+                            scaled(dram_traffic.adjacencyBytes), false,
+                            dram_cursor});
+        push_read(feature_base, feature_bytes_total,
+                  dram_traffic.inputFeatureBytes);
+        if (dram_traffic.intermediateBytes > 0) {
+            requests.push_back({intermediate_base,
+                                scaled(dram_traffic.intermediateBytes
+                                       / 2), true, dram_cursor});
+            push_read(intermediate_base, intermediate_region,
+                      dram_traffic.intermediateBytes -
+                          dram_traffic.intermediateBytes / 2);
+        }
+        if (dram_traffic.outputBytes > 0) {
+            const ByteCount writes =
+                dram_traffic.outputBytes * 3 / 5; // z + new h/c.
+            requests.push_back({output_base, scaled(writes), true,
+                                dram_cursor});
+            requests.push_back({output_base,
+                                scaled(dram_traffic.outputBytes -
+                                       writes), false, dram_cursor});
+        }
+        const auto dram_res = dram_model.service(requests);
+        dram_cursor = std::max(dram_cursor, dram_res.completionCycle);
+        dram_done[static_cast<std::size_t>(t)] = dram_cursor;
+        result.energyEvents.dramBytes += dram_res.totalBytes();
+        result.energyEvents.dramActivates +=
+            dram_res.rowMisses + dram_res.rowConflicts;
+
+        // ---- Compute distribution over tiles. ----
+        auto owner = [&](VertexId v) {
+            return mapping.spatialOnly
+                ? mapping.tilePartition.owner(v)
+                : mapping.rowPartition.owner(v);
+        };
+        const int compute_slots = mapping.spatialOnly
+            ? hw.totalTiles() : hw.tileRows;
+        std::vector<OpCount> slot_gnn(
+            static_cast<std::size_t>(compute_slots), 0);
+        std::vector<OpCount> slot_rnn(
+            static_cast<std::size_t>(compute_slots), 0);
+        // Detailed timing collects explicit per-slot vertex tasks.
+        std::vector<std::vector<VertexTask>> slot_tasks;
+        if (options.detailedTileTiming)
+            slot_tasks.resize(static_cast<std::size_t>(compute_slots));
+
+        TrafficMatrix spatial_traffic;
+        const int col = mapping.spatialOnly
+            ? 0 : mapping.snapshotColumn[static_cast<std::size_t>(t)];
+        auto tile_of_slot = [&](int slot) {
+            return mapping.spatialOnly
+                ? static_cast<TileId>(slot)
+                : static_cast<TileId>(slot * hw.tileCols + col);
+        };
+
+        for (int l = 0; l < model_config.numGcnLayers(); ++l) {
+            const auto &lw = plan.gcn[static_cast<std::size_t>(l)];
+            const auto in_dim = static_cast<OpCount>(
+                model_config.gcnInputDim(l, feature_dim));
+            const auto out_dim =
+                static_cast<OpCount>(model_config.gcnOutputDim(l));
+            const ByteCount gather_bytes =
+                static_cast<ByteCount>(in_dim) * bpv;
+            for (VertexId v : lw.vertices) {
+                const int ov = owner(v);
+                const OpCount vertex_macs =
+                    (static_cast<OpCount>(g.degree(v)) + 1) * in_dim +
+                    in_dim * out_dim;
+                slot_gnn[static_cast<std::size_t>(ov)] += vertex_macs;
+                if (options.detailedTileTiming) {
+                    VertexTask task;
+                    task.vertex = v;
+                    task.macs = vertex_macs;
+                    task.postOps = out_dim;
+                    task.inputBytes =
+                        (static_cast<ByteCount>(g.degree(v)) + 1) *
+                        static_cast<ByteCount>(in_dim) * bpv;
+                    slot_tasks[static_cast<std::size_t>(ov)]
+                        .push_back(task);
+                }
+                for (VertexId u : g.neighbors(v)) {
+                    const int ou = owner(u);
+                    if (ou != ov) {
+                        spatial_traffic.add(tile_of_slot(ou),
+                                            tile_of_slot(ov),
+                                            gather_bytes);
+                    }
+                }
+            }
+        }
+        for (VertexId v : plan.rnnVertices)
+            slot_rnn[static_cast<std::size_t>(owner(v))] +=
+                rnn_vertex_macs;
+
+        OpCount gnn_crit_macs = 0;
+        OpCount rnn_crit_macs = 0;
+        for (int s = 0; s < compute_slots; ++s) {
+            gnn_crit_macs = std::max(gnn_crit_macs,
+                slot_gnn[static_cast<std::size_t>(s)]);
+            rnn_crit_macs = std::max(rnn_crit_macs,
+                slot_rnn[static_cast<std::size_t>(s)]);
+        }
+        if (options.detailedTileTiming) {
+            // Critical slot via explicit PE-array scheduling. The
+            // static MAC fraction scales the per-PE array width.
+            TileConfig tconfig;
+            tconfig.pes = hw.pesPerTile;
+            tconfig.macsPerPe = std::max(1, static_cast<int>(
+                hw.macsPerPe * options.gnnMacFraction));
+            tconfig.localBufferBytes = hw.localBufferBytes;
+            tconfig.reuseFifoBytes = hw.reuseFifoBytes;
+            const TileModel tile(tconfig);
+            Cycle worst = 0;
+            for (auto &tasks : slot_tasks) {
+                if (tasks.empty())
+                    continue;
+                const auto phase = tile.executePhase(std::move(tasks));
+                worst = std::max(worst, phase.cycles);
+                result.energyEvents.localBufferBytes +=
+                    phase.localBufferTraffic;
+            }
+            gnn_compute[static_cast<std::size_t>(t)] = worst;
+        } else {
+            gnn_compute[static_cast<std::size_t>(t)] = computeCycles(
+                gnn_crit_macs, tile_macs * options.gnnMacFraction);
+        }
+        rnn_compute[static_cast<std::size_t>(t)] = computeCycles(
+            rnn_crit_macs, tile_macs * options.rnnMacFraction);
+
+        // ---- NoC replay: GNN-phase spatial traffic. ----
+        {
+            std::vector<noc::Message> msgs;
+            spatial_traffic.emit(msgs, noc::TrafficClass::Spatial, 0);
+            noc::NocConfig noc_config = hw.noc;
+            if (options.adaptiveRelink &&
+                noc_config.topology ==
+                    noc::TopologyKind::Reconfigurable) {
+                // Re-Link controller: pick the bypass span from this
+                // phase's vertical-distance profile.
+                std::vector<int> distances;
+                distances.reserve(msgs.size());
+                for (const auto &m : msgs) {
+                    const int rs = m.src / hw.tileCols;
+                    const int rd = m.dst / hw.tileCols;
+                    const int fwd = (rd - rs + hw.tileRows) %
+                        hw.tileRows;
+                    distances.push_back(std::min(fwd,
+                                                 hw.tileRows - fwd));
+                }
+                const auto decision = relink_controller.decide(
+                    distances, noc_config.routerLatencyCycles);
+                noc_config.reLinkSpan = decision.span;
+                result.energyEvents.reconfigEvents +=
+                    decision.reconfigEvents;
+            }
+            const auto res = noc::simulateTraffic(noc_config,
+                                                  std::move(msgs));
+            spatial_comm[static_cast<std::size_t>(t)] = res.makespan;
+            result.nocBytes += res.totalBytes;
+            result.nocBytesSpatial += res.totalBytes;
+            result.energyEvents.nocLinkBytes += res.hopBytes;
+            result.energyEvents.nocRouterBytes += res.routerBytes;
+        }
+
+        // ---- RNN-boundary temporal + reuse traffic. ----
+        if (!mapping.spatialOnly && t > 0) {
+            const int prev_col =
+                mapping.snapshotColumn[static_cast<std::size_t>(t) - 1];
+            if (prev_col != col) {
+                TrafficMatrix boundary;
+                // Temporal: every RNN-active vertex needs its previous
+                // hidden/cell state from the previous snapshot's column.
+                for (VertexId v : plan.rnnVertices) {
+                    const int r = mapping.rowPartition.owner(v);
+                    boundary.add(
+                        static_cast<TileId>(r * hw.tileCols + prev_col),
+                        static_cast<TileId>(r * hw.tileCols + col),
+                        2 * h_bytes);
+                }
+                // Reuse: incremental algorithms forward the unchanged
+                // vertices' outputs instead of recomputing them.
+                std::vector<noc::Message> msgs;
+                boundary.emit(msgs, noc::TrafficClass::Temporal, 0);
+                ByteCount reuse_total = 0;
+                if (!plan.fullRecompute) {
+                    TrafficMatrix reuse;
+                    std::vector<bool> changed(
+                        static_cast<std::size_t>(num_vertices), false);
+                    for (VertexId v : plan.gcn.back().vertices)
+                        changed[static_cast<std::size_t>(v)] = true;
+                    for (VertexId v = 0; v < num_vertices; ++v) {
+                        if (changed[static_cast<std::size_t>(v)])
+                            continue;
+                        const int r = mapping.rowPartition.owner(v);
+                        reuse.add(
+                            static_cast<TileId>(r * hw.tileCols +
+                                                prev_col),
+                            static_cast<TileId>(r * hw.tileCols + col),
+                            z_bytes + h_bytes);
+                        reuse_total += z_bytes + h_bytes;
+                    }
+                    reuse.emit(msgs, noc::TrafficClass::Reuse, 0);
+                }
+                const auto res = noc::simulateTraffic(hw.noc,
+                                                      std::move(msgs));
+                temporal_comm[static_cast<std::size_t>(t)] = res.makespan;
+                result.nocBytes += res.totalBytes;
+                result.nocBytesTemporal +=
+                    res.bytesByClass[static_cast<int>(
+                        noc::TrafficClass::Temporal)];
+                result.nocBytesReuse += res.bytesByClass[
+                    static_cast<int>(noc::TrafficClass::Reuse)];
+                result.energyEvents.nocLinkBytes += res.hopBytes;
+                result.energyEvents.nocRouterBytes += res.routerBytes;
+                if (options.reuseFifoForwarding)
+                    result.energyEvents.reuseFifoBytes += reuse_total;
+            }
+        }
+    }
+
+    // ---- Timeline assembly. ----
+    result.trace.resize(static_cast<std::size_t>(num_snapshots));
+    for (SnapshotId t = 0; t < num_snapshots; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        auto &tr = result.trace[i];
+        tr.snapshot = t;
+        tr.column = mapping.spatialOnly
+            ? 0 : mapping.snapshotColumn[i];
+        tr.dramDone = dram_done[i];
+        tr.gnnComputeCycles = gnn_compute[i];
+        tr.rnnComputeCycles = rnn_compute[i];
+        tr.spatialCommCycles = spatial_comm[i];
+        tr.temporalCommCycles = temporal_comm[i];
+    }
+    Cycle last_done = 0;
+    if (mapping.spatialOnly) {
+        // Snapshots run sequentially over the whole grid: GNN compute
+        // overlaps spatial communication, then the local RNN phase.
+        Cycle prev_done = 0;
+        for (SnapshotId t = 0; t < num_snapshots; ++t) {
+            const auto i = static_cast<std::size_t>(t);
+            const Cycle gnn_done = std::max(
+                prev_done + std::max(gnn_compute[i], spatial_comm[i]),
+                dram_done[i]);
+            const Cycle done = gnn_done + rnn_compute[i];
+            result.trace[i].gnnDone = gnn_done;
+            result.trace[i].rnnDone = done;
+            prev_done = done;
+        }
+        last_done = prev_done;
+    } else {
+        // Pass 1: GNN phases with column occupancy and DRAM gating.
+        std::vector<Cycle> col_free(
+            static_cast<std::size_t>(hw.tileCols), 0);
+        std::vector<Cycle> gnn_done(
+            static_cast<std::size_t>(num_snapshots));
+        for (SnapshotId t = 0; t < num_snapshots; ++t) {
+            const auto i = static_cast<std::size_t>(t);
+            const auto c = static_cast<std::size_t>(
+                mapping.snapshotColumn[i]);
+            const Cycle on_chip = std::max(gnn_compute[i],
+                                           spatial_comm[i]);
+            const Cycle done = std::max(col_free[c] + on_chip,
+                                        dram_done[i]);
+            gnn_done[i] = done;
+            result.trace[i].gnnDone = done;
+            col_free[c] = done;
+        }
+        // Pass 2: the RNN chain (temporal dependency across snapshots).
+        Cycle barrier = 0;
+        if (options.globalGnnBarrier) {
+            for (Cycle d : gnn_done)
+                barrier = std::max(barrier, d);
+        }
+        Cycle rnn_prev = 0;
+        for (SnapshotId t = 0; t < num_snapshots; ++t) {
+            const auto i = static_cast<std::size_t>(t);
+            const Cycle start = std::max({gnn_done[i], barrier,
+                                          rnn_prev + temporal_comm[i]});
+            const Cycle done = start + rnn_compute[i];
+            result.trace[i].rnnDone = done;
+            rnn_prev = done;
+            last_done = std::max(last_done, done);
+            if (!options.rnnSeparateResource) {
+                const auto c = static_cast<std::size_t>(
+                    mapping.snapshotColumn[i]);
+                col_free[c] = std::max(col_free[c], done);
+            }
+        }
+    }
+
+    result.configCycles = static_cast<Cycle>(num_snapshots) *
+        hw.perSnapshotConfigCycles;
+    result.totalCycles = last_done + result.configCycles;
+    for (SnapshotId t = 0; t < num_snapshots; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        result.computeCycles += gnn_compute[i] + rnn_compute[i];
+        result.onChipCommCycles += spatial_comm[i] + temporal_comm[i];
+    }
+    result.offChipCycles = dram_cursor;
+
+    // ---- Utilization: busy MAC-cycles over the MAC-cycles offered by
+    // the tiles assigned to each compute phase (critical-path window x
+    // full per-tile array). Imbalance and statically-partitioned idle
+    // regions both show up as lost capacity. ----
+    const double busy = static_cast<double>(result.ops.totalMacs());
+    const int active_tiles = mapping.spatialOnly ? hw.totalTiles()
+                                                 : hw.tileRows;
+    double capacity = 0.0;
+    for (SnapshotId t = 0; t < num_snapshots; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        capacity += static_cast<double>(active_tiles) * tile_macs *
+            (options.gnnMacFraction *
+                 static_cast<double>(gnn_compute[i]) +
+             options.rnnMacFraction *
+                 static_cast<double>(rnn_compute[i]));
+    }
+    result.peUtilization = capacity > 0.0 ? busy / capacity : 0.0;
+
+    // ---- Energy assembly. ----
+    result.energyEvents.macs = result.ops.totalMacs();
+    result.energyEvents.aluOps = result.ops.elementwiseOps;
+    result.energyEvents.activations = result.ops.activationOps;
+    // Operand traffic into the MAC arrays after register-level reuse
+    // (added on top of any staging traffic the detailed tile model
+    // accumulated).
+    result.energyEvents.localBufferBytes += result.ops.totalMacs() * 2;
+    // Everything staged through the distributed buffers: off-chip data
+    // both directions plus inter-tile payloads.
+    result.energyEvents.distBufferBytes =
+        result.energyEvents.dramBytes * 2 + result.nocBytes;
+    // Mode-switch events per snapshot, on top of any adaptive Re-Link
+    // toggles counted during the NoC phases.
+    result.energyEvents.reconfigEvents +=
+        options.reconfigEventsPerSnapshot *
+        static_cast<std::uint64_t>(num_snapshots);
+    result.energy = energy::computeEnergy(result.energyEvents,
+                                          hw.energyTable);
+    result.energy.computePj *= options.computeEnergyScale;
+    result.energy.onChipCommPj *= options.onChipEnergyScale;
+    result.energy.offChipCommPj *= options.offChipEnergyScale;
+
+    // ---- Detail stats. ----
+    result.stats.set("cycles.total",
+                     static_cast<double>(result.totalCycles));
+    result.stats.set("cycles.compute",
+                     static_cast<double>(result.computeCycles));
+    result.stats.set("cycles.onchip_comm",
+                     static_cast<double>(result.onChipCommCycles));
+    result.stats.set("cycles.offchip",
+                     static_cast<double>(result.offChipCycles));
+    result.stats.set("cycles.config",
+                     static_cast<double>(result.configCycles));
+    result.stats.set("pe.utilization", result.peUtilization);
+    result.stats.set("ops.total",
+                     static_cast<double>(result.ops.totalArithmetic()));
+    result.stats.set("dram.bytes",
+                     static_cast<double>(result.dramTraffic.total()));
+    result.stats.set("noc.bytes", static_cast<double>(result.nocBytes));
+    result.stats.merge(result.energy.toStats());
+    return result;
+}
+
+} // namespace ditile::sim

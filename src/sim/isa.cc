@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tile ISA implementation: disassembly and program generation.
+ */
+
+#include "sim/isa.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "model/accounting.hh"
+
+namespace ditile::sim {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::LoadWeights: return "LDW";
+      case Opcode::GatherLoad: return "GLD";
+      case Opcode::ReadFifo: return "RFF";
+      case Opcode::Mac: return "MAC";
+      case Opcode::Activate: return "ACT";
+      case Opcode::StoreOutput: return "STO";
+      case Opcode::SendMsg: return "SND";
+      case Opcode::Barrier: return "BAR";
+    }
+    DITILE_PANIC("unreachable opcode");
+}
+
+std::string
+disassemble(const TileProgram &program)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < program.size(); ++i) {
+        out << i << ": " << opcodeName(program[i].op);
+        if (program[i].op != Opcode::Barrier)
+            out << ' ' << program[i].operand;
+        out << '\n';
+    }
+    return out.str();
+}
+
+TileProgram
+buildGnnLayerProgram(const graph::Csr &g,
+                     const model::DgnnConfig &config, int layer,
+                     int feature_dim,
+                     const std::vector<VertexId> &vertices,
+                     const std::vector<bool> &reuse_hit,
+                     ByteCount send_bytes_per_vertex)
+{
+    DITILE_ASSERT(reuse_hit.empty() ||
+                  reuse_hit.size() == vertices.size(),
+                  "reuse mask must match the worklist");
+    const auto in_dim = static_cast<std::uint64_t>(
+        config.gcnInputDim(layer, feature_dim));
+    const auto out_dim = static_cast<std::uint64_t>(
+        config.gcnOutputDim(layer));
+    const auto bpv = static_cast<std::uint64_t>(config.bytesPerValue);
+
+    TileProgram program;
+    program.reserve(vertices.size() * 5 + 2);
+    // Weight tile staged once per layer pass.
+    program.push_back({Opcode::LoadWeights, in_dim * out_dim * bpv});
+
+    for (std::size_t i = 0; i < vertices.size(); ++i) {
+        const VertexId v = vertices[i];
+        const auto degree = static_cast<std::uint64_t>(g.degree(v));
+        const std::uint64_t input_bytes = (degree + 1) * in_dim * bpv;
+        const bool reused = !reuse_hit.empty() && reuse_hit[i];
+        program.push_back({reused ? Opcode::ReadFifo
+                                  : Opcode::GatherLoad,
+                           input_bytes});
+        // Aggregation + combination MACs (matches countSnapshotOps).
+        program.push_back({Opcode::Mac,
+                           (degree + 1) * in_dim + in_dim * out_dim});
+        program.push_back({Opcode::Activate, out_dim});
+        program.push_back({Opcode::StoreOutput, out_dim * bpv});
+        if (send_bytes_per_vertex > 0)
+            program.push_back({Opcode::SendMsg,
+                               send_bytes_per_vertex});
+    }
+    program.push_back({Opcode::Barrier, 0});
+    return program;
+}
+
+TileProgram
+buildRnnProgram(const model::DgnnConfig &config,
+                std::size_t num_vertices)
+{
+    const auto bpv = static_cast<std::uint64_t>(config.bytesPerValue);
+    const auto hidden = static_cast<std::uint64_t>(config.lstmHidden);
+    const auto z_dim = static_cast<std::uint64_t>(
+        config.gnnOutputDim());
+    const auto macs = model::rnnMacsPerVertex(config);
+    const auto post = model::rnnActivationsPerVertex(config) +
+        model::rnnElementwisePerVertex(config);
+    const OpCount pairs = config.rnn == model::RnnKind::Lstm ? 4 : 3;
+    const std::uint64_t weight_bytes =
+        (pairs * z_dim * hidden + pairs * hidden * hidden) * bpv;
+
+    TileProgram program;
+    program.reserve(num_vertices * 4 + 2);
+    program.push_back({Opcode::LoadWeights, weight_bytes});
+    for (std::size_t i = 0; i < num_vertices; ++i) {
+        // z arrives from the GNN pipeline; h/c from the local state.
+        program.push_back({Opcode::GatherLoad,
+                           (z_dim + 2 * hidden) * bpv});
+        program.push_back({Opcode::Mac, macs});
+        program.push_back({Opcode::Activate, post});
+        program.push_back({Opcode::StoreOutput, 2 * hidden * bpv});
+    }
+    program.push_back({Opcode::Barrier, 0});
+    return program;
+}
+
+std::vector<std::uint64_t>
+operandTotals(const TileProgram &program)
+{
+    std::vector<std::uint64_t> totals(8, 0);
+    for (const auto &inst : program)
+        totals[static_cast<std::size_t>(inst.op)] += inst.operand;
+    return totals;
+}
+
+} // namespace ditile::sim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tile instruction set (paper Figure 5 (c): instruction queue +
+ * controller driving the PE array, buffers, reuse FIFO and router
+ * interface).
+ *
+ * The engine's phase-level timing never materializes instructions;
+ * this layer does, for two purposes: (1) it grounds the tile timing
+ * model in an executable semantics that tests can cross-validate, and
+ * (2) it gives microarchitecture studies a concrete artifact — the
+ * per-tile program a real DiTile controller would dispatch.
+ */
+
+#ifndef DITILE_SIM_ISA_HH
+#define DITILE_SIM_ISA_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/csr.hh"
+#include "model/dgnn_config.hh"
+
+namespace ditile::sim {
+
+/**
+ * Tile-level operations. Operand semantics per opcode:
+ *  - LoadWeights: bytes staged from the distributed buffer.
+ *  - GatherLoad: bytes of neighbor features fetched to the PE.
+ *  - ReadFifo:   bytes popped from the reuse FIFO.
+ *  - Mac:        multiply-accumulate count.
+ *  - Activate:   post-processing op count (PPU).
+ *  - StoreOutput: bytes written back to the distributed buffer.
+ *  - SendMsg:    bytes handed to the router interface.
+ *  - Barrier:    operand unused; waits for every unit to drain.
+ */
+enum class Opcode : std::uint8_t
+{
+    LoadWeights,
+    GatherLoad,
+    ReadFifo,
+    Mac,
+    Activate,
+    StoreOutput,
+    SendMsg,
+    Barrier,
+};
+
+/** Display mnemonic. */
+const char *opcodeName(Opcode op);
+
+/**
+ * One tile instruction.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Barrier;
+    std::uint64_t operand = 0;
+
+    bool
+    operator==(const Instruction &o) const
+    {
+        return op == o.op && operand == o.operand;
+    }
+};
+
+/** A tile program: the controller dispatches these in order. */
+using TileProgram = std::vector<Instruction>;
+
+/** Human-readable disassembly (one instruction per line). */
+std::string disassemble(const TileProgram &program);
+
+/**
+ * Generate the GNN-layer program for one tile's vertex worklist:
+ * per layer, stage the weight tile once, then per vertex gather
+ * (or pop reused inputs), run the aggregation+combination MACs,
+ * activate, and store; cross-partition destinations emit SendMsg.
+ */
+TileProgram buildGnnLayerProgram(
+    const graph::Csr &g, const model::DgnnConfig &config,
+    int layer, int feature_dim,
+    const std::vector<VertexId> &vertices,
+    const std::vector<bool> &reuse_hit,
+    ByteCount send_bytes_per_vertex);
+
+/**
+ * Generate the RNN-phase program: weights once, then per vertex the
+ * recurrent matmuls, gate post-processing, and the state store.
+ */
+TileProgram buildRnnProgram(const model::DgnnConfig &config,
+                            std::size_t num_vertices);
+
+/** Aggregate operand totals per opcode (for accounting checks). */
+std::vector<std::uint64_t> operandTotals(const TileProgram &program);
+
+} // namespace ditile::sim
+
+#endif // DITILE_SIM_ISA_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Outcome of one accelerator execution over a dynamic graph.
+ */
+
+#ifndef DITILE_SIM_RUN_RESULT_HH
+#define DITILE_SIM_RUN_RESULT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "energy/energy_model.hh"
+#include "model/accounting.hh"
+
+namespace ditile::sim {
+
+/**
+ * Per-snapshot timeline record: when each phase of snapshot t ran and
+ * what it cost. Components overlap per the §7.1 timing model, so
+ * phase durations do not sum to the end-to-end time.
+ */
+struct SnapshotTrace
+{
+    SnapshotId snapshot = 0;
+    int column = 0;               ///< Tile column executing it.
+    Cycle dramDone = 0;           ///< Off-chip stream completion.
+    Cycle gnnComputeCycles = 0;   ///< Critical-tile GNN compute.
+    Cycle rnnComputeCycles = 0;   ///< Critical-tile RNN compute.
+    Cycle spatialCommCycles = 0;  ///< GNN-phase NoC makespan.
+    Cycle temporalCommCycles = 0; ///< RNN-boundary NoC makespan.
+    Cycle gnnDone = 0;            ///< GNN phase completion time.
+    Cycle rnnDone = 0;            ///< RNN phase completion time.
+};
+
+/**
+ * Everything the figure benches and tests read out of a run.
+ */
+struct RunResult
+{
+    std::string acceleratorName;
+    std::string workloadName;
+
+    Cycle totalCycles = 0;
+
+    // Non-overlapped view of where time went (components may overlap,
+    // so the sum can exceed totalCycles).
+    Cycle computeCycles = 0;
+    Cycle onChipCommCycles = 0;
+    Cycle offChipCycles = 0;
+    Cycle configCycles = 0;
+
+    model::OpsBreakdown ops;
+    model::DramBreakdown dramTraffic;
+    energy::EnergyEvents energyEvents;
+    energy::EnergyBreakdown energy;
+
+    /** Busy-MAC fraction over the whole-chip makespan. */
+    double peUtilization = 0.0;
+
+    /** On-chip bytes actually moved between tiles. */
+    ByteCount nocBytes = 0;
+    ByteCount nocBytesTemporal = 0;
+    ByteCount nocBytesSpatial = 0;
+    ByteCount nocBytesReuse = 0;
+
+    /** Detailed merged counters (NoC, DRAM, energy). */
+    StatSet stats;
+
+    /** Per-snapshot timeline, size == T. */
+    std::vector<SnapshotTrace> trace;
+};
+
+} // namespace ditile::sim
+
+#endif // DITILE_SIM_RUN_RESULT_HH

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Detailed tile microarchitecture model (paper Figure 5 (c)-(d)).
+ *
+ * Each tile integrates a 4x4 PE array (each PE a 4x4 MAC array with a
+ * local buffer, data dispatcher and post-processing unit), a
+ * distributed buffer, and a reuse FIFO operating as a double buffer.
+ * This model schedules per-vertex work onto the PE array explicitly:
+ *
+ *  - vertex tasks are list-scheduled (longest-processing-time first)
+ *    onto the PEs, so intra-tile imbalance shows up as idle MACs;
+ *  - the PPU drains activations concurrently with the MAC array and
+ *    can become the bottleneck for element-wise-heavy phases;
+ *  - input working sets larger than the PE local buffer stall the PE
+ *    while the distributed buffer refills it;
+ *  - reuse-FIFO hits bypass the distributed buffer entirely.
+ *
+ * The phase-level engine uses a flat ops/MACs conversion for speed;
+ * this model bounds that approximation (tests cross-validate the two)
+ * and lets microarchitecture studies vary PE-level parameters.
+ */
+
+#ifndef DITILE_SIM_TILE_MODEL_HH
+#define DITILE_SIM_TILE_MODEL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ditile::sim {
+
+/**
+ * Tile microarchitecture parameters (defaults per the paper).
+ */
+struct TileConfig
+{
+    int pes = 16;        ///< 4 x 4 PE array.
+    int macsPerPe = 16;  ///< 4 x 4 multiplier + adder array.
+    ByteCount localBufferBytes = 256u << 10;
+    ByteCount reuseFifoBytes = 512u << 10;
+    /** Distributed-buffer -> local-buffer refill bandwidth (per PE,
+     *  the narrow path local overflows pay). */
+    int refillBytesPerCycle = 64;
+
+    /** Tile-level distributed-buffer port width (the wide path the
+     *  instruction stream's loads/stores share). */
+    int bufferPortBytesPerCycle = 512;
+    /** Dispatcher latency charged once per vertex task. */
+    Cycle dispatchCycles = 2;
+    /** Post-processing (activation/element-wise) ops per PE cycle. */
+    int ppuOpsPerCycle = 4;
+};
+
+/**
+ * One vertex's work at one layer (gather + combine + activate).
+ */
+struct VertexTask
+{
+    VertexId vertex = 0;
+    OpCount macs = 0;          ///< Gather + combination MACs.
+    OpCount postOps = 0;       ///< Activations / element-wise ops.
+    ByteCount inputBytes = 0;  ///< Features staged into the local
+                               ///< buffer for this task.
+    bool reuseHit = false;     ///< Inputs arrive via the reuse FIFO.
+};
+
+/**
+ * Outcome of executing one phase on one tile.
+ */
+struct TileResult
+{
+    Cycle cycles = 0;          ///< Phase makespan.
+    Cycle macBusyCycles = 0;   ///< Sum over PEs of busy cycles.
+    Cycle stallCycles = 0;     ///< Sum over PEs of refill stalls.
+    Cycle ppuCycles = 0;       ///< PPU drain time (overlapped).
+    double macUtilization = 0.0;
+    ByteCount localBufferTraffic = 0;
+    ByteCount distBufferTraffic = 0;
+    ByteCount reuseFifoTraffic = 0;
+};
+
+/**
+ * Executes work phases on one tile.
+ */
+class TileModel
+{
+  public:
+    explicit TileModel(const TileConfig &config = {});
+
+    /**
+     * Schedule a set of vertex tasks onto the PE array
+     * (longest-task-first onto the earliest-free PE) and account for
+     * refill stalls and PPU drain.
+     */
+    TileResult executePhase(std::vector<VertexTask> tasks) const;
+
+    /**
+     * Uniform-task convenience (the RNN phase: every vertex costs the
+     * same).
+     */
+    TileResult executeUniformPhase(std::size_t num_tasks,
+                                   OpCount macs_per_task,
+                                   OpCount post_ops_per_task,
+                                   ByteCount input_bytes_per_task)
+        const;
+
+    const TileConfig &config() const { return config_; }
+
+  private:
+    TileConfig config_;
+};
+
+} // namespace ditile::sim
+
+#endif // DITILE_SIM_TILE_MODEL_HH

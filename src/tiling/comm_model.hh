@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Analytical DRAM and inter-tile communication models (paper §4).
+ *
+ * Implements Eq. 5-16: the subgraph-tiling DRAM-access model and the
+ * three inter-tile communication components (temporal, redundancy-free
+ * spatial, reuse). Communication amounts are in *vertex-feature
+ * transfers* — multiply by the feature width and word size to get
+ * bytes, which is what the NoC and energy layers do.
+ *
+ * Convention note. The paper uses Ps ("snapshots per tile") and Pv
+ * ("vertices per tile") but also uses the same symbols as partition
+ * *counts* inside Eq. 12, and bounds both by sqrt(TotalTiles) in
+ * Algorithm 1. We resolve the ambiguity with explicit grid factors:
+ *
+ *   - snapshotGroups (Gs): number of snapshot groups mapped along one
+ *     array dimension; Ps = ceil(T / Gs) snapshots per group.
+ *   - vertexParts (Gv): number of vertex partitions per subgraph
+ *     mapped along the other dimension; Pv = ceil(AvgSV / Gv).
+ *
+ * Gs * Gv <= TotalTiles. Every equation below is written in terms of
+ * Gs/Gv and reduces to the paper's formulas under this reading.
+ */
+
+#ifndef DITILE_TILING_COMM_MODEL_HH
+#define DITILE_TILING_COMM_MODEL_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "graph/dynamic_graph.hh"
+
+namespace ditile::tiling {
+
+/**
+ * Application features consumed by Algorithm 1 (its first input block).
+ */
+struct ApplicationFeatures
+{
+    int gcnLayers = 2;                   ///< L.
+    SnapshotId numSnapshots = 0;         ///< T.
+    std::vector<double> vertices;        ///< V_i per snapshot.
+    std::vector<double> edges;           ///< E_i per snapshot (adjacency
+                                         ///< entries, i.e. directed).
+    std::vector<double> dissimilarity;   ///< Dis_i for i in [1, T).
+    int featureDim = 0;
+    /** Widest per-vertex on-chip record: features + intermediates. */
+    int residentDims = 0;
+    int bytesPerValue = 4;
+
+    /** Extract from a dynamic graph and model-layer widths. */
+    static ApplicationFeatures fromGraph(const graph::DynamicGraph &dg,
+                                         int gcn_layers,
+                                         int resident_dims,
+                                         int bytes_per_value);
+
+    double avgVertices() const;
+    double avgEdges() const;
+    double avgDissimilarity() const;
+};
+
+/**
+ * Hardware features consumed by Algorithm 1 (its second input block).
+ */
+struct HardwareFeatures
+{
+    int totalTiles = 256;                       ///< 16 x 16 array.
+    ByteCount distributedBufferBytes = 4u << 20; ///< Per-tile buffer.
+};
+
+/** Per-vertex resident bytes (features + adjacency slice). */
+double subgraphBytesPerVertex(const ApplicationFeatures &app);
+
+/**
+ * Eq. 6: total DRAM access (in vertex-feature units) for tiling factor
+ * a: every vertex read once per snapshot plus cross-subgraph refetch.
+ */
+double dramAccessModel(const ApplicationFeatures &app, int tiling_factor);
+
+/**
+ * Eq. 8: inter-tile temporal communication for Gs snapshot groups.
+ */
+double temporalComm(const ApplicationFeatures &app, int tiling_factor,
+                    int snapshot_groups);
+
+/** Eq. 11: total spatial communication of all subgraphs. */
+double totalSpatialComm(const ApplicationFeatures &app, int tiling_factor);
+
+/** Eq. 12: intra-tile share of spatial communication for Gv parts. */
+double intraTileSpatialComm(const ApplicationFeatures &app,
+                            int tiling_factor, int vertex_parts);
+
+/** Eq. 10: inter-tile spatial communication without redundancy reuse. */
+double spatialComm(const ApplicationFeatures &app, int tiling_factor,
+                   int vertex_parts);
+
+/** Eq. 15: per-vertex spatial communication over L layers. */
+double vertexSpatialComm(const ApplicationFeatures &app);
+
+/** Eq. 14: total redundant spatial communication of all subgraphs. */
+double totalRedundantSpatialComm(const ApplicationFeatures &app,
+                                 int tiling_factor);
+
+/**
+ * Eq. 9 + 13: redundancy-free inter-tile spatial communication
+ * (clamped to [0, Scomm]).
+ */
+double redundancyFreeSpatialComm(const ApplicationFeatures &app,
+                                 int tiling_factor, int vertex_parts);
+
+/** Eq. 16: inter-tile reuse communication. */
+double reuseComm(const ApplicationFeatures &app, int tiling_factor,
+                 int snapshot_groups);
+
+/** Eq. 7: Tcomm + RFScomm + ReComm. */
+double totalComm(const ApplicationFeatures &app, int tiling_factor,
+                 int snapshot_groups, int vertex_parts);
+
+} // namespace ditile::tiling
+
+#endif // DITILE_TILING_COMM_MODEL_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Algorithm 1 implementation.
+ */
+
+#include "tiling/optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace ditile::tiling {
+
+int
+gridDim(const HardwareFeatures &hw)
+{
+    const int dim = static_cast<int>(std::lround(
+        std::sqrt(static_cast<double>(hw.totalTiles))));
+    DITILE_ASSERT(dim * dim == hw.totalTiles,
+                  "tile count ", hw.totalTiles, " is not a square grid");
+    return dim;
+}
+
+TilingResult
+optimizeTiling(const ApplicationFeatures &app, const HardwareFeatures &hw)
+{
+    DITILE_ASSERT(!app.vertices.empty(), "no snapshots to tile");
+    const double max_v =
+        *std::max_element(app.vertices.begin(), app.vertices.end());
+    const double bytes_per_vertex = subgraphBytesPerVertex(app);
+    const double cap = static_cast<double>(hw.distributedBufferBytes);
+
+    TilingResult best;
+    bool found = false;
+    const int a_max = std::max(1, static_cast<int>(max_v));
+    for (int a = 1; a <= a_max; ++a) {
+        // Feasibility (Algorithm 1 line 7): the largest subgraph's
+        // working set must fit the distributed buffer.
+        const double sv_max = max_v / a;
+        if (sv_max * bytes_per_vertex > cap)
+            continue;
+        const double da = dramAccessModel(app, a);
+        if (!found || da < best.dramAccessUnits) {
+            found = true;
+            best.tilingFactor = a;
+            best.dramAccessUnits = da;
+        }
+        // Eq. 6 is strictly increasing in a, so the first feasible a is
+        // optimal; continuing the scan would only confirm that.
+        break;
+    }
+    if (!found) {
+        // Even single-vertex subgraphs exceed the buffer: fall back to
+        // the finest tiling and let the refetch factor carry the pain.
+        best.tilingFactor = a_max;
+        best.dramAccessUnits = dramAccessModel(app, a_max);
+        warn("distributed buffer too small for any subgraph; "
+             "tiling factor forced to ", a_max);
+    }
+
+    best.avgSubgraphVertices = app.avgVertices() / best.tilingFactor;
+    best.avgSubgraphEdges = app.avgEdges() / best.tilingFactor;
+    double lower_bound = 0.0;
+    for (double v : app.vertices)
+        lower_bound += v;
+    best.refetchFactor = lower_bound > 0.0
+        ? best.dramAccessUnits / lower_bound : 1.0;
+    if (best.refetchFactor < 1.0)
+        best.refetchFactor = 1.0;
+    return best;
+}
+
+ParallelismResult
+optimizeParallelism(const ApplicationFeatures &app,
+                    const HardwareFeatures &hw, int tiling_factor)
+{
+    const int dim = gridDim(hw);
+    const int gs_max = std::min<int>(dim, std::max<SnapshotId>(
+        1, app.numSnapshots));
+    const double avg_sv = app.avgVertices() / tiling_factor;
+    const int gv_max = std::min<int>(dim, std::max(1,
+        static_cast<int>(avg_sv)));
+
+    ParallelismResult best;
+    bool found = false;
+    for (int gs = 1; gs <= gs_max; ++gs) {
+        for (int gv = 1; gv <= gv_max; ++gv) {
+            const double cost = totalComm(app, tiling_factor, gs, gv);
+            const int used = gs * gv;
+            const int best_used = best.snapshotGroups * best.vertexParts;
+            const bool better = !found || cost < best.totalCommUnits ||
+                (cost == best.totalCommUnits &&
+                 (used > best_used ||
+                  (used == best_used && gs > best.snapshotGroups)));
+            if (better) {
+                found = true;
+                best.snapshotGroups = gs;
+                best.vertexParts = gv;
+                best.totalCommUnits = cost;
+            }
+        }
+    }
+    DITILE_ASSERT(found, "parallelism sweep found no candidate");
+
+    best.snapshotsPerGroup = ceilDiv<int>(
+        std::max<SnapshotId>(1, app.numSnapshots), best.snapshotGroups);
+    best.verticesPerPart = ceilDiv<int>(
+        std::max(1, static_cast<int>(avg_sv)), best.vertexParts);
+    best.tcomm = temporalComm(app, tiling_factor, best.snapshotGroups);
+    best.rfscomm = redundancyFreeSpatialComm(app, tiling_factor,
+                                             best.vertexParts);
+    best.recomm = reuseComm(app, tiling_factor, best.snapshotGroups);
+    return best;
+}
+
+ParallelPlan
+optimizeAll(const ApplicationFeatures &app, const HardwareFeatures &hw)
+{
+    ParallelPlan plan;
+    plan.tiling = optimizeTiling(app, hw);
+    plan.parallelism = optimizeParallelism(app, hw,
+                                           plan.tiling.tilingFactor);
+    return plan;
+}
+
+} // namespace ditile::tiling

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Algorithm 1: subgraph tiling + parallelization optimization.
+ *
+ * Procedure "Subgraph Tiling" picks the tiling factor a minimizing the
+ * Eq. 6 DRAM-access model subject to the distributed-buffer capacity.
+ * Procedure "Parallelization Optimization" sweeps the snapshot-group
+ * and vertex-part factors over the tile grid and minimizes the Eq. 7
+ * total inter-tile communication.
+ */
+
+#ifndef DITILE_TILING_OPTIMIZER_HH
+#define DITILE_TILING_OPTIMIZER_HH
+
+#include "tiling/comm_model.hh"
+
+namespace ditile::tiling {
+
+/**
+ * Locality factor of the access-minimizing tiling: DiTile's subgraph
+ * formation clusters connected vertices, so the fraction of gathers
+ * crossing a subgraph boundary is this multiple of the random-tiling
+ * expectation (1 - 1/a). Calibrated against Figure 8 (see
+ * EXPERIMENTS.md).
+ */
+inline constexpr double kOptimizedTilingLocality = 0.8;
+
+/**
+ * Output of the subgraph-tiling procedure.
+ */
+struct TilingResult
+{
+    int tilingFactor = 1;          ///< a.
+    double dramAccessUnits = 0.0;  ///< Eq. 6 at a (vertex-feature units).
+    double avgSubgraphVertices = 0.0; ///< AvgSV.
+    double avgSubgraphEdges = 0.0;    ///< AvgSE (adjacency entries).
+
+    /**
+     * Mean fetches per needed input feature (>= 1), i.e. Eq. 6
+     * normalized by the once-per-snapshot lower bound.
+     */
+    double refetchFactor = 1.0;
+
+    /**
+     * Measured cross-subgraph adjacency fraction from an actual
+     * subgraph formation (tiling/subgraph_former.hh); negative when
+     * no formation was run and the analytical estimate applies.
+     */
+    double measuredCross = -1.0;
+
+    /**
+     * Fraction of gathered adjacency entries crossing a subgraph
+     * boundary. When a concrete formation was measured, that value
+     * wins; otherwise (1 - 1/a) under random tiling, scaled by
+     * `locality` for access-minimizing tiling.
+     */
+    double
+    crossFetchFraction(double locality = 1.0) const
+    {
+        if (measuredCross >= 0.0)
+            return measuredCross;
+        return (1.0 - 1.0 / static_cast<double>(tilingFactor)) *
+            locality;
+    }
+};
+
+/**
+ * Output of the parallelization-optimization procedure.
+ */
+struct ParallelismResult
+{
+    int snapshotGroups = 1;   ///< Gs: groups along the array columns.
+    int vertexParts = 1;      ///< Gv: parts along the array rows.
+    int snapshotsPerGroup = 1; ///< Ps = ceil(T / Gs).
+    int verticesPerPart = 1;   ///< Pv = ceil(AvgSV / Gv).
+    double tcomm = 0.0;        ///< Eq. 8 at the optimum.
+    double rfscomm = 0.0;      ///< Eq. 9 at the optimum.
+    double recomm = 0.0;       ///< Eq. 16 at the optimum.
+    double totalCommUnits = 0.0; ///< Eq. 7 at the optimum.
+};
+
+/**
+ * Complete Algorithm 1 output.
+ */
+struct ParallelPlan
+{
+    TilingResult tiling;
+    ParallelismResult parallelism;
+};
+
+/**
+ * Procedure Subgraph Tiling (Algorithm 1 lines 2-9).
+ *
+ * Searches a in [1, maxV] for the smallest Eq. 6 value whose subgraph
+ * working set fits the distributed buffer.
+ */
+TilingResult optimizeTiling(const ApplicationFeatures &app,
+                            const HardwareFeatures &hw);
+
+/**
+ * Procedure Parallelization Optimization (Algorithm 1 lines 11-15).
+ *
+ * Sweeps Gs in [1, sqrt(TotalTiles)] (capped by T) and Gv in
+ * [1, sqrt(TotalTiles)], minimizing Eq. 7; ties prefer more tiles in
+ * use and then more snapshot groups (deterministic).
+ */
+ParallelismResult optimizeParallelism(const ApplicationFeatures &app,
+                                      const HardwareFeatures &hw,
+                                      int tiling_factor);
+
+/** Full Algorithm 1: tiling then parallelism. */
+ParallelPlan optimizeAll(const ApplicationFeatures &app,
+                         const HardwareFeatures &hw);
+
+/** Side length of the (square) tile array. */
+int gridDim(const HardwareFeatures &hw);
+
+} // namespace ditile::tiling
+
+#endif // DITILE_TILING_OPTIMIZER_HH

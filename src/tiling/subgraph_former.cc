@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Subgraph former implementation.
+ */
+
+#include "tiling/subgraph_former.hh"
+
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace ditile::tiling {
+
+double
+measuredCrossFraction(const graph::Csr &g,
+                      const graph::VertexPartition &partition)
+{
+    DITILE_ASSERT(partition.numVertices() == g.numVertices());
+    if (g.numAdjacencies() == 0)
+        return 0.0;
+    EdgeId cross = 0;
+    for (VertexId u = 0; u < g.numVertices(); ++u) {
+        const int pu = partition.owner(u);
+        for (VertexId v : g.neighbors(u))
+            cross += partition.owner(v) != pu;
+    }
+    return static_cast<double>(cross) /
+        static_cast<double>(g.numAdjacencies());
+}
+
+SubgraphAssignment
+formSubgraphs(const graph::Csr &g, int tiling_factor)
+{
+    DITILE_ASSERT(tiling_factor >= 1);
+    const VertexId n = g.numVertices();
+    SubgraphAssignment out;
+    out.partition = graph::VertexPartition(n, tiling_factor);
+    if (n == 0)
+        return out;
+
+    const VertexId target = std::max<VertexId>(
+        1, ceilDiv<VertexId>(n, static_cast<VertexId>(tiling_factor)));
+
+    std::vector<bool> assigned(static_cast<std::size_t>(n), false);
+    VertexId next_seed = 0;
+    VertexId placed = 0;
+    for (int cluster = 0; cluster < tiling_factor && placed < n;
+         ++cluster) {
+        // The last cluster absorbs any remainder.
+        const VertexId quota = cluster + 1 == tiling_factor
+            ? n - placed : std::min<VertexId>(target, n - placed);
+
+        // Seed: the lowest-id unassigned vertex.
+        while (next_seed < n &&
+               assigned[static_cast<std::size_t>(next_seed)]) {
+            ++next_seed;
+        }
+        DITILE_ASSERT(next_seed < n);
+
+        std::deque<VertexId> frontier;
+        frontier.push_back(next_seed);
+        assigned[static_cast<std::size_t>(next_seed)] = true;
+        VertexId taken = 0;
+        VertexId scan = next_seed;
+        while (taken < quota) {
+            VertexId v;
+            if (!frontier.empty()) {
+                v = frontier.front();
+                frontier.pop_front();
+            } else {
+                // Component exhausted: jump to the next unassigned
+                // vertex (keeps clusters contiguous per component).
+                while (scan < n &&
+                       assigned[static_cast<std::size_t>(scan)]) {
+                    ++scan;
+                }
+                DITILE_ASSERT(scan < n);
+                v = scan;
+                assigned[static_cast<std::size_t>(v)] = true;
+            }
+            out.partition.assign(v, cluster);
+            ++taken;
+            ++placed;
+            if (taken >= quota)
+                break;
+            for (VertexId u : g.neighbors(v)) {
+                if (!assigned[static_cast<std::size_t>(u)]) {
+                    assigned[static_cast<std::size_t>(u)] = true;
+                    frontier.push_back(u);
+                }
+            }
+        }
+        // Vertices pulled into the frontier but over quota return to
+        // the pool for the next cluster.
+        for (VertexId v : frontier)
+            assigned[static_cast<std::size_t>(v)] = false;
+    }
+
+    out.crossAdjacencyFraction = measuredCrossFraction(g,
+                                                       out.partition);
+    const double random_expectation =
+        1.0 - 1.0 / static_cast<double>(tiling_factor);
+    out.localityRatio = random_expectation > 0.0
+        ? out.crossAdjacencyFraction / random_expectation : 1.0;
+    return out;
+}
+
+} // namespace ditile::tiling

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Algorithm 2 implementation.
+ */
+
+#include "workload/balance.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/math_util.hh"
+
+namespace ditile::workload {
+
+std::vector<double>
+computeSnapshotLoads(const graph::Csr &g, int gcn_layers)
+{
+    DITILE_ASSERT(gcn_layers >= 1);
+    const auto n = static_cast<std::size_t>(g.numVertices());
+    std::vector<double> vload(n, 0.0);
+
+    // Label aggregation: walks[v] holds the number of l'-length walks
+    // ending at v; one sparse matrix-vector product per hop.
+    std::vector<double> walks(n, 1.0);
+    std::vector<double> next(n, 0.0);
+    for (int hop = 1; hop <= gcn_layers; ++hop) {
+        std::fill(next.begin(), next.end(), 0.0);
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            double acc = 0.0;
+            for (VertexId u : g.neighbors(v))
+                acc += walks[static_cast<std::size_t>(u)];
+            next[static_cast<std::size_t>(v)] = acc;
+        }
+        walks.swap(next);
+        // Eq. 17: the l'-hop volume is consumed by layers l' .. L, so
+        // it enters the total with weight (L - l' + 1).
+        const double weight = gcn_layers - hop + 1;
+        for (std::size_t i = 0; i < n; ++i)
+            vload[i] += weight * walks[i];
+    }
+    return vload;
+}
+
+std::vector<double>
+computeVertexLoads(const graph::DynamicGraph &dg, int gcn_layers)
+{
+    std::vector<double> vload(
+        static_cast<std::size_t>(dg.numVertices()), 0.0);
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
+        const auto snap = computeSnapshotLoads(dg.snapshot(t),
+                                               gcn_layers);
+        for (std::size_t i = 0; i < vload.size(); ++i)
+            vload[i] += snap[i];
+    }
+    return vload;
+}
+
+graph::VertexPartition
+balancedPartition(const std::vector<double> &loads, int num_parts)
+{
+    DITILE_ASSERT(num_parts >= 1);
+    const auto n = static_cast<VertexId>(loads.size());
+    std::vector<VertexId> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+        [&loads](VertexId a, VertexId b) {
+            const double la = loads[static_cast<std::size_t>(a)];
+            const double lb = loads[static_cast<std::size_t>(b)];
+            if (la != lb)
+                return la > lb;
+            return a < b;
+        });
+
+    graph::VertexPartition partition(n, num_parts);
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        partition.assign(order[rank],
+                         static_cast<int>(rank % num_parts));
+    }
+    return partition;
+}
+
+std::vector<BalancedGroup>
+splitGroups(SnapshotId num_snapshots, int snapshot_groups,
+            int vertex_parts)
+{
+    DITILE_ASSERT(num_snapshots >= 1);
+    DITILE_ASSERT(snapshot_groups >= 1 && vertex_parts >= 1);
+    const SnapshotId per_group = ceilDiv<SnapshotId>(
+        num_snapshots, snapshot_groups);
+
+    std::vector<BalancedGroup> groups;
+    int id = 0;
+    for (int gs = 0; gs < snapshot_groups; ++gs) {
+        const SnapshotId begin = gs * per_group;
+        if (begin >= num_snapshots)
+            break;
+        const SnapshotId end = std::min<SnapshotId>(num_snapshots,
+                                                    begin + per_group);
+        for (int gv = 0; gv < vertex_parts; ++gv) {
+            BalancedGroup g;
+            g.groupId = id++;
+            g.snapshotBegin = begin;
+            g.snapshotEnd = end;
+            g.vertexPart = gv;
+            groups.push_back(g);
+        }
+    }
+    return groups;
+}
+
+double
+partitionImbalance(const std::vector<double> &loads,
+                   const graph::VertexPartition &partition)
+{
+    return partition.imbalance(loads);
+}
+
+} // namespace ditile::workload

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Algorithm 2: balance-aware workload optimization (paper Section 5).
+ *
+ * Estimates per-vertex DGNN workload with the label-aggregation
+ * technique (Eq. 17), sorts vertices by descending load, assigns them
+ * round-robin to vertex parts, and splits the result into balanced and
+ * dynamic workload groups (BDW) of Ps snapshots x Pv vertices.
+ */
+
+#ifndef DITILE_WORKLOAD_BALANCE_HH
+#define DITILE_WORKLOAD_BALANCE_HH
+
+#include <vector>
+
+#include "graph/dynamic_graph.hh"
+#include "graph/partition.hh"
+
+namespace ditile::workload {
+
+/**
+ * Eq. 17 via label aggregation: every vertex starts with label 1;
+ * labels propagate along edges and accumulate for L rounds. The
+ * workload of vertex v in one snapshot is
+ * sum_{l=1..L} sum_{l'=1..l} walks_{l'}(v), i.e. the walk counts
+ * weighted (L - l' + 1); summed over all snapshots.
+ *
+ * @return vload, size numVertices.
+ */
+std::vector<double> computeVertexLoads(const graph::DynamicGraph &dg,
+                                       int gcn_layers);
+
+/** Same for a single snapshot (exposed for tests and tools). */
+std::vector<double> computeSnapshotLoads(const graph::Csr &g,
+                                         int gcn_layers);
+
+/**
+ * Algorithm 2 lines 9-10: sort by descending load, deal round-robin
+ * into num_parts parts. Deterministic: ties broken by vertex id.
+ */
+graph::VertexPartition balancedPartition(const std::vector<double> &loads,
+                                         int num_parts);
+
+/**
+ * One balanced and dynamic workload group (BDW): the work unit one
+ * tile executes in one iteration — a snapshot range crossed with a
+ * vertex part.
+ */
+struct BalancedGroup
+{
+    int groupId = 0;
+    SnapshotId snapshotBegin = 0; ///< Inclusive.
+    SnapshotId snapshotEnd = 0;   ///< Exclusive.
+    int vertexPart = 0;
+};
+
+/**
+ * Algorithm 2 line 11: enumerate the BDW groups for T snapshots split
+ * into Gs snapshot groups and Gv vertex parts (row-major: vertex part
+ * changes fastest).
+ */
+std::vector<BalancedGroup> splitGroups(SnapshotId num_snapshots,
+                                       int snapshot_groups,
+                                       int vertex_parts);
+
+/**
+ * Load imbalance (max/mean) of a partition under given vertex loads;
+ * 1.0 is perfect balance.
+ */
+double partitionImbalance(const std::vector<double> &loads,
+                          const graph::VertexPartition &partition);
+
+} // namespace ditile::workload
+
+#endif // DITILE_WORKLOAD_BALANCE_HH

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the op/byte accounting layer (Figures 7-8 quantities).
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/generator.hh"
+#include "model/accounting.hh"
+
+namespace ditile::model {
+namespace {
+
+graph::DynamicGraph
+workload(std::uint64_t seed = 3)
+{
+    graph::EvolutionConfig config;
+    config.numVertices = 400;
+    config.numEdges = 1600;
+    config.numSnapshots = 5;
+    config.dissimilarity = 0.10;
+    config.featureDim = 16;
+    config.seed = seed;
+    return graph::generateDynamicGraph(config);
+}
+
+DgnnConfig
+tinyModel()
+{
+    DgnnConfig config;
+    config.gcnDims = {8, 4};
+    config.lstmHidden = 4;
+    return config;
+}
+
+TEST(OpsBreakdown, TotalsCombineCorrectly)
+{
+    OpsBreakdown ops;
+    ops.aggregationMacs = 10;
+    ops.combinationMacs = 20;
+    ops.rnnMacs = 30;
+    ops.activationOps = 7;
+    ops.elementwiseOps = 3;
+    EXPECT_EQ(ops.totalMacs(), 60u);
+    EXPECT_EQ(ops.totalArithmetic(), 130u);
+
+    OpsBreakdown other = ops;
+    other += ops;
+    EXPECT_EQ(other.totalMacs(), 120u);
+}
+
+TEST(DramBreakdown, TotalAndAccumulate)
+{
+    DramBreakdown d;
+    d.weightBytes = 1;
+    d.adjacencyBytes = 2;
+    d.inputFeatureBytes = 3;
+    d.intermediateBytes = 4;
+    d.outputBytes = 5;
+    EXPECT_EQ(d.total(), 15u);
+    DramBreakdown e = d;
+    e += d;
+    EXPECT_EQ(e.total(), 30u);
+}
+
+TEST(AccountingParams, IntermediateCachingByAlgorithm)
+{
+    EXPECT_FALSE(AccountingParams::cachesIntermediates(AlgoKind::ReAlg));
+    EXPECT_TRUE(AccountingParams::cachesIntermediates(
+        AlgoKind::RaceAlg));
+    EXPECT_FALSE(AccountingParams::cachesIntermediates(
+        AlgoKind::MegaAlg));
+    EXPECT_TRUE(AccountingParams::cachesIntermediates(
+        AlgoKind::DiTileAlg));
+}
+
+TEST(CountOps, HandComputedFullSnapshot)
+{
+    // Single snapshot, so every algorithm runs the full plan.
+    const auto g = graph::Csr::fromEdges(3, {{0, 1}, {1, 2}});
+    graph::DynamicGraph dg("tiny", {g}, 4); // F = 4.
+    DgnnConfig config;
+    config.gcnDims = {2};
+    config.lstmHidden = 3;
+
+    const auto ops = countTotalOps(dg, config, AlgoKind::ReAlg);
+    // Aggregation: (adjacencies + selfloops) * F = (4 + 3) * 4 = 28.
+    EXPECT_EQ(ops.aggregationMacs, 28u);
+    // Combination: V * F * out = 3 * 4 * 2 = 24.
+    EXPECT_EQ(ops.combinationMacs, 24u);
+    // RNN: V * (4*z*h + 4*h*h) = 3 * (4*2*3 + 4*3*3) = 3 * 60 = 180.
+    EXPECT_EQ(ops.rnnMacs, 180u);
+    // Activations: ReLU V*out + LSTM 5*h per vertex = 6 + 45 = 51.
+    EXPECT_EQ(ops.activationOps, 51u);
+    // Elementwise: 4*h per vertex = 36.
+    EXPECT_EQ(ops.elementwiseOps, 36u);
+}
+
+TEST(CountDram, HandComputedFullSnapshot)
+{
+    const auto g = graph::Csr::fromEdges(3, {{0, 1}, {1, 2}});
+    graph::DynamicGraph dg("tiny", {g}, 4);
+    DgnnConfig config;
+    config.gcnDims = {2};
+    config.lstmHidden = 3;
+
+    AccountingParams params;
+    params.crossFetchFraction = 0.0;
+    const auto d = countTotalDram(dg, config, AlgoKind::ReAlg, params);
+    // Weights: (4*2 + 4*2*3 + 4*3*3) * 4B = (8 + 24 + 36) * 4 = 272.
+    EXPECT_EQ(d.weightBytes, 272u);
+    // Adjacency: 4 entries * 4B + 3 rows * 4B = 28.
+    EXPECT_EQ(d.adjacencyBytes, 28u);
+    // Inputs: 3 vertices * 4 dims * 4B = 48.
+    EXPECT_EQ(d.inputFeatureBytes, 48u);
+    // Single layer: no intermediates.
+    EXPECT_EQ(d.intermediateBytes, 0u);
+    // Outputs: z 3*2*4 + h/c writes 3*3*4*2 + reads 3*3*4*2 = 168.
+    EXPECT_EQ(d.outputBytes, 24u + 72u + 72u);
+}
+
+TEST(CountDram, CrossFetchIncreasesInputBytes)
+{
+    const auto dg = workload();
+    AccountingParams tight;
+    tight.crossFetchFraction = 0.0;
+    AccountingParams loose;
+    loose.crossFetchFraction = 0.9;
+    const auto a = countTotalDram(dg, tinyModel(), AlgoKind::ReAlg,
+                                  tight);
+    const auto b = countTotalDram(dg, tinyModel(), AlgoKind::ReAlg,
+                                  loose);
+    EXPECT_GT(b.inputFeatureBytes, a.inputFeatureBytes);
+    EXPECT_EQ(b.weightBytes, a.weightBytes);
+    EXPECT_EQ(b.outputBytes, a.outputBytes);
+}
+
+TEST(CountDram, UncachedIntermediatesCostMore)
+{
+    const auto dg = workload();
+    AccountingParams params;
+    params.crossFetchFraction = 0.5;
+    const auto race = countTotalDram(dg, tinyModel(), AlgoKind::RaceAlg,
+                                     params);
+    const auto mega = countTotalDram(dg, tinyModel(), AlgoKind::MegaAlg,
+                                     params);
+    // Mega streams intermediates through DRAM (no reuse).
+    EXPECT_GT(mega.intermediateBytes, 0u);
+    EXPECT_GT(static_cast<double>(mega.intermediateBytes) /
+                  static_cast<double>(std::max<ByteCount>(
+                      1, race.intermediateBytes)),
+              1.5);
+}
+
+/** The Figure 7/8 orderings must hold across seeds. */
+class AccountingOrdering : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(AccountingOrdering, OpsOrderingMatchesPaper)
+{
+    const auto dg = workload(GetParam());
+    DgnnConfig config; // paper-shaped model: big dims.
+    const OpCount re =
+        countTotalOps(dg, config, AlgoKind::ReAlg).totalArithmetic();
+    const OpCount race =
+        countTotalOps(dg, config, AlgoKind::RaceAlg).totalArithmetic();
+    const OpCount mega =
+        countTotalOps(dg, config, AlgoKind::MegaAlg).totalArithmetic();
+    const OpCount ditile = countTotalOps(dg, config,
+                                         AlgoKind::DiTileAlg)
+                               .totalArithmetic();
+    EXPECT_GT(re, race);
+    EXPECT_GT(race, ditile);
+    EXPECT_GT(mega, ditile);
+    EXPECT_GE(race, mega); // Race pays for deletions.
+}
+
+TEST_P(AccountingOrdering, DramOrderingMatchesPaper)
+{
+    const auto dg = workload(GetParam());
+    DgnnConfig config;
+    AccountingParams base;
+    base.crossFetchFraction = 0.8;
+    AccountingParams opt;
+    opt.crossFetchFraction = 0.4;
+    const auto re =
+        countTotalDram(dg, config, AlgoKind::ReAlg, base).total();
+    const auto race =
+        countTotalDram(dg, config, AlgoKind::RaceAlg, base).total();
+    const auto mega =
+        countTotalDram(dg, config, AlgoKind::MegaAlg, base).total();
+    const auto ditile =
+        countTotalDram(dg, config, AlgoKind::DiTileAlg, opt).total();
+    EXPECT_GT(re, mega);
+    EXPECT_GT(mega, race);
+    EXPECT_GT(race, ditile);
+}
+
+TEST_P(AccountingOrdering, TotalsEqualSnapshotSums)
+{
+    const auto dg = workload(GetParam());
+    const auto config = tinyModel();
+    for (AlgoKind kind : allAlgorithms()) {
+        IncrementalPlanner planner(dg, config, kind);
+        OpsBreakdown sum;
+        for (SnapshotId t = 0; t < dg.numSnapshots(); ++t)
+            sum += countSnapshotOps(dg, t, config, planner.plan(t));
+        EXPECT_EQ(sum.totalArithmetic(),
+                  countTotalOps(dg, config, kind).totalArithmetic())
+            << algoName(kind);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccountingOrdering,
+                         ::testing::Values(1u, 9u, 77u, 2024u));
+
+} // namespace
+} // namespace ditile::model

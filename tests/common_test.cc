@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG, stats, tables, CLI flags
+ * and integer math helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/cli.hh"
+#include "common/math_util.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace ditile {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a() == b();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng rng(0);
+    std::set<std::uint64_t> values;
+    for (int i = 0; i < 64; ++i)
+        values.insert(rng());
+    EXPECT_GT(values.size(), 60u);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(-5, 17);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 17);
+    }
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(9, 9), 9);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(11);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRealRange)
+{
+    Rng rng(17);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+        EXPECT_FALSE(rng.bernoulli(-1.0));
+        EXPECT_TRUE(rng.bernoulli(2.0));
+    }
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ZipfInRangeAndSkewed)
+{
+    Rng rng(29);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = rng.zipf(100, 1.2);
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, 100);
+        ++counts[static_cast<std::size_t>(v)];
+    }
+    // Rank 0 should dominate rank 50 heavily under s = 1.2.
+    EXPECT_GT(counts[0], counts[50] * 4);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct)
+{
+    Rng rng(31);
+    const auto sample = rng.sampleWithoutReplacement(100, 30);
+    ASSERT_EQ(sample.size(), 30u);
+    std::set<std::int64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 30u);
+    for (auto v : sample) {
+        EXPECT_GE(v, 0);
+        EXPECT_LT(v, 100);
+    }
+}
+
+TEST(Rng, SampleWithoutReplacementFull)
+{
+    Rng rng(37);
+    const auto sample = rng.sampleWithoutReplacement(10, 10);
+    std::set<std::int64_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(41);
+    std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = v;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, v);
+}
+
+TEST(Mix64, AvalanchesAndIsDeterministic)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    EXPECT_NE(mix64(1), mix64(2));
+    // Single-bit input changes should flip roughly half the bits.
+    const auto diff = mix64(100) ^ mix64(101);
+    EXPECT_GT(__builtin_popcountll(diff), 16);
+}
+
+TEST(StatSet, AddAndGet)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("x"), 0.0);
+    EXPECT_FALSE(s.has("x"));
+    s.add("x", 2.5);
+    s.add("x", 1.0);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 3.5);
+}
+
+TEST(StatSet, SetOverrides)
+{
+    StatSet s;
+    s.add("x", 2.0);
+    s.set("x", 7.0);
+    EXPECT_DOUBLE_EQ(s.get("x"), 7.0);
+}
+
+TEST(StatSet, PreservesInsertionOrder)
+{
+    StatSet s;
+    s.add("b", 1);
+    s.add("a", 1);
+    s.add("c", 1);
+    s.add("a", 1); // no reorder
+    ASSERT_EQ(s.names().size(), 3u);
+    EXPECT_EQ(s.names()[0], "b");
+    EXPECT_EQ(s.names()[1], "a");
+    EXPECT_EQ(s.names()[2], "c");
+}
+
+TEST(StatSet, MergeSums)
+{
+    StatSet a;
+    a.add("x", 1.0);
+    StatSet b;
+    b.add("x", 2.0);
+    b.add("y", 3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}
+
+TEST(StatSet, MergePrefixed)
+{
+    StatSet a;
+    StatSet b;
+    b.add("x", 2.0);
+    a.mergePrefixed("sub", b);
+    EXPECT_DOUBLE_EQ(a.get("sub.x"), 2.0);
+}
+
+TEST(StatSet, ClearKeepsNames)
+{
+    StatSet s;
+    s.add("x", 5.0);
+    s.clear();
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 0.0);
+}
+
+TEST(Distribution, TracksMinMaxMean)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    d.sample(2.0);
+    d.sample(4.0);
+    d.sample(-1.0);
+    EXPECT_EQ(d.count(), 3u);
+    EXPECT_DOUBLE_EQ(d.min(), -1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    EXPECT_NEAR(d.mean(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Table, RendersAlignedAscii)
+{
+    Table t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const auto s = t.toString();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("| alpha |"), std::string::npos);
+    EXPECT_NE(s.find("| b     |"), std::string::npos);
+}
+
+TEST(Table, CsvQuotesSpecials)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    t.addRow({"x,y", "he said \"hi\""});
+    const auto csv = t.toCsv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, NumericFormatters)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::integer(-42), "-42");
+    EXPECT_EQ(Table::percent(0.125, 1), "12.5%");
+    EXPECT_EQ(Table::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(CliFlags, ParsesKeyValueAndBoolean)
+{
+    const char *argv[] = {"prog", "--scale=0.5", "--csv",
+                          "positional", "--n=12"};
+    auto flags = CliFlags::parse(5, const_cast<char **>(argv));
+    EXPECT_DOUBLE_EQ(flags.getDouble("scale", 0.0), 0.5);
+    EXPECT_TRUE(flags.getBool("csv", false));
+    EXPECT_EQ(flags.getInt("n", 0), 12);
+    EXPECT_EQ(flags.getInt("missing", 99), 99);
+    ASSERT_EQ(flags.positional().size(), 1u);
+    EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(CliFlags, BooleanFalseValues)
+{
+    const char *argv[] = {"prog", "--flag=0", "--other=false"};
+    auto flags = CliFlags::parse(3, const_cast<char **>(argv));
+    EXPECT_FALSE(flags.getBool("flag", true));
+    EXPECT_FALSE(flags.getBool("other", true));
+}
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(0, 3), 0);
+    EXPECT_EQ(ceilDiv(1, 1), 1);
+}
+
+TEST(MathUtil, RoundUp)
+{
+    EXPECT_EQ(roundUp(10, 4), 12);
+    EXPECT_EQ(roundUp(12, 4), 12);
+    EXPECT_EQ(roundUp(0, 4), 0);
+}
+
+TEST(MathUtil, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(12));
+}
+
+TEST(MathUtil, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0);
+    EXPECT_EQ(log2Floor(2), 1);
+    EXPECT_EQ(log2Floor(3), 1);
+    EXPECT_EQ(log2Floor(1024), 10);
+}
+
+TEST(MathUtil, Clamp)
+{
+    EXPECT_EQ(clamp(5, 0, 10), 5);
+    EXPECT_EQ(clamp(-1, 0, 10), 0);
+    EXPECT_EQ(clamp(11, 0, 10), 10);
+}
+
+/** Chi-squared-style uniformity sweep over several seeds. */
+class RngUniformity : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngUniformity, BucketsAreBalanced)
+{
+    Rng rng(GetParam());
+    constexpr int kBuckets = 16;
+    constexpr int kDraws = 16000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kDraws; ++i)
+        ++counts[static_cast<std::size_t>(
+            rng.uniformInt(0, kBuckets - 1))];
+    const double expected = kDraws / static_cast<double>(kBuckets);
+    for (int c : counts)
+        EXPECT_NEAR(c, expected, expected * 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformity,
+                         ::testing::Values(1u, 2u, 3u, 1234567u,
+                                           0xdeadbeefu));
+
+} // namespace
+} // namespace ditile

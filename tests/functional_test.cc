@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the functional DGNN reference: hand-computed GCN and LSTM
+ * values, structural invariants, and permutation equivariance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generator.hh"
+#include "model/functional.hh"
+
+namespace ditile::model {
+namespace {
+
+TEST(GcnLayer, HandComputedTwoVertices)
+{
+    // Graph: 0-1. deg~ = 2 for both, so every normalization
+    // coefficient is 1/2.
+    const auto g = graph::Csr::fromEdges(2, {{0, 1}});
+    Matrix x(2, 1);
+    x.at(0, 0) = 2.0f;
+    x.at(1, 0) = 4.0f;
+    Matrix w(1, 1);
+    w.at(0, 0) = 1.0f;
+    const auto out = gcnLayer(g, x, w, /*relu=*/false);
+    // agg(0) = 0.5*2 + 0.5*4 = 3; agg(1) = 0.5*4 + 0.5*2 = 3.
+    EXPECT_NEAR(out.at(0, 0), 3.0f, 1e-6f);
+    EXPECT_NEAR(out.at(1, 0), 3.0f, 1e-6f);
+}
+
+TEST(GcnLayer, HandComputedStar)
+{
+    // Star: center 0 with leaves 1, 2, 3. deg~(0) = 4, deg~(leaf) = 2.
+    const auto g = graph::Csr::fromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+    Matrix x(4, 1);
+    x.at(0, 0) = 1.0f;
+    x.at(1, 0) = 1.0f;
+    x.at(2, 0) = 1.0f;
+    x.at(3, 0) = 1.0f;
+    Matrix w(1, 1);
+    w.at(0, 0) = 1.0f;
+    const auto out = gcnLayer(g, x, w, false);
+    // agg(0) = 1/4 + 3 * 1/(2*sqrt(2)) = 0.25 + 3/(2*sqrt(2)).
+    const float expected0 =
+        0.25f + 3.0f / (2.0f * std::sqrt(2.0f));
+    EXPECT_NEAR(out.at(0, 0), expected0, 1e-5f);
+    // agg(leaf) = 1/2 + 1/(2*sqrt(2)).
+    const float expected_leaf = 0.5f + 1.0f / (2.0f * std::sqrt(2.0f));
+    EXPECT_NEAR(out.at(1, 0), expected_leaf, 1e-5f);
+    EXPECT_NEAR(out.at(2, 0), expected_leaf, 1e-5f);
+    EXPECT_NEAR(out.at(3, 0), expected_leaf, 1e-5f);
+}
+
+TEST(GcnLayer, ReluClampsNegatives)
+{
+    const auto g = graph::Csr::fromEdges(2, {{0, 1}});
+    Matrix x(2, 1, 1.0f);
+    Matrix w(1, 1);
+    w.at(0, 0) = -1.0f;
+    const auto out = gcnLayer(g, x, w, true);
+    EXPECT_FLOAT_EQ(out.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(out.at(1, 0), 0.0f);
+}
+
+TEST(GcnLayer, IsolatedVertexKeepsSelfLoopOnly)
+{
+    const auto g = graph::Csr::fromEdges(3, {{0, 1}});
+    Matrix x(3, 1);
+    x.at(2, 0) = 6.0f;
+    Matrix w(1, 1);
+    w.at(0, 0) = 1.0f;
+    const auto out = gcnLayer(g, x, w, false);
+    // Vertex 2: deg~ = 1, self coefficient 1.
+    EXPECT_NEAR(out.at(2, 0), 6.0f, 1e-6f);
+}
+
+TEST(LstmStep, HandComputedScalar)
+{
+    // One vertex, z-dim 1, hidden 1, all weights 1, zero initial
+    // state, z = 0: every gate pre-activation is 0.
+    DgnnConfig config;
+    config.gcnDims = {1};
+    config.lstmHidden = 1;
+    DgnnWeights w = DgnnWeights::random(config, 1, 1);
+    for (Matrix *m : {&w.wi, &w.wf, &w.wo, &w.wc, &w.ui, &w.uf, &w.uo,
+                      &w.uc})
+        m->at(0, 0) = 1.0f;
+    Matrix z(1, 1, 0.0f);
+    Matrix h(1, 1, 0.0f);
+    Matrix c(1, 1, 0.0f);
+    lstmStep(z, w, h, c);
+    // i = f = o = sigmoid(0) = 0.5, g = tanh(0) = 0;
+    // c' = 0.5*0 + 0.5*0 = 0; h' = 0.5*tanh(0) = 0.
+    EXPECT_NEAR(c.at(0, 0), 0.0f, 1e-6f);
+    EXPECT_NEAR(h.at(0, 0), 0.0f, 1e-6f);
+
+    // Now z = 1: pre-activations are 1.
+    z.at(0, 0) = 1.0f;
+    lstmStep(z, w, h, c);
+    const float s1 = 1.0f / (1.0f + std::exp(-1.0f));
+    const float g1 = std::tanh(1.0f);
+    const float expected_c = s1 * g1; // f*0 + i*g.
+    const float expected_h = s1 * std::tanh(expected_c);
+    EXPECT_NEAR(c.at(0, 0), expected_c, 1e-5f);
+    EXPECT_NEAR(h.at(0, 0), expected_h, 1e-5f);
+}
+
+TEST(LstmStep, HiddenStaysBounded)
+{
+    DgnnConfig config;
+    config.gcnDims = {8};
+    config.lstmHidden = 8;
+    const auto w = DgnnWeights::random(config, 8, 11);
+    Rng rng(12);
+    Matrix h(16, 8);
+    Matrix c(16, 8);
+    for (int step = 0; step < 20; ++step) {
+        const auto z = Matrix::random(16, 8, rng, 2.0f);
+        lstmStep(z, w, h, c);
+        for (float v : h.data()) {
+            // |h| = |o * tanh(c)| <= 1.
+            EXPECT_LE(std::fabs(v), 1.0f);
+        }
+    }
+}
+
+TEST(DgnnForward, ShapesAndDeterminism)
+{
+    graph::EvolutionConfig gconfig;
+    gconfig.numVertices = 64;
+    gconfig.numEdges = 256;
+    gconfig.numSnapshots = 3;
+    gconfig.featureDim = 12;
+    const auto dg = graph::generateDynamicGraph(gconfig);
+
+    DgnnConfig config;
+    config.gcnDims = {16, 8};
+    config.lstmHidden = 8;
+    const auto weights = DgnnWeights::random(config, 12, 5);
+    Rng rng(6);
+    const auto features = Matrix::random(64, 12, rng);
+
+    const auto states = dgnnForward(dg, features, config, weights);
+    ASSERT_EQ(states.size(), 3u);
+    for (const auto &s : states) {
+        EXPECT_EQ(s.z.rows(), 64);
+        EXPECT_EQ(s.z.cols(), 8);
+        EXPECT_EQ(s.h.rows(), 64);
+        EXPECT_EQ(s.h.cols(), 8);
+        EXPECT_EQ(s.c.cols(), 8);
+    }
+    const auto again = dgnnForward(dg, features, config, weights);
+    for (std::size_t t = 0; t < states.size(); ++t) {
+        EXPECT_FLOAT_EQ(states[t].z.maxAbsDiff(again[t].z), 0.0f);
+        EXPECT_FLOAT_EQ(states[t].h.maxAbsDiff(again[t].h), 0.0f);
+    }
+}
+
+TEST(DgnnForward, HiddenStateEvolvesAcrossSnapshots)
+{
+    graph::EvolutionConfig gconfig;
+    gconfig.numVertices = 32;
+    gconfig.numEdges = 96;
+    gconfig.numSnapshots = 2;
+    gconfig.featureDim = 8;
+    gconfig.dissimilarity = 0.0; // identical snapshots
+    const auto dg = graph::generateDynamicGraph(gconfig);
+
+    DgnnConfig config;
+    config.gcnDims = {8};
+    config.lstmHidden = 8;
+    const auto weights = DgnnWeights::random(config, 8, 2);
+    Rng rng(3);
+    const auto features = Matrix::random(32, 8, rng, 1.0f);
+    const auto states = dgnnForward(dg, features, config, weights);
+    // Identical graphs give identical z but the recurrent state must
+    // still evolve.
+    EXPECT_FLOAT_EQ(states[0].z.maxAbsDiff(states[1].z), 0.0f);
+    EXPECT_GT(states[0].h.maxAbsDiff(states[1].h), 0.0f);
+}
+
+/**
+ * GCN is permutation-equivariant: relabeling vertices permutes the
+ * output rows identically.
+ */
+TEST(GcnLayer, PermutationEquivariance)
+{
+    Rng rng(21);
+    const auto g = graph::generateRmat(32, 96, {}, rng);
+    const auto x = Matrix::random(32, 4, rng);
+    const auto w = Matrix::random(4, 3, rng);
+    const auto base = gcnLayer(g, x, w);
+
+    // Permutation: reverse the ids.
+    auto perm = [&](VertexId v) {
+        return static_cast<VertexId>(31 - v);
+    };
+    std::vector<graph::Edge> perm_edges;
+    for (auto [u, v] : g.edgeList())
+        perm_edges.emplace_back(perm(u), perm(v));
+    const auto pg = graph::Csr::fromEdges(32, perm_edges);
+    Matrix px(32, 4);
+    for (int r = 0; r < 32; ++r)
+        for (int c = 0; c < 4; ++c)
+            px.at(perm(static_cast<VertexId>(r)), c) = x.at(r, c);
+
+    const auto pout = gcnLayer(pg, px, w);
+    for (int r = 0; r < 32; ++r)
+        for (int c = 0; c < 3; ++c)
+            EXPECT_NEAR(pout.at(perm(static_cast<VertexId>(r)), c),
+                        base.at(r, c), 1e-5f);
+}
+
+TEST(DgnnWeights, ShapesMatchConfig)
+{
+    DgnnConfig config;
+    config.gcnDims = {32, 16};
+    config.lstmHidden = 24;
+    const auto w = DgnnWeights::random(config, 10, 1);
+    ASSERT_EQ(w.gcn.size(), 2u);
+    EXPECT_EQ(w.gcn[0].rows(), 10);
+    EXPECT_EQ(w.gcn[0].cols(), 32);
+    EXPECT_EQ(w.gcn[1].rows(), 32);
+    EXPECT_EQ(w.gcn[1].cols(), 16);
+    EXPECT_EQ(w.wi.rows(), 16);
+    EXPECT_EQ(w.wi.cols(), 24);
+    EXPECT_EQ(w.ui.rows(), 24);
+    EXPECT_EQ(w.ui.cols(), 24);
+}
+
+TEST(DgnnConfig, DimensionHelpers)
+{
+    DgnnConfig config;
+    config.gcnDims = {256, 128};
+    EXPECT_EQ(config.numGcnLayers(), 2);
+    EXPECT_EQ(config.gcnInputDim(0, 500), 500);
+    EXPECT_EQ(config.gcnInputDim(1, 500), 256);
+    EXPECT_EQ(config.gcnOutputDim(0), 256);
+    EXPECT_EQ(config.gcnOutputDim(1), 128);
+    EXPECT_EQ(config.gnnOutputDim(), 128);
+}
+
+} // namespace
+} // namespace ditile::model

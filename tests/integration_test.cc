@@ -1,0 +1,193 @@
+/**
+ * @file
+ * End-to-end integration tests: the full accelerator fleet on scaled
+ * paper datasets, asserting the qualitative shape of every headline
+ * result (Figures 7, 8, 9, 12, 13).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/ditile_accelerator.hh"
+#include "graph/datasets.hh"
+#include "model/accounting.hh"
+#include "sim/baselines.hh"
+
+namespace ditile {
+namespace {
+
+graph::DynamicGraph
+scaledDataset(const std::string &name, double scale = 0.0)
+{
+    graph::DatasetOptions options;
+    options.scale = scale;
+    // The evaluation horizon: short streams leave snapshot-0's full
+    // recompute dominant, which is not the regime the paper measures.
+    options.numSnapshots = 8;
+    return graph::makeDataset(name, options);
+}
+
+std::vector<std::unique_ptr<sim::Accelerator>>
+fleet()
+{
+    std::vector<std::unique_ptr<sim::Accelerator>> accelerators;
+    accelerators.push_back(sim::makeReady());
+    accelerators.push_back(sim::makeDgnnBooster());
+    accelerators.push_back(sim::makeRace());
+    accelerators.push_back(sim::makeMega());
+    accelerators.push_back(std::make_unique<core::DiTileAccelerator>());
+    return accelerators;
+}
+
+class DatasetShape : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    // Dataset default scales = the paper operating point; scaled-down
+    // micro graphs sit outside it (see DESIGN.md).
+    static constexpr double kScale = 0.0;
+};
+
+TEST_P(DatasetShape, ExecutionTimeOrdering)
+{
+    const auto dg = scaledDataset(GetParam(), kScale);
+    model::DgnnConfig config;
+    auto accelerators = fleet();
+
+    std::vector<Cycle> cycles;
+    for (auto &acc : accelerators)
+        cycles.push_back(acc->run(dg, config).totalCycles);
+
+    const Cycle ditile = cycles.back();
+    // Figure 9 shape: DiTile fastest; the Re-Alg designs slowest.
+    for (std::size_t i = 0; i + 1 < cycles.size(); ++i)
+        EXPECT_LT(ditile, cycles[i]) << accelerators[i]->name();
+    EXPECT_GT(cycles[0], cycles[2]); // ReaDy > RACE.
+    EXPECT_GT(cycles[1], cycles[2]); // Booster > RACE.
+}
+
+TEST_P(DatasetShape, EnergyOrdering)
+{
+    const auto dg = scaledDataset(GetParam(), kScale);
+    model::DgnnConfig config;
+    auto accelerators = fleet();
+
+    std::vector<double> energy;
+    for (auto &acc : accelerators)
+        energy.push_back(acc->run(dg, config).energy.totalPj());
+    const double ditile = energy.back();
+    // Figure 12 shape: DiTile most efficient by a wide margin.
+    for (std::size_t i = 0; i + 1 < energy.size(); ++i)
+        EXPECT_LT(ditile * 1.5, energy[i]) << accelerators[i]->name();
+}
+
+TEST_P(DatasetShape, AlgorithmOpsOrdering)
+{
+    const auto dg = scaledDataset(GetParam(), kScale);
+    model::DgnnConfig config;
+    // Figure 7 shape.
+    const auto re = model::countTotalOps(dg, config,
+                                         model::AlgoKind::ReAlg)
+                        .totalArithmetic();
+    const auto race = model::countTotalOps(dg, config,
+                                           model::AlgoKind::RaceAlg)
+                          .totalArithmetic();
+    const auto mega = model::countTotalOps(dg, config,
+                                           model::AlgoKind::MegaAlg)
+                          .totalArithmetic();
+    const auto ditile =
+        model::countTotalOps(dg, config, model::AlgoKind::DiTileAlg)
+            .totalArithmetic();
+    EXPECT_GT(re, race);
+    EXPECT_GE(race, mega);
+    EXPECT_GT(mega, ditile);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, DatasetShape,
+                         ::testing::Values("PM", "WD", "TW"));
+
+TEST(Integration, SensitivityKeepsDiTileAhead)
+{
+    // Figure 13 shape: DiTile wins at every dissimilarity band.
+    model::DgnnConfig config;
+    for (double dis : {0.03, 0.08, 0.13}) {
+        graph::DatasetOptions options;
+        options.scale = 0.0; // dataset default scale
+        options.numSnapshots = 12;
+        options.dissimilarity = dis;
+        const auto dg = graph::makeDataset("WD", options);
+        core::DiTileAccelerator ditile;
+        const auto dt = ditile.run(dg, config).totalCycles;
+        for (auto make : {sim::makeReady, sim::makeRace}) {
+            auto baseline = make(sim::AcceleratorConfig::defaults());
+            EXPECT_LT(dt, baseline->run(dg, config).totalCycles)
+                << baseline->name() << " dis=" << dis;
+        }
+    }
+}
+
+TEST(Integration, ReAlgAdvantageShrinksWithDissimilarity)
+{
+    // Figure 13 trend: the speedup over recomputation-based designs
+    // falls as snapshots diverge.
+    model::DgnnConfig config;
+    double prev_ratio = 1e300;
+    for (double dis : {0.02, 0.08, 0.14}) {
+        graph::DatasetOptions options;
+        options.scale = 0.0; // dataset default scale
+        options.numSnapshots = 10;
+        options.dissimilarity = dis;
+        const auto dg = graph::makeDataset("WD", options);
+        core::DiTileAccelerator ditile;
+        const auto dt = ditile.run(dg, config).totalCycles;
+        auto ready = sim::makeReady();
+        const double ratio =
+            static_cast<double>(ready->run(dg, config).totalCycles) /
+            static_cast<double>(dt);
+        EXPECT_LT(ratio, prev_ratio * 1.05) << "dis=" << dis;
+        prev_ratio = ratio;
+    }
+}
+
+TEST(Integration, WholeFleetIsDeterministic)
+{
+    const auto dg = scaledDataset("TW", 0.08);
+    model::DgnnConfig config;
+    auto first = fleet();
+    auto second = fleet();
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        const auto a = first[i]->run(dg, config);
+        const auto b = second[i]->run(dg, config);
+        EXPECT_EQ(a.totalCycles, b.totalCycles) << first[i]->name();
+        EXPECT_DOUBLE_EQ(a.energy.totalPj(), b.energy.totalPj());
+        EXPECT_EQ(a.nocBytes, b.nocBytes);
+    }
+}
+
+TEST(Integration, ControlEnergyStaysBelowPaperBound)
+{
+    const auto dg = scaledDataset("WD", 0.2);
+    model::DgnnConfig config;
+    core::DiTileAccelerator accel;
+    const auto r = accel.run(dg, config);
+    // Paper: control and configuration < 7% of total energy.
+    EXPECT_LT(r.energy.controlPj, 0.07 * r.energy.totalPj());
+    EXPECT_GT(r.energy.controlPj, 0.0);
+}
+
+TEST(Integration, UtilizationAboveBaselinesOnWd)
+{
+    const auto dg = scaledDataset("WD", 0.2);
+    model::DgnnConfig config;
+    core::DiTileAccelerator ditile;
+    const double dt_util = ditile.run(dg, config).peUtilization;
+    double baseline_sum = 0.0;
+    auto accelerators = fleet();
+    for (std::size_t i = 0; i + 1 < accelerators.size(); ++i)
+        baseline_sum += accelerators[i]->run(dg, config).peUtilization;
+    // Figure 11a shape: DiTile beats the baseline average.
+    EXPECT_GT(dt_util, baseline_sum / 4.0);
+}
+
+} // namespace
+} // namespace ditile

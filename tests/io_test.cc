@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for edge-list and event-stream I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/io.hh"
+
+namespace ditile::graph {
+namespace {
+
+TEST(ReadEdgeList, BasicParse)
+{
+    std::istringstream in("# comment\n0 1\n1 2\n\n% other comment\n"
+                          "2 0\n");
+    const auto g = readEdgeList(in);
+    EXPECT_EQ(g.numVertices(), 3);
+    EXPECT_EQ(g.numEdges(), 3);
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(2, 0));
+}
+
+TEST(ReadEdgeList, ExplicitUniverse)
+{
+    std::istringstream in("0 1\n");
+    const auto g = readEdgeList(in, 10);
+    EXPECT_EQ(g.numVertices(), 10);
+    EXPECT_EQ(g.numEdges(), 1);
+}
+
+TEST(ReadEdgeList, TabsAndDuplicates)
+{
+    std::istringstream in("0\t1\n1\t0\n0 1\n");
+    const auto g = readEdgeList(in);
+    EXPECT_EQ(g.numEdges(), 1);
+}
+
+TEST(ReadEdgeList, EmptyInput)
+{
+    std::istringstream in("# nothing\n");
+    const auto g = readEdgeList(in);
+    EXPECT_EQ(g.numVertices(), 0);
+    EXPECT_EQ(g.numEdges(), 0);
+}
+
+TEST(ReadEdgeList, MalformedLineIsFatal)
+{
+    std::istringstream in("0 x\n");
+    EXPECT_EXIT(readEdgeList(in), ::testing::ExitedWithCode(1),
+                "parse error");
+}
+
+TEST(ReadEdgeList, OutOfUniverseIsFatal)
+{
+    std::istringstream in("0 9\n");
+    EXPECT_EXIT(readEdgeList(in, 5), ::testing::ExitedWithCode(1),
+                "outside the declared universe");
+}
+
+TEST(ReadEdgeList, NegativeIdIsFatal)
+{
+    std::istringstream in("-1 2\n");
+    EXPECT_EXIT(readEdgeList(in), ::testing::ExitedWithCode(1),
+                "negative vertex id");
+}
+
+TEST(WriteEdgeList, RoundTrips)
+{
+    const auto g = Csr::fromEdges(5, {{0, 1}, {1, 2}, {3, 4}, {0, 4}});
+    std::ostringstream out;
+    writeEdgeList(out, g);
+    std::istringstream in(out.str());
+    const auto back = readEdgeList(in, 5);
+    EXPECT_EQ(back.edgeList(), g.edgeList());
+}
+
+TEST(FileIo, WriteAndReadBack)
+{
+    const std::string path = ::testing::TempDir() +
+        "/ditile_io_test.el";
+    const auto g = Csr::fromEdges(4, {{0, 1}, {2, 3}});
+    writeEdgeListFile(path, g);
+    const auto back = readEdgeListFile(path);
+    EXPECT_EQ(back.edgeList(), g.edgeList());
+    std::remove(path.c_str());
+}
+
+TEST(FileIo, MissingFileIsFatal)
+{
+    EXPECT_EXIT(readEdgeListFile("/nonexistent/nowhere.el"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(SnapshotFiles, LoadsDynamicGraph)
+{
+    const std::string base = ::testing::TempDir() + "/ditile_snap";
+    std::vector<std::string> paths;
+    for (int t = 0; t < 3; ++t) {
+        const auto path = base + std::to_string(t) + ".el";
+        std::ofstream out(path);
+        out << "0 1\n";
+        if (t >= 1)
+            out << "1 2\n";
+        if (t >= 2)
+            out << "2 3\n";
+        paths.push_back(path);
+    }
+    const auto dg = readSnapshotFiles("disk", paths, 16);
+    EXPECT_EQ(dg.numSnapshots(), 3);
+    EXPECT_EQ(dg.numVertices(), 4); // max id across files + 1.
+    EXPECT_EQ(dg.snapshot(0).numEdges(), 1);
+    EXPECT_EQ(dg.snapshot(2).numEdges(), 3);
+    EXPECT_EQ(dg.delta(1).addedEdges().size(), 1u);
+    for (const auto &p : paths)
+        std::remove(p.c_str());
+}
+
+TEST(EventStream, ParsesOpsAndTimestamps)
+{
+    std::istringstream in("# events\n+ 1 2 0.5\n- 0 1 1.5\n+ 2 3 2.0\n");
+    auto ctdg = readEventStream("stream",
+                                Csr::fromEdges(4, {{0, 1}}), in);
+    ASSERT_EQ(ctdg.events().size(), 3u);
+    EXPECT_EQ(ctdg.events()[0].kind, GraphEvent::Kind::AddEdge);
+    EXPECT_EQ(ctdg.events()[1].kind, GraphEvent::Kind::RemoveEdge);
+    EXPECT_DOUBLE_EQ(ctdg.events()[2].timestamp, 2.0);
+    const auto dg = ctdg.discretize(4, 8);
+    EXPECT_FALSE(dg.snapshot(3).hasEdge(0, 1));
+    EXPECT_TRUE(dg.snapshot(3).hasEdge(2, 3));
+}
+
+TEST(EventStream, BadOpIsFatal)
+{
+    std::istringstream in("* 1 2 0.5\n");
+    EXPECT_EXIT(readEventStream("bad", Csr(4), in),
+                ::testing::ExitedWithCode(1), "event parse error");
+}
+
+} // namespace
+} // namespace ditile::graph

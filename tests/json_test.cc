@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the JSON emitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "common/json.hh"
+
+namespace ditile {
+namespace {
+
+TEST(JsonQuote, EscapesSpecials)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(jsonQuote("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(jsonQuote("a\nb"), "\"a\\nb\"");
+    EXPECT_EQ(jsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonObject, ScalarFields)
+{
+    JsonObject obj;
+    obj.add("name", "ditile");
+    obj.add("cycles", static_cast<long long>(12345));
+    obj.add("ratio", 0.5);
+    obj.add("ok", true);
+    const auto s = obj.toString();
+    EXPECT_NE(s.find("\"name\": \"ditile\""), std::string::npos);
+    EXPECT_NE(s.find("\"cycles\": 12345"), std::string::npos);
+    EXPECT_NE(s.find("\"ratio\": 0.5"), std::string::npos);
+    EXPECT_NE(s.find("\"ok\": true"), std::string::npos);
+    EXPECT_EQ(s.front(), '{');
+    EXPECT_EQ(s.back(), '}');
+}
+
+TEST(JsonObject, IntegerValuedDoublesStayIntegers)
+{
+    JsonObject obj;
+    obj.add("count", 42.0);
+    EXPECT_NE(obj.toString().find("\"count\": 42"), std::string::npos);
+}
+
+TEST(JsonObject, NonFiniteBecomesNull)
+{
+    JsonObject obj;
+    obj.add("bad", std::nan(""));
+    EXPECT_NE(obj.toString().find("\"bad\": null"), std::string::npos);
+}
+
+TEST(JsonObject, PreservesInsertionOrder)
+{
+    JsonObject obj;
+    obj.add("z", 1.0);
+    obj.add("a", 2.0);
+    const auto s = obj.toString();
+    EXPECT_LT(s.find("\"z\""), s.find("\"a\""));
+}
+
+TEST(JsonObject, NestedStats)
+{
+    StatSet stats;
+    stats.add("cycles.total", 10.0);
+    stats.add("noc.bytes", 20.0);
+    JsonObject obj;
+    obj.add("name", "x");
+    obj.addStats("stats", stats);
+    const auto s = obj.toString();
+    EXPECT_NE(s.find("\"stats\": {"), std::string::npos);
+    EXPECT_NE(s.find("\"cycles.total\": 10"), std::string::npos);
+    EXPECT_NE(s.find("\"noc.bytes\": 20"), std::string::npos);
+}
+
+TEST(JsonObject, BalancedBraces)
+{
+    StatSet stats;
+    stats.add("a", 1.0);
+    JsonObject obj;
+    obj.addStats("s1", stats);
+    obj.addStats("s2", stats);
+    const auto s = obj.toString();
+    EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
+              std::count(s.begin(), s.end(), '}'));
+}
+
+} // namespace
+} // namespace ditile

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the dense matrix reference and scalar nonlinearities.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/matrix.hh"
+
+namespace ditile::model {
+namespace {
+
+TEST(Matrix, ConstructionAndFill)
+{
+    Matrix m(2, 3, 1.5f);
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.cols(), 3);
+    for (int r = 0; r < 2; ++r)
+        for (int c = 0; c < 3; ++c)
+            EXPECT_FLOAT_EQ(m.at(r, c), 1.5f);
+}
+
+TEST(Matrix, MatmulHandComputed)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 3;
+    a.at(1, 1) = 4;
+    Matrix b(2, 2);
+    b.at(0, 0) = 5;
+    b.at(0, 1) = 6;
+    b.at(1, 0) = 7;
+    b.at(1, 1) = 8;
+    const auto c = a.matmul(b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matrix, MatmulRectangular)
+{
+    Matrix a(1, 3, 1.0f);
+    Matrix b(3, 2);
+    for (int k = 0; k < 3; ++k) {
+        b.at(k, 0) = static_cast<float>(k);
+        b.at(k, 1) = static_cast<float>(2 * k);
+    }
+    const auto c = a.matmul(b);
+    EXPECT_EQ(c.rows(), 1);
+    EXPECT_EQ(c.cols(), 2);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 3);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 6);
+}
+
+TEST(Matrix, AddAndHadamard)
+{
+    Matrix a(1, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    Matrix b(1, 2);
+    b.at(0, 0) = 3;
+    b.at(0, 1) = 4;
+    const auto sum = a.add(b);
+    EXPECT_FLOAT_EQ(sum.at(0, 0), 4);
+    EXPECT_FLOAT_EQ(sum.at(0, 1), 6);
+    const auto prod = a.hadamard(b);
+    EXPECT_FLOAT_EQ(prod.at(0, 0), 3);
+    EXPECT_FLOAT_EQ(prod.at(0, 1), 8);
+}
+
+TEST(Matrix, ApplyElementwise)
+{
+    Matrix m(1, 3);
+    m.at(0, 0) = -1;
+    m.at(0, 1) = 0;
+    m.at(0, 2) = 2;
+    m.apply([](float v) { return v > 0 ? v : 0.0f; });
+    EXPECT_FLOAT_EQ(m.at(0, 0), 0);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 0);
+    EXPECT_FLOAT_EQ(m.at(0, 2), 2);
+}
+
+TEST(Matrix, MaxAbsDiff)
+{
+    Matrix a(1, 2, 1.0f);
+    Matrix b(1, 2, 1.0f);
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 0.0f);
+    b.at(0, 1) = 3.5f;
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 2.5f);
+}
+
+TEST(Matrix, RandomDeterministic)
+{
+    Rng a(3);
+    Rng b(3);
+    const auto ma = Matrix::random(4, 4, a);
+    const auto mb = Matrix::random(4, 4, b);
+    EXPECT_FLOAT_EQ(ma.maxAbsDiff(mb), 0.0f);
+    for (float v : ma.data()) {
+        EXPECT_GE(v, -0.1f);
+        EXPECT_LT(v, 0.1f);
+    }
+}
+
+TEST(Sigmoid, KnownValues)
+{
+    EXPECT_FLOAT_EQ(sigmoid(0.0f), 0.5f);
+    EXPECT_NEAR(sigmoid(2.0f), 1.0f / (1.0f + std::exp(-2.0f)), 1e-6f);
+    EXPECT_NEAR(sigmoid(-2.0f), 1.0f - sigmoid(2.0f), 1e-6f);
+}
+
+TEST(Sigmoid, SaturatesWithoutOverflow)
+{
+    EXPECT_NEAR(sigmoid(100.0f), 1.0f, 1e-6f);
+    EXPECT_NEAR(sigmoid(-100.0f), 0.0f, 1e-6f);
+}
+
+} // namespace
+} // namespace ditile::model

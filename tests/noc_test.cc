@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Tests for the NoC topologies and the contention-aware network
+ * simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "noc/network.hh"
+#include "noc/traffic_patterns.hh"
+
+namespace ditile::noc {
+namespace {
+
+NocConfig
+config4x4(TopologyKind kind, int relink_span = 4)
+{
+    NocConfig c;
+    c.rows = 4;
+    c.cols = 4;
+    c.topology = kind;
+    c.reLinkSpan = relink_span;
+    c.linkBytesPerCycle = 32;
+    c.routerLatencyCycles = 2;
+    return c;
+}
+
+/** Walk a route and return the vertex sequence it traverses. */
+int
+routeStops(const NocConfig &config, TileId src, TileId dst)
+{
+    auto topo = Topology::create(config);
+    int stops = 0;
+    for (const auto &hop : topo->route(src, dst,
+                                       TrafficClass::Spatial))
+        stops += hop.routerStop;
+    return stops;
+}
+
+TEST(TrafficClassName, AllNamed)
+{
+    EXPECT_STREQ(trafficClassName(TrafficClass::Temporal), "temporal");
+    EXPECT_STREQ(trafficClassName(TrafficClass::Spatial), "spatial");
+    EXPECT_STREQ(trafficClassName(TrafficClass::Reuse), "reuse");
+    EXPECT_STREQ(trafficClassName(TrafficClass::Control), "control");
+}
+
+TEST(TopologyKindName, AllNamed)
+{
+    EXPECT_STREQ(topologyKindName(TopologyKind::Mesh), "mesh");
+    EXPECT_STREQ(topologyKindName(TopologyKind::Ring), "ring");
+    EXPECT_STREQ(topologyKindName(TopologyKind::Crossbar), "crossbar");
+    EXPECT_STREQ(topologyKindName(TopologyKind::Reconfigurable),
+                 "reconfigurable");
+}
+
+TEST(MeshTopology, XyRouteLengths)
+{
+    const auto config = config4x4(TopologyKind::Mesh);
+    auto topo = Topology::create(config);
+    // (0,0) -> (3,3): 3 horizontal + 3 vertical hops.
+    EXPECT_EQ(topo->route(0, 15, TrafficClass::Spatial).size(), 6u);
+    // Same tile: empty route.
+    EXPECT_TRUE(topo->route(5, 5, TrafficClass::Spatial).empty());
+    // Neighbors: one hop.
+    EXPECT_EQ(topo->route(0, 1, TrafficClass::Spatial).size(), 1u);
+    // Mesh has no wraparound: (row 0, col 0) -> (row 0, col 3) is 3.
+    EXPECT_EQ(topo->route(0, 3, TrafficClass::Spatial).size(), 3u);
+}
+
+TEST(RingTopology, WrapsAroundMinimalDirection)
+{
+    const auto config = config4x4(TopologyKind::Ring);
+    auto topo = Topology::create(config);
+    // Column 0 -> column 3 wraps West: 1 hop.
+    EXPECT_EQ(topo->route(0, 3, TrafficClass::Temporal).size(), 1u);
+    // Row 0 -> row 3 wraps North: 1 hop.
+    EXPECT_EQ(topo->route(0, 12, TrafficClass::Spatial).size(), 1u);
+}
+
+TEST(CrossbarTopology, SingleHop)
+{
+    const auto config = config4x4(TopologyKind::Crossbar);
+    auto topo = Topology::create(config);
+    EXPECT_EQ(topo->route(0, 15, TrafficClass::Spatial).size(), 1u);
+    EXPECT_TRUE(topo->route(7, 7, TrafficClass::Spatial).empty());
+}
+
+TEST(ReconfigurableTopology, BypassReducesRouterStops)
+{
+    NocConfig ring = config4x4(TopologyKind::Ring);
+    ring.rows = 16;
+    ring.cols = 16;
+    NocConfig re = ring;
+    re.topology = TopologyKind::Reconfigurable;
+    re.reLinkSpan = 4;
+    // Vertical distance 7 within one column: ring stops 7 times,
+    // Re-Link stops every 4 hops plus the final stop.
+    const TileId src = 0;
+    const TileId dst = 7 * 16;
+    EXPECT_EQ(routeStops(ring, src, dst), 7);
+    EXPECT_EQ(routeStops(re, src, dst), 2);
+}
+
+TEST(ReconfigurableTopology, ZeroLoadLatencyBeatsPlainRing)
+{
+    NocConfig ring = config4x4(TopologyKind::Ring);
+    ring.rows = 16;
+    ring.cols = 16;
+    NocConfig re = ring;
+    re.topology = TopologyKind::Reconfigurable;
+    Message m;
+    m.src = 0;
+    m.dst = 6 * 16; // six vertical hops.
+    m.bytes = 512;
+    EXPECT_LT(zeroLoadLatency(re, m), zeroLoadLatency(ring, m));
+}
+
+TEST(ZeroLoadLatency, SerializationPlusRouterLatency)
+{
+    const auto config = config4x4(TopologyKind::Mesh);
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.bytes = 64; // two cycles at 32 B/cycle.
+    EXPECT_EQ(zeroLoadLatency(config, m),
+              2u + config.routerLatencyCycles);
+}
+
+TEST(SimulateTraffic, EmptyBatch)
+{
+    const auto res = simulateTraffic(config4x4(TopologyKind::Mesh), {});
+    EXPECT_EQ(res.makespan, 0u);
+    EXPECT_EQ(res.numMessages, 0u);
+    EXPECT_DOUBLE_EQ(res.avgLatency, 0.0);
+}
+
+TEST(SimulateTraffic, SingleMessageMatchesZeroLoad)
+{
+    const auto config = config4x4(TopologyKind::Mesh);
+    Message m;
+    m.src = 0;
+    m.dst = 10;
+    m.bytes = 96;
+    const auto res = simulateTraffic(config, {m});
+    EXPECT_EQ(res.makespan, zeroLoadLatency(config, m));
+    EXPECT_EQ(res.numMessages, 1u);
+    EXPECT_EQ(res.totalBytes, 96u);
+}
+
+TEST(SimulateTraffic, ContentionSerializesSharedLink)
+{
+    const auto config = config4x4(TopologyKind::Mesh);
+    Message a;
+    a.src = 0;
+    a.dst = 1;
+    a.bytes = 320; // 10 cycles serialization.
+    Message b = a;
+    const auto one = simulateTraffic(config, {a});
+    const auto two = simulateTraffic(config, {a, b});
+    // The second message waits for the link: makespan roughly doubles
+    // the serialization component.
+    EXPECT_GE(two.makespan, one.makespan + 10);
+}
+
+TEST(SimulateTraffic, DisjointPathsOverlap)
+{
+    const auto config = config4x4(TopologyKind::Mesh);
+    Message a;
+    a.src = 0;
+    a.dst = 1;
+    a.bytes = 320;
+    Message b;
+    b.src = 14;
+    b.dst = 15;
+    b.bytes = 320;
+    const auto both = simulateTraffic(config, {a, b});
+    const auto alone = simulateTraffic(config, {a});
+    EXPECT_EQ(both.makespan, alone.makespan);
+}
+
+TEST(SimulateTraffic, InjectCycleDelaysService)
+{
+    const auto config = config4x4(TopologyKind::Mesh);
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.bytes = 32;
+    m.injectCycle = 1000;
+    const auto res = simulateTraffic(config, {m});
+    EXPECT_GE(res.makespan, 1000u);
+}
+
+TEST(SimulateTraffic, ByteAccountingConserved)
+{
+    Rng rng(5);
+    std::vector<Message> msgs;
+    ByteCount total = 0;
+    for (int i = 0; i < 200; ++i) {
+        Message m;
+        m.src = static_cast<TileId>(rng.uniformInt(0, 15));
+        m.dst = static_cast<TileId>(rng.uniformInt(0, 15));
+        m.bytes = static_cast<ByteCount>(rng.uniformInt(1, 2048));
+        m.cls = static_cast<TrafficClass>(rng.uniformInt(0, 3));
+        total += m.bytes;
+        msgs.push_back(m);
+    }
+    const auto res = simulateTraffic(config4x4(TopologyKind::Mesh),
+                                     msgs);
+    EXPECT_EQ(res.totalBytes, total);
+    ByteCount by_class = 0;
+    for (int c = 0; c < 4; ++c)
+        by_class += res.bytesByClass[c];
+    EXPECT_EQ(by_class, total);
+    // Every hop of every message carries its bytes.
+    EXPECT_GE(res.hopBytes, res.routerBytes);
+}
+
+TEST(SimulateTraffic, StatsExportComplete)
+{
+    Message m;
+    m.src = 0;
+    m.dst = 3;
+    m.bytes = 128;
+    m.cls = TrafficClass::Reuse;
+    const auto res = simulateTraffic(config4x4(TopologyKind::Ring),
+                                     {m});
+    const auto stats = res.toStats();
+    EXPECT_GT(stats.get("noc.makespan_cycles"), 0.0);
+    EXPECT_DOUBLE_EQ(stats.get("noc.reuse_bytes"), 128.0);
+    EXPECT_DOUBLE_EQ(stats.get("noc.total_bytes"), 128.0);
+}
+
+/**
+ * Property: for random batches, the reconfigurable topology's vertical
+ * traffic never loses to the plain ring (same paths, fewer stops).
+ */
+class TopologyComparison : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TopologyComparison, ReLinkNoWorseThanRingForColumnTraffic)
+{
+    Rng rng(GetParam());
+    std::vector<Message> msgs;
+    for (int i = 0; i < 64; ++i) {
+        Message m;
+        const int col = static_cast<int>(rng.uniformInt(0, 15));
+        m.src = static_cast<TileId>(rng.uniformInt(0, 15) * 16 + col);
+        m.dst = static_cast<TileId>(rng.uniformInt(0, 15) * 16 + col);
+        m.bytes = static_cast<ByteCount>(rng.uniformInt(64, 4096));
+        msgs.push_back(m);
+    }
+    NocConfig ring;
+    ring.topology = TopologyKind::Ring;
+    NocConfig re = ring;
+    re.topology = TopologyKind::Reconfigurable;
+    const auto ring_res = simulateTraffic(ring, msgs);
+    const auto re_res = simulateTraffic(re, std::move(msgs));
+    EXPECT_LE(re_res.makespan, ring_res.makespan);
+    EXPECT_LE(re_res.routerStops, ring_res.routerStops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyComparison,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(TrafficPatterns, EndpointsInRangeForEveryPattern)
+{
+    Rng rng(5);
+    for (auto pattern : allTrafficPatterns()) {
+        const auto msgs = generateTraffic(pattern, 4, 4, 128, 64,
+                                          rng);
+        ASSERT_EQ(msgs.size(), 128u) << trafficPatternName(pattern);
+        for (const auto &m : msgs) {
+            EXPECT_GE(m.src, 0);
+            EXPECT_LT(m.src, 16);
+            EXPECT_GE(m.dst, 0);
+            EXPECT_LT(m.dst, 16);
+            EXPECT_EQ(m.bytes, 64u);
+        }
+    }
+}
+
+TEST(TrafficPatterns, HotspotTargetsOneTile)
+{
+    Rng rng(9);
+    const auto msgs = generateTraffic(TrafficPattern::Hotspot, 4, 4,
+                                      64, 32, rng);
+    for (const auto &m : msgs)
+        EXPECT_EQ(m.dst, 8);
+}
+
+TEST(TrafficPatterns, ColumnGatherStaysInColumn)
+{
+    Rng rng(11);
+    const auto msgs = generateTraffic(TrafficPattern::ColumnGather,
+                                      4, 4, 256, 32, rng);
+    for (const auto &m : msgs) {
+        EXPECT_EQ(m.src % 4, m.dst % 4);
+        EXPECT_EQ(m.cls, TrafficClass::Spatial);
+    }
+}
+
+TEST(TrafficPatterns, RowShiftMovesOneColumnEast)
+{
+    Rng rng(13);
+    const auto msgs = generateTraffic(TrafficPattern::RowShift, 4, 4,
+                                      16, 32, rng);
+    for (const auto &m : msgs) {
+        EXPECT_EQ(m.src / 4, m.dst / 4); // same row.
+        EXPECT_EQ((m.src % 4 + 1) % 4, m.dst % 4);
+        EXPECT_EQ(m.cls, TrafficClass::Temporal);
+    }
+}
+
+TEST(TrafficPatterns, RelinkBeatsPlainRingOnColumnGather)
+{
+    // The design claim behind the dual-layer interconnect.
+    Rng rng(17);
+    auto msgs = generateTraffic(TrafficPattern::ColumnGather, 16, 16,
+                                1024, 512, rng);
+    NocConfig ring;
+    ring.topology = TopologyKind::Ring;
+    NocConfig re = ring;
+    re.topology = TopologyKind::Reconfigurable;
+    const auto ring_res = simulateTraffic(ring, msgs);
+    const auto re_res = simulateTraffic(re, std::move(msgs));
+    EXPECT_LT(re_res.makespan, ring_res.makespan);
+}
+
+/** Routes must terminate at the destination for every topology. */
+class RouteValidity : public ::testing::TestWithParam<TopologyKind>
+{
+};
+
+TEST_P(RouteValidity, EveryPairRoutesWithFinalStop)
+{
+    NocConfig config = config4x4(GetParam());
+    auto topo = Topology::create(config);
+    for (TileId src = 0; src < 16; ++src) {
+        for (TileId dst = 0; dst < 16; ++dst) {
+            const auto hops = topo->route(src, dst,
+                                          TrafficClass::Spatial);
+            if (src == dst) {
+                EXPECT_TRUE(hops.empty());
+                continue;
+            }
+            ASSERT_FALSE(hops.empty());
+            // The final hop always stops at a router (the receiver).
+            EXPECT_TRUE(hops.back().routerStop);
+            for (const auto &hop : hops) {
+                EXPECT_GE(hop.link, 0);
+                EXPECT_LT(hop.link, topo->numLinks());
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, RouteValidity,
+                         ::testing::Values(TopologyKind::Mesh,
+                                           TopologyKind::Ring,
+                                           TopologyKind::Crossbar,
+                                           TopologyKind::Reconfigurable));
+
+} // namespace
+} // namespace ditile::noc

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the detailed tile microarchitecture model, including
+ * cross-validation against the engine's flat ops/MACs conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "sim/tile_model.hh"
+
+namespace ditile::sim {
+namespace {
+
+TEST(TileModel, EmptyPhase)
+{
+    TileModel tile;
+    const auto r = tile.executePhase({});
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.macBusyCycles, 0u);
+    EXPECT_DOUBLE_EQ(r.macUtilization, 0.0);
+}
+
+TEST(TileModel, SingleTaskTiming)
+{
+    TileConfig config;
+    TileModel tile(config);
+    VertexTask task;
+    task.macs = 160; // 10 cycles on a 16-MAC PE.
+    task.postOps = 0;
+    task.inputBytes = 64;
+    const auto r = tile.executePhase({task});
+    EXPECT_EQ(r.cycles, config.dispatchCycles + 10);
+    EXPECT_EQ(r.macBusyCycles, 10u);
+    EXPECT_EQ(r.stallCycles, 0u);
+    EXPECT_EQ(r.distBufferTraffic, 64u);
+}
+
+TEST(TileModel, TasksSpreadAcrossPes)
+{
+    TileConfig config;
+    TileModel tile(config);
+    // 16 equal tasks fill the 16 PEs exactly once.
+    const auto r = tile.executeUniformPhase(16, 160, 0, 0);
+    EXPECT_EQ(r.cycles, config.dispatchCycles + 10);
+    // 17th task doubles the makespan contribution of one PE.
+    const auto r2 = tile.executeUniformPhase(17, 160, 0, 0);
+    EXPECT_EQ(r2.cycles, 2 * (config.dispatchCycles + 10));
+}
+
+TEST(TileModel, LptBeatsWorstCaseOrdering)
+{
+    TileConfig config;
+    config.pes = 2;
+    config.dispatchCycles = 0;
+    TileModel tile(config);
+    // Tasks 8,7,6,5,4,3,2,1 (x16 macs = cycles): LPT on 2 PEs gives
+    // makespan 18 (optimal); any schedule is >= 18 = sum/2.
+    std::vector<VertexTask> tasks;
+    for (OpCount c : {8, 7, 6, 5, 4, 3, 2, 1}) {
+        VertexTask t;
+        t.macs = c * 16;
+        tasks.push_back(t);
+    }
+    const auto r = tile.executePhase(tasks);
+    EXPECT_EQ(r.cycles, 18u);
+    EXPECT_DOUBLE_EQ(r.macUtilization, 1.0);
+}
+
+TEST(TileModel, OversizedWorkingSetStalls)
+{
+    TileConfig config;
+    TileModel tile(config);
+    VertexTask task;
+    task.macs = 16;
+    task.inputBytes = config.localBufferBytes + 6400;
+    const auto r = tile.executePhase({task});
+    EXPECT_EQ(r.stallCycles,
+              6400u / static_cast<Cycle>(config.refillBytesPerCycle));
+    EXPECT_GT(r.cycles, config.dispatchCycles + 1);
+}
+
+TEST(TileModel, ReuseFifoBypassesStalls)
+{
+    TileConfig config;
+    TileModel tile(config);
+    VertexTask task;
+    task.macs = 16;
+    task.inputBytes = config.localBufferBytes * 2;
+    task.reuseHit = true;
+    const auto r = tile.executePhase({task});
+    EXPECT_EQ(r.stallCycles, 0u);
+    EXPECT_EQ(r.distBufferTraffic, 0u);
+    EXPECT_EQ(r.reuseFifoTraffic, task.inputBytes);
+}
+
+TEST(TileModel, PpuBecomesBottleneck)
+{
+    TileConfig config;
+    TileModel tile(config);
+    VertexTask task;
+    task.macs = 16; // 1 cycle of MAC work.
+    task.postOps = 6400; // 100 PPU cycles (64 ops/cycle tile-wide).
+    const auto r = tile.executePhase({task});
+    EXPECT_EQ(r.ppuCycles, 100u);
+    EXPECT_EQ(r.cycles, 100u);
+}
+
+TEST(TileModel, UtilizationDropsWithImbalance)
+{
+    TileConfig config;
+    config.dispatchCycles = 0;
+    TileModel tile(config);
+    // Balanced: 32 equal tasks.
+    const auto balanced = tile.executeUniformPhase(32, 160, 0, 0);
+    // Imbalanced: one huge task plus 31 trivial ones.
+    std::vector<VertexTask> skewed(32);
+    skewed[0].macs = 160 * 32;
+    for (int i = 1; i < 32; ++i)
+        skewed[static_cast<std::size_t>(i)].macs = 16;
+    const auto imbalanced = tile.executePhase(skewed);
+    EXPECT_GT(balanced.macUtilization, imbalanced.macUtilization);
+    EXPECT_GT(imbalanced.cycles, balanced.cycles);
+}
+
+/**
+ * Cross-validation: for balanced workloads without stalls, the
+ * detailed schedule lands within dispatch overhead of the engine's
+ * flat ops / (pes * macsPerPe) conversion.
+ */
+class FlatModelValidation : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FlatModelValidation, DetailedNearFlatForBalancedWork)
+{
+    Rng rng(GetParam());
+    TileConfig config;
+    TileModel tile(config);
+    std::vector<VertexTask> tasks;
+    OpCount total_macs = 0;
+    for (int i = 0; i < 512; ++i) {
+        VertexTask t;
+        t.macs = static_cast<OpCount>(rng.uniformInt(64, 512));
+        t.inputBytes = 256;
+        total_macs += t.macs;
+        tasks.push_back(t);
+    }
+    const auto detailed = tile.executePhase(tasks);
+    const double flat = static_cast<double>(total_macs) /
+        (static_cast<double>(config.pes) *
+         static_cast<double>(config.macsPerPe));
+    // Dispatch overhead and rounding put the detailed model above the
+    // flat bound, within a modest envelope.
+    EXPECT_GE(static_cast<double>(detailed.cycles), flat);
+    EXPECT_LE(static_cast<double>(detailed.cycles), flat * 1.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatModelValidation,
+                         ::testing::Values(1u, 3u, 19u));
+
+} // namespace
+} // namespace ditile::sim

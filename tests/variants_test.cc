@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for the model variants (GraphSAGE/GIN aggregators, GRU) and
+ * training-stage accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generator.hh"
+#include "model/functional.hh"
+#include "model/training.hh"
+
+namespace ditile::model {
+namespace {
+
+TEST(VariantNames, Complete)
+{
+    EXPECT_STREQ(aggregatorName(GnnAggregator::GcnNormalized), "GCN");
+    EXPECT_STREQ(aggregatorName(GnnAggregator::SageMean),
+                 "GraphSAGE-mean");
+    EXPECT_STREQ(aggregatorName(GnnAggregator::GinSum), "GIN");
+    EXPECT_STREQ(rnnKindName(RnnKind::Lstm), "LSTM");
+    EXPECT_STREQ(rnnKindName(RnnKind::Gru), "GRU");
+}
+
+TEST(GnnLayer, GcnVariantMatchesGcnLayer)
+{
+    Rng rng(3);
+    const auto g = graph::generateRmat(64, 256, {}, rng);
+    const auto x = Matrix::random(64, 8, rng);
+    const auto w = Matrix::random(8, 4, rng);
+    const auto a = gcnLayer(g, x, w);
+    const auto b = gnnLayer(g, x, w, GnnAggregator::GcnNormalized);
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 0.0f);
+}
+
+TEST(GnnLayer, SageMeanHandComputed)
+{
+    // Path 0-1: agg(0) = x0 + mean(x1) = 2 + 4 = 6.
+    const auto g = graph::Csr::fromEdges(2, {{0, 1}});
+    Matrix x(2, 1);
+    x.at(0, 0) = 2.0f;
+    x.at(1, 0) = 4.0f;
+    Matrix w(1, 1);
+    w.at(0, 0) = 1.0f;
+    const auto out = gnnLayer(g, x, w, GnnAggregator::SageMean, false);
+    EXPECT_NEAR(out.at(0, 0), 6.0f, 1e-6f);
+    EXPECT_NEAR(out.at(1, 0), 6.0f, 1e-6f);
+}
+
+TEST(GnnLayer, SageMeanAveragesNeighbors)
+{
+    // Star: center 0 with leaves 1, 2: agg(0) = x0 + (x1 + x2) / 2.
+    const auto g = graph::Csr::fromEdges(3, {{0, 1}, {0, 2}});
+    Matrix x(3, 1);
+    x.at(0, 0) = 1.0f;
+    x.at(1, 0) = 2.0f;
+    x.at(2, 0) = 6.0f;
+    Matrix w(1, 1);
+    w.at(0, 0) = 1.0f;
+    const auto out = gnnLayer(g, x, w, GnnAggregator::SageMean, false);
+    EXPECT_NEAR(out.at(0, 0), 1.0f + 4.0f, 1e-6f);
+}
+
+TEST(GnnLayer, GinSumHandComputed)
+{
+    // GIN: (1 + 0.1) * self + sum(neighbors).
+    const auto g = graph::Csr::fromEdges(3, {{0, 1}, {0, 2}});
+    Matrix x(3, 1);
+    x.at(0, 0) = 10.0f;
+    x.at(1, 0) = 2.0f;
+    x.at(2, 0) = 3.0f;
+    Matrix w(1, 1);
+    w.at(0, 0) = 1.0f;
+    const auto out = gnnLayer(g, x, w, GnnAggregator::GinSum, false);
+    EXPECT_NEAR(out.at(0, 0), 11.0f + 5.0f, 1e-5f);
+    EXPECT_NEAR(out.at(1, 0), 2.2f + 10.0f, 1e-5f);
+}
+
+TEST(GnnLayer, IsolatedVertexPerVariant)
+{
+    const auto g = graph::Csr::fromEdges(2, {});
+    Matrix x(2, 1);
+    x.at(0, 0) = 5.0f;
+    Matrix w(1, 1);
+    w.at(0, 0) = 1.0f;
+    const auto sage = gnnLayer(g, x, w, GnnAggregator::SageMean, false);
+    EXPECT_NEAR(sage.at(0, 0), 5.0f, 1e-6f);
+    const auto gin = gnnLayer(g, x, w, GnnAggregator::GinSum, false);
+    EXPECT_NEAR(gin.at(0, 0), 5.5f, 1e-6f);
+}
+
+TEST(GruStep, HandComputedScalar)
+{
+    DgnnConfig config;
+    config.gcnDims = {1};
+    config.lstmHidden = 1;
+    config.rnn = RnnKind::Gru;
+    DgnnWeights w = DgnnWeights::random(config, 1, 1);
+    for (Matrix *m : {&w.wi, &w.wf, &w.wc, &w.ui, &w.uf, &w.uc})
+        m->at(0, 0) = 1.0f;
+    Matrix z(1, 1, 1.0f);
+    Matrix h(1, 1, 0.0f);
+    gruStep(z, w, h);
+    // r = u = sigmoid(1); c = tanh(1 + u_c * (r * 0)) = tanh(1);
+    // h' = u * 0 + (1 - u) * tanh(1).
+    const float s1 = 1.0f / (1.0f + std::exp(-1.0f));
+    const float expected = (1.0f - s1) * std::tanh(1.0f);
+    EXPECT_NEAR(h.at(0, 0), expected, 1e-5f);
+}
+
+TEST(GruStep, HiddenBounded)
+{
+    DgnnConfig config;
+    config.gcnDims = {8};
+    config.lstmHidden = 8;
+    config.rnn = RnnKind::Gru;
+    const auto w = DgnnWeights::random(config, 8, 4);
+    Rng rng(5);
+    Matrix h(16, 8);
+    for (int step = 0; step < 20; ++step) {
+        const auto z = Matrix::random(16, 8, rng, 2.0f);
+        gruStep(z, w, h);
+        for (float v : h.data())
+            EXPECT_LE(std::fabs(v), 1.0f + 1e-5f);
+    }
+}
+
+TEST(RnnStep, DispatchesOnConfig)
+{
+    DgnnConfig lstm_config;
+    lstm_config.gcnDims = {4};
+    lstm_config.lstmHidden = 4;
+    DgnnConfig gru_config = lstm_config;
+    gru_config.rnn = RnnKind::Gru;
+    const auto w = DgnnWeights::random(lstm_config, 4, 9);
+    Rng rng(10);
+    const auto z = Matrix::random(8, 4, rng, 1.0f);
+
+    Matrix h1(8, 4);
+    Matrix c1(8, 4);
+    rnnStep(z, lstm_config, w, h1, c1);
+    Matrix h2(8, 4);
+    Matrix c2(8, 4);
+    lstmStep(z, w, h2, c2);
+    EXPECT_FLOAT_EQ(h1.maxAbsDiff(h2), 0.0f);
+
+    Matrix h3(8, 4);
+    Matrix c3(8, 4);
+    rnnStep(z, gru_config, w, h3, c3);
+    Matrix h4(8, 4);
+    gruStep(z, w, h4);
+    EXPECT_FLOAT_EQ(h3.maxAbsDiff(h4), 0.0f);
+    EXPECT_GT(h3.maxAbsDiff(h2), 0.0f); // GRU != LSTM.
+}
+
+TEST(RnnAccounting, GruCheaperThanLstm)
+{
+    DgnnConfig lstm;
+    DgnnConfig gru;
+    gru.rnn = RnnKind::Gru;
+    EXPECT_EQ(rnnMacsPerVertex(lstm) * 3, rnnMacsPerVertex(gru) * 4);
+    EXPECT_GT(rnnActivationsPerVertex(lstm),
+              rnnActivationsPerVertex(gru));
+}
+
+TEST(RnnAccounting, FlowsIntoTotalOps)
+{
+    graph::EvolutionConfig gconfig;
+    gconfig.numVertices = 128;
+    gconfig.numEdges = 512;
+    gconfig.numSnapshots = 3;
+    const auto dg = graph::generateDynamicGraph(gconfig);
+    DgnnConfig lstm;
+    DgnnConfig gru;
+    gru.rnn = RnnKind::Gru;
+    const auto lstm_ops = countTotalOps(dg, lstm, AlgoKind::ReAlg);
+    const auto gru_ops = countTotalOps(dg, gru, AlgoKind::ReAlg);
+    EXPECT_GT(lstm_ops.rnnMacs, gru_ops.rnnMacs);
+    EXPECT_EQ(lstm_ops.aggregationMacs, gru_ops.aggregationMacs);
+}
+
+TEST(DgnnForward, GruVariantRuns)
+{
+    graph::EvolutionConfig gconfig;
+    gconfig.numVertices = 48;
+    gconfig.numEdges = 160;
+    gconfig.numSnapshots = 3;
+    gconfig.featureDim = 6;
+    const auto dg = graph::generateDynamicGraph(gconfig);
+    DgnnConfig config;
+    config.gcnDims = {8, 4};
+    config.lstmHidden = 4;
+    config.rnn = RnnKind::Gru;
+    config.aggregator = GnnAggregator::GinSum;
+    const auto weights = DgnnWeights::random(config, 6, 2);
+    Rng rng(3);
+    const auto features = Matrix::random(48, 6, rng);
+    const auto states = dgnnForward(dg, features, config, weights);
+    ASSERT_EQ(states.size(), 3u);
+    // GRU leaves the (unused) cell state at zero.
+    for (const auto &s : states)
+        EXPECT_FLOAT_EQ(s.c.maxAbsDiff(Matrix(48, 4)), 0.0f);
+}
+
+TEST(Precision, NamesAndWidths)
+{
+    EXPECT_STREQ(precisionName(Precision::Fp32), "FP32");
+    EXPECT_STREQ(precisionName(Precision::Fp16), "FP16");
+    EXPECT_STREQ(precisionName(Precision::Int8), "INT8");
+    EXPECT_EQ(precisionBytes(Precision::Fp32), 4);
+    EXPECT_EQ(precisionBytes(Precision::Fp16), 2);
+    EXPECT_EQ(precisionBytes(Precision::Int8), 1);
+}
+
+TEST(Precision, WithPrecisionSwitchesBytes)
+{
+    DgnnConfig config;
+    EXPECT_EQ(config.bytesPerValue, 4);
+    const auto fp16 = config.withPrecision(Precision::Fp16);
+    EXPECT_EQ(fp16.bytesPerValue, 2);
+    EXPECT_EQ(fp16.precision, Precision::Fp16);
+    // Original unchanged; dims preserved.
+    EXPECT_EQ(config.bytesPerValue, 4);
+    EXPECT_EQ(fp16.gcnDims, config.gcnDims);
+}
+
+TEST(Precision, NarrowerFormatsShrinkDramTraffic)
+{
+    graph::EvolutionConfig gconfig;
+    gconfig.numVertices = 200;
+    gconfig.numEdges = 1000;
+    gconfig.numSnapshots = 3;
+    const auto dg = graph::generateDynamicGraph(gconfig);
+    DgnnConfig fp32;
+    fp32.gcnDims = {16, 8};
+    fp32.lstmHidden = 8;
+    const auto int8 = fp32.withPrecision(Precision::Int8);
+    AccountingParams params;
+    const auto wide = countTotalDram(dg, fp32, AlgoKind::ReAlg,
+                                     params);
+    const auto narrow = countTotalDram(dg, int8, AlgoKind::ReAlg,
+                                       params);
+    // Value-carrying classes shrink ~4x; adjacency ids do not.
+    EXPECT_NEAR(static_cast<double>(wide.inputFeatureBytes),
+                4.0 * static_cast<double>(narrow.inputFeatureBytes),
+                static_cast<double>(wide.inputFeatureBytes) * 0.01);
+    EXPECT_EQ(wide.adjacencyBytes, narrow.adjacencyBytes);
+    // Ops are precision-independent (same arithmetic, cheaper units).
+    EXPECT_EQ(countTotalOps(dg, fp32, AlgoKind::ReAlg)
+                  .totalArithmetic(),
+              countTotalOps(dg, int8, AlgoKind::ReAlg)
+                  .totalArithmetic());
+}
+
+TEST(Training, BackwardDoublesForwardMacs)
+{
+    graph::EvolutionConfig gconfig;
+    gconfig.numVertices = 128;
+    gconfig.numEdges = 512;
+    gconfig.numSnapshots = 3;
+    const auto dg = graph::generateDynamicGraph(gconfig);
+    DgnnConfig config;
+    config.gcnDims = {16, 8};
+    config.lstmHidden = 8;
+    const auto ops = countTrainingOps(dg, config, AlgoKind::ReAlg);
+    EXPECT_EQ(ops.backward.totalMacs(), 2 * ops.forward.totalMacs());
+    EXPECT_GT(ops.weightUpdateOps, 0u);
+    EXPECT_EQ(ops.totalArithmetic(),
+              ops.forward.totalArithmetic() +
+                  ops.backward.totalArithmetic() + ops.weightUpdateOps);
+}
+
+TEST(Training, RedundancyEliminationCarriesOver)
+{
+    graph::EvolutionConfig gconfig;
+    gconfig.numVertices = 300;
+    gconfig.numEdges = 1500;
+    gconfig.numSnapshots = 5;
+    gconfig.dissimilarity = 0.08;
+    const auto dg = graph::generateDynamicGraph(gconfig);
+    DgnnConfig config;
+    config.gcnDims = {16, 8};
+    config.lstmHidden = 8;
+    const auto re = countTrainingOps(dg, config, AlgoKind::ReAlg);
+    const auto ditile = countTrainingOps(dg, config,
+                                         AlgoKind::DiTileAlg);
+    EXPECT_GT(re.totalArithmetic(), ditile.totalArithmetic());
+}
+
+} // namespace
+} // namespace ditile::model

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for Algorithm 2: label-aggregation workload estimation and
+ * balanced round-robin partitioning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/generator.hh"
+#include "workload/balance.hh"
+
+namespace ditile::workload {
+namespace {
+
+TEST(SnapshotLoads, PathGraphHandComputed)
+{
+    // Path 0-1-2, L = 2. Walk counts:
+    //   1-walks: w1 = degree = [1, 2, 1].
+    //   2-walks: w2[v] = sum of neighbors' degrees = [2, 2, 2].
+    // Eq. 17 weights: (L - l' + 1) => 2*w1 + 1*w2.
+    const auto g = graph::Csr::fromEdges(3, {{0, 1}, {1, 2}});
+    const auto loads = computeSnapshotLoads(g, 2);
+    ASSERT_EQ(loads.size(), 3u);
+    EXPECT_DOUBLE_EQ(loads[0], 2.0 * 1 + 2.0);
+    EXPECT_DOUBLE_EQ(loads[1], 2.0 * 2 + 2.0);
+    EXPECT_DOUBLE_EQ(loads[2], 2.0 * 1 + 2.0);
+}
+
+TEST(SnapshotLoads, StarGraphHandComputed)
+{
+    // Star center 0 with 3 leaves, L = 2:
+    //   w1 = [3, 1, 1, 1]; w2[0] = 3 (leaves' degrees), w2[leaf] = 3.
+    const auto g = graph::Csr::fromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+    const auto loads = computeSnapshotLoads(g, 2);
+    EXPECT_DOUBLE_EQ(loads[0], 2.0 * 3 + 3.0);
+    EXPECT_DOUBLE_EQ(loads[1], 2.0 * 1 + 3.0);
+}
+
+TEST(SnapshotLoads, SingleLayerIsDegree)
+{
+    const auto g = graph::Csr::fromEdges(4, {{0, 1}, {0, 2}, {0, 3}});
+    const auto loads = computeSnapshotLoads(g, 1);
+    EXPECT_DOUBLE_EQ(loads[0], 3.0);
+    EXPECT_DOUBLE_EQ(loads[1], 1.0);
+}
+
+TEST(SnapshotLoads, PaperExampleReceptiveField)
+{
+    // The paper's Figure 4 walkthrough: with L = 2, a vertex with 3
+    // one-hop neighbors and 1 two-hop walk has workload
+    // 2*N1 + N2 = 7. Construct: A(0) adjacent to 1,2,3; vertex 1
+    // adjacent to 4 (A's 2-hop). Then w1[A] = 3, w2[A] = walks of
+    // length 2 ending at A = deg(1)+deg(2)+deg(3) = 2+1+1 = 4.
+    // Note the label-aggregation technique counts *walks*, so the
+    // backtracking A->x->A walks are included (the paper's example
+    // quotes distinct-neighbor counts; the technique itself, which we
+    // implement, accumulates labels along edges).
+    const auto g = graph::Csr::fromEdges(5,
+                                         {{0, 1}, {0, 2}, {0, 3},
+                                          {1, 4}});
+    const auto loads = computeSnapshotLoads(g, 2);
+    EXPECT_DOUBLE_EQ(loads[0], 2.0 * 3 + 4.0);
+}
+
+TEST(VertexLoads, SumsOverSnapshots)
+{
+    graph::EvolutionConfig config;
+    config.numVertices = 100;
+    config.numEdges = 400;
+    config.numSnapshots = 3;
+    config.dissimilarity = 0.0; // identical snapshots
+    const auto dg = graph::generateDynamicGraph(config);
+    const auto total = computeVertexLoads(dg, 2);
+    const auto single = computeSnapshotLoads(dg.snapshot(0), 2);
+    for (std::size_t i = 0; i < total.size(); ++i)
+        EXPECT_NEAR(total[i], 3.0 * single[i], 1e-9);
+}
+
+TEST(BalancedPartition, RoundRobinBySortedLoad)
+{
+    // Loads: v0 = 10, v1 = 40, v2 = 30, v3 = 20. Descending order:
+    // v1, v2, v3, v0 dealt to parts 0, 1, 0, 1.
+    const std::vector<double> loads = {10, 40, 30, 20};
+    const auto p = balancedPartition(loads, 2);
+    EXPECT_EQ(p.owner(1), 0);
+    EXPECT_EQ(p.owner(2), 1);
+    EXPECT_EQ(p.owner(3), 0);
+    EXPECT_EQ(p.owner(0), 1);
+}
+
+TEST(BalancedPartition, TiesBrokenByVertexId)
+{
+    const std::vector<double> loads = {5, 5, 5, 5};
+    const auto p = balancedPartition(loads, 2);
+    EXPECT_EQ(p.owner(0), 0);
+    EXPECT_EQ(p.owner(1), 1);
+    EXPECT_EQ(p.owner(2), 0);
+    EXPECT_EQ(p.owner(3), 1);
+}
+
+TEST(BalancedPartition, SinglePart)
+{
+    const std::vector<double> loads = {1, 2, 3};
+    const auto p = balancedPartition(loads, 1);
+    for (VertexId v = 0; v < 3; ++v)
+        EXPECT_EQ(p.owner(v), 0);
+}
+
+TEST(SplitGroups, CoversEverySnapshotOnce)
+{
+    const auto groups = splitGroups(8, 4, 2);
+    ASSERT_EQ(groups.size(), 8u); // 4 snapshot groups x 2 parts.
+    std::vector<int> snapshot_cover(8, 0);
+    for (const auto &g : groups) {
+        EXPECT_LT(g.snapshotBegin, g.snapshotEnd);
+        EXPECT_GE(g.vertexPart, 0);
+        EXPECT_LT(g.vertexPart, 2);
+        if (g.vertexPart == 0) {
+            for (SnapshotId t = g.snapshotBegin; t < g.snapshotEnd;
+                 ++t)
+                ++snapshot_cover[static_cast<std::size_t>(t)];
+        }
+    }
+    for (int c : snapshot_cover)
+        EXPECT_EQ(c, 1);
+}
+
+TEST(SplitGroups, UnevenSnapshotCount)
+{
+    const auto groups = splitGroups(5, 2, 1);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].snapshotBegin, 0);
+    EXPECT_EQ(groups[0].snapshotEnd, 3);
+    EXPECT_EQ(groups[1].snapshotBegin, 3);
+    EXPECT_EQ(groups[1].snapshotEnd, 5);
+}
+
+TEST(SplitGroups, MoreGroupsThanSnapshots)
+{
+    const auto groups = splitGroups(2, 8, 1);
+    // Only two non-empty groups exist.
+    ASSERT_EQ(groups.size(), 2u);
+}
+
+/**
+ * The headline property of Algorithm 2: the balanced partition's load
+ * imbalance beats contiguous partitioning on skewed graphs, across
+ * seeds and part counts.
+ */
+class BalanceProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>>
+{
+};
+
+TEST_P(BalanceProperty, BeatsContiguousOnSkewedGraphs)
+{
+    const auto [seed, parts] = GetParam();
+    graph::EvolutionConfig config;
+    config.numVertices = 1000;
+    config.numEdges = 8000;
+    config.numSnapshots = 4;
+    config.seed = seed;
+    const auto dg = graph::generateDynamicGraph(config);
+    const auto loads = computeVertexLoads(dg, 2);
+
+    const auto balanced = balancedPartition(loads, parts);
+    const auto contiguous =
+        graph::VertexPartition::contiguous(dg.numVertices(), parts);
+
+    const double bal = partitionImbalance(loads, balanced);
+    const double naive = partitionImbalance(loads, contiguous);
+    EXPECT_LT(bal, naive);
+    // Round-robin over sorted loads is near-perfect on large inputs.
+    EXPECT_LT(bal, 1.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BalanceProperty,
+    ::testing::Combine(::testing::Values(1u, 17u, 123u),
+                       ::testing::Values(4, 16)));
+
+TEST(BalancedPartition, AllPartsNonEmptyWhenEnoughVertices)
+{
+    const std::vector<double> loads(64, 1.0);
+    const auto p = balancedPartition(loads, 16);
+    for (auto size : p.partSizes())
+        EXPECT_EQ(size, 4);
+}
+
+} // namespace
+} // namespace ditile::workload

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * ditile_inspect — introspection into the simulator's data
+ * structures: snapshot statistics, incremental plans, the Algorithm-1
+ * strategy + Algorithm-2 mapping, and generated tile programs.
+ *
+ *   ditile_inspect dataset --dataset=WD
+ *   ditile_inspect plan --dataset=WD --algo=ditile
+ *   ditile_inspect mapping --dataset=WD
+ *   ditile_inspect program --dataset=WD [--verbose]
+ *
+ * Shared workload flags match ditile_run (--scale, --snapshots,
+ * --seed, --vertices/--edges for synthetic graphs).
+ */
+
+#include <algorithm>
+
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "core/ditile_accelerator.hh"
+#include "graph/datasets.hh"
+#include "graph/generator.hh"
+#include "graph/metrics.hh"
+#include "model/incremental.hh"
+#include "sim/isa.hh"
+
+using namespace ditile;
+
+namespace {
+
+graph::DynamicGraph
+buildWorkload(const CliFlags &flags)
+{
+    if (flags.has("dataset")) {
+        graph::DatasetOptions options;
+        options.scale = flags.getDouble("scale", 0.0);
+        options.numSnapshots = static_cast<SnapshotId>(
+            flags.getInt("snapshots", 8));
+        options.seed = static_cast<std::uint64_t>(
+            flags.getInt("seed", 0));
+        return graph::makeDataset(flags.getString("dataset", "WD"),
+                                  options);
+    }
+    graph::EvolutionConfig config;
+    config.numVertices = static_cast<VertexId>(
+        flags.getInt("vertices", 2000));
+    config.numEdges = flags.getInt("edges", 16000);
+    config.numSnapshots = static_cast<SnapshotId>(
+        flags.getInt("snapshots", 8));
+    config.dissimilarity = flags.getDouble("dissimilarity", 0.10);
+    config.featureDim = static_cast<int>(flags.getInt("features",
+                                                      128));
+    config.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+    return graph::generateDynamicGraph(config);
+}
+
+model::AlgoKind
+algoFromFlag(const CliFlags &flags)
+{
+    const auto name = flags.getString("algo", "ditile");
+    if (name == "re")
+        return model::AlgoKind::ReAlg;
+    if (name == "race")
+        return model::AlgoKind::RaceAlg;
+    if (name == "mega")
+        return model::AlgoKind::MegaAlg;
+    if (name == "ditile")
+        return model::AlgoKind::DiTileAlg;
+    DITILE_FATAL("unknown --algo '", name,
+                 "' (expected re|race|mega|ditile)");
+}
+
+void
+inspectDataset(const graph::DynamicGraph &dg)
+{
+    Table table("Snapshots of " + dg.name());
+    table.setHeader({"t", "Vertices", "Edges", "Avg deg", "Max deg",
+                     "Changes", "Dissimilarity"});
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
+        const auto &g = dg.snapshot(t);
+        table.addRow({Table::integer(t),
+                      Table::integer(g.numVertices()),
+                      Table::integer(static_cast<long long>(
+                          g.numEdges())),
+                      Table::num(g.avgDegree(), 1),
+                      Table::integer(g.maxDegree()),
+                      t == 0 ? "-" : Table::integer(
+                          static_cast<long long>(
+                              dg.delta(t).numChanges())),
+                      t == 0 ? "-" : Table::percent(
+                          dg.dissimilarity(t))});
+    }
+    table.print();
+    std::printf("feature dim %d, avg dissimilarity %.1f%%\n",
+                dg.featureDim(), dg.avgDissimilarity() * 100.0);
+}
+
+void
+inspectStats(const graph::DynamicGraph &dg)
+{
+    Table table("Structural metrics of " + dg.name());
+    table.setHeader({"t", "Mean deg", "Median", "P99", "Max", "CV",
+                     "Gini", "Clustering", "Jaccard vs prev"});
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
+        const auto &g = dg.snapshot(t);
+        const auto stats = graph::degreeStats(g);
+        table.addRow({Table::integer(t), Table::num(stats.mean, 1),
+                      Table::num(stats.median, 0),
+                      Table::num(stats.p99, 0),
+                      Table::integer(stats.max),
+                      Table::num(stats.cv, 2),
+                      Table::num(stats.gini, 3),
+                      Table::num(
+                          graph::averageClusteringCoefficient(g), 4),
+                      t == 0 ? "-" : Table::num(
+                          graph::edgeJaccard(dg.snapshot(t - 1), g),
+                          3)});
+    }
+    table.print();
+}
+
+void
+inspectPlan(const graph::DynamicGraph &dg, model::AlgoKind algo)
+{
+    const model::DgnnConfig mconfig;
+    model::IncrementalPlanner planner(dg, mconfig, algo);
+    Table table(std::string("Execution plan: ") +
+                model::algoName(algo));
+    table.setHeader({"t", "Full?", "L0 verts", "L0 gathers",
+                     "L1 verts", "L1 gathers", "RNN verts",
+                     "Adj updates"});
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
+        const auto &p = planner.plan(t);
+        table.addRow({Table::integer(t),
+                      p.fullRecompute ? "yes" : "no",
+                      Table::integer(static_cast<long long>(
+                          p.gcn[0].vertices.size())),
+                      Table::integer(static_cast<long long>(
+                          p.gcn[0].gatherEdges)),
+                      Table::integer(static_cast<long long>(
+                          p.gcn[1].vertices.size())),
+                      Table::integer(static_cast<long long>(
+                          p.gcn[1].gatherEdges)),
+                      Table::integer(static_cast<long long>(
+                          p.rnnVertices.size())),
+                      Table::integer(static_cast<long long>(
+                          p.adjacencyUpdates))});
+    }
+    table.print();
+}
+
+void
+inspectMapping(const graph::DynamicGraph &dg)
+{
+    core::DiTileAccelerator accel;
+    const model::DgnnConfig mconfig;
+    accel.run(dg, mconfig);
+    const auto &plan = accel.lastPlan();
+    const auto &mapping = accel.lastMapping();
+
+    std::printf("Algorithm 1: tiling factor a=%d (DRAM model %.3e "
+                "units, cross-fetch %.3f)\n",
+                plan.tiling.tilingFactor, plan.tiling.dramAccessUnits,
+                plan.tiling.crossFetchFraction());
+    std::printf("parallel factors: Gs=%d snapshot groups (Ps=%d), "
+                "Gv=%d vertex parts (Pv=%d), TotalComm %.3e units\n",
+                plan.parallelism.snapshotGroups,
+                plan.parallelism.snapshotsPerGroup,
+                plan.parallelism.vertexParts,
+                plan.parallelism.verticesPerPart,
+                plan.parallelism.totalCommUnits);
+    std::printf("Algorithm 2: load imbalance %.3f (1.0 = perfect)\n",
+                mapping.imbalance);
+    std::printf("snapshot -> column:");
+    for (std::size_t t = 0; t < mapping.snapshotColumn.size(); ++t)
+        std::printf(" %d:%d", static_cast<int>(t),
+                    mapping.snapshotColumn[t]);
+    std::printf("\nBDW groups: %zu\n", mapping.groups.size());
+}
+
+void
+inspectProgram(const graph::DynamicGraph &dg, bool verbose)
+{
+    const model::DgnnConfig mconfig;
+    model::IncrementalPlanner planner(dg, mconfig,
+                                      model::AlgoKind::DiTileAlg);
+    const auto &plan = planner.plan(
+        std::min<SnapshotId>(1, dg.numSnapshots() - 1));
+    // A representative tile worklist: the first 16th of the layer-0
+    // set.
+    std::vector<VertexId> worklist;
+    const auto &l0 = plan.gcn[0].vertices;
+    for (std::size_t i = 0; i < l0.size(); i += 16)
+        worklist.push_back(l0[i]);
+    const auto program = sim::buildGnnLayerProgram(
+        dg.snapshot(0), mconfig, 0, dg.featureDim(), worklist, {},
+        128);
+    std::printf("tile program: %zu instructions for %zu vertices\n",
+                program.size(), worklist.size());
+    const auto totals = sim::operandTotals(program);
+    std::printf("operand totals: MAC=%llu GLD=%llu ACT=%llu STO=%llu "
+                "SND=%llu\n",
+                static_cast<unsigned long long>(totals[
+                    static_cast<std::size_t>(sim::Opcode::Mac)]),
+                static_cast<unsigned long long>(totals[
+                    static_cast<std::size_t>(
+                        sim::Opcode::GatherLoad)]),
+                static_cast<unsigned long long>(totals[
+                    static_cast<std::size_t>(sim::Opcode::Activate)]),
+                static_cast<unsigned long long>(totals[
+                    static_cast<std::size_t>(
+                        sim::Opcode::StoreOutput)]),
+                static_cast<unsigned long long>(totals[
+                    static_cast<std::size_t>(sim::Opcode::SendMsg)]));
+    if (verbose)
+        std::fputs(sim::disassemble(program).c_str(), stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags = CliFlags::parse(argc, argv);
+    if (flags.positional().empty()) {
+        DITILE_FATAL("usage: ditile_inspect "
+                     "dataset|stats|plan|mapping|program [flags]");
+    }
+    const auto &command = flags.positional().front();
+    const auto dg = buildWorkload(flags);
+    if (command == "dataset") {
+        inspectDataset(dg);
+    } else if (command == "stats") {
+        inspectStats(dg);
+    } else if (command == "plan") {
+        inspectPlan(dg, algoFromFlag(flags));
+    } else if (command == "mapping") {
+        inspectMapping(dg);
+    } else if (command == "program") {
+        inspectProgram(dg, flags.getBool("verbose", false));
+    } else {
+        DITILE_FATAL("unknown command '", command, "'");
+    }
+    return 0;
+}

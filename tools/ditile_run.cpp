@@ -1,0 +1,231 @@
+/**
+ * @file
+ * ditile_run — the command-line front end of the simulator.
+ *
+ * Runs one or all accelerators over a dataset or a synthetic
+ * workload and reports a table, CSV, or a JSON record per run.
+ *
+ *   ditile_run --accel=all --dataset=WD
+ *   ditile_run --accel=ditile --vertices=5000 --edges=40000 --json
+ *   ditile_run --accel=ditile --variant=NoWos --rnn=gru
+ *   ditile_run --snapshots-dir evolution_t0.el evolution_t1.el ...
+ *
+ * Flags:
+ *   --accel=ditile|ready|booster|race|mega|all   (default ditile)
+ *   --variant=full|NoPs|NoWos|NoRa|OnlyPs|OnlyWos|OnlyRa
+ *   --dataset=PM|RD|MB|TW|WD|FK   --scale=F   (Table-1 workloads)
+ *   --vertices=N --edges=M --features=F --dissimilarity=D
+ *   --snapshots=T --seed=S
+ *   --rnn=lstm|gru  --aggregator=gcn|sage|gin
+ *   --detailed-tiles       (PE-level compute timing)
+ *   --json / --csv         (output format; default ASCII table)
+ *   --trace                (per-snapshot timeline table)
+ *   positional args: snapshot edge-list files (loads from disk)
+ */
+
+#include <memory>
+#include <vector>
+
+#include "common/cli.hh"
+#include "common/json.hh"
+#include "common/table.hh"
+#include "core/ditile_accelerator.hh"
+#include "graph/datasets.hh"
+#include "graph/generator.hh"
+#include "graph/io.hh"
+#include "sim/baselines.hh"
+#include "sim/engine.hh"
+
+using namespace ditile;
+
+namespace {
+
+graph::DynamicGraph
+buildWorkload(const CliFlags &flags)
+{
+    if (!flags.positional().empty()) {
+        return graph::readSnapshotFiles(
+            "disk", flags.positional(),
+            static_cast<int>(flags.getInt("features", 128)));
+    }
+    if (flags.has("dataset")) {
+        graph::DatasetOptions options;
+        options.scale = flags.getDouble("scale", 0.0);
+        options.numSnapshots = static_cast<SnapshotId>(
+            flags.getInt("snapshots", 8));
+        options.dissimilarity = flags.getDouble("dissimilarity", 0.0);
+        options.seed = static_cast<std::uint64_t>(
+            flags.getInt("seed", 0));
+        return graph::makeDataset(flags.getString("dataset", "WD"),
+                                  options);
+    }
+    graph::EvolutionConfig config;
+    config.name = "synthetic";
+    config.numVertices = static_cast<VertexId>(
+        flags.getInt("vertices", 2000));
+    config.numEdges = flags.getInt("edges", 16000);
+    config.numSnapshots = static_cast<SnapshotId>(
+        flags.getInt("snapshots", 8));
+    config.dissimilarity = flags.getDouble("dissimilarity", 0.10);
+    config.featureDim = static_cast<int>(flags.getInt("features",
+                                                      128));
+    config.seed = static_cast<std::uint64_t>(flags.getInt("seed", 1));
+    return graph::generateDynamicGraph(config);
+}
+
+model::DgnnConfig
+buildModel(const CliFlags &flags)
+{
+    model::DgnnConfig config;
+    const auto rnn = flags.getString("rnn", "lstm");
+    if (rnn == "gru")
+        config.rnn = model::RnnKind::Gru;
+    else if (rnn != "lstm")
+        DITILE_FATAL("unknown --rnn '", rnn, "'");
+    const auto agg = flags.getString("aggregator", "gcn");
+    if (agg == "sage")
+        config.aggregator = model::GnnAggregator::SageMean;
+    else if (agg == "gin")
+        config.aggregator = model::GnnAggregator::GinSum;
+    else if (agg != "gcn")
+        DITILE_FATAL("unknown --aggregator '", agg, "'");
+    return config;
+}
+
+std::vector<std::unique_ptr<sim::Accelerator>>
+buildAccelerators(const CliFlags &flags)
+{
+    const auto which = flags.getString("accel", "ditile");
+    auto hw = sim::AcceleratorConfig::defaults();
+    std::vector<std::unique_ptr<sim::Accelerator>> accelerators;
+    auto add_ditile = [&] {
+        auto options = core::DiTileOptions::fromVariant(
+            flags.getString("variant", "full"));
+        options.detailedTileTiming =
+            flags.getBool("detailed-tiles", false);
+        accelerators.push_back(
+            std::make_unique<core::DiTileAccelerator>(hw, options));
+    };
+    if (which == "all") {
+        accelerators.push_back(sim::makeReady(hw));
+        accelerators.push_back(sim::makeDgnnBooster(hw));
+        accelerators.push_back(sim::makeRace(hw));
+        accelerators.push_back(sim::makeMega(hw));
+        add_ditile();
+    } else if (which == "ditile") {
+        add_ditile();
+    } else if (which == "ready") {
+        accelerators.push_back(sim::makeReady(hw));
+    } else if (which == "booster") {
+        accelerators.push_back(sim::makeDgnnBooster(hw));
+    } else if (which == "race") {
+        accelerators.push_back(sim::makeRace(hw));
+    } else if (which == "mega") {
+        accelerators.push_back(sim::makeMega(hw));
+    } else {
+        DITILE_FATAL("unknown --accel '", which, "'");
+    }
+    return accelerators;
+}
+
+std::string
+resultToJson(const sim::RunResult &r, const graph::DynamicGraph &dg)
+{
+    JsonObject obj;
+    obj.add("accelerator", r.acceleratorName);
+    obj.add("workload", r.workloadName);
+    obj.add("vertices", static_cast<long long>(dg.numVertices()));
+    obj.add("avg_edges", dg.avgEdges());
+    obj.add("snapshots", static_cast<long long>(dg.numSnapshots()));
+    obj.add("dissimilarity", dg.avgDissimilarity());
+    obj.add("total_cycles", static_cast<long long>(r.totalCycles));
+    obj.add("compute_cycles", static_cast<long long>(r.computeCycles));
+    obj.add("onchip_comm_cycles",
+            static_cast<long long>(r.onChipCommCycles));
+    obj.add("offchip_cycles", static_cast<long long>(r.offChipCycles));
+    obj.add("config_cycles", static_cast<long long>(r.configCycles));
+    obj.add("total_ops",
+            static_cast<long long>(r.ops.totalArithmetic()));
+    obj.add("dram_bytes", static_cast<long long>(r.dramTraffic.total()));
+    obj.add("noc_bytes", static_cast<long long>(r.nocBytes));
+    obj.add("energy_pj", r.energy.totalPj());
+    obj.add("pe_utilization", r.peUtilization);
+    obj.addStats("stats", r.stats);
+    return obj.toString();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags = CliFlags::parse(argc, argv);
+    const auto dg = buildWorkload(flags);
+    const auto mconfig = buildModel(flags);
+    auto accelerators = buildAccelerators(flags);
+
+    const bool json = flags.getBool("json", false);
+    const bool csv = flags.getBool("csv", false);
+    const bool trace = flags.getBool("trace", false);
+
+    Table table("ditile_run: " + dg.name());
+    table.setHeader({"Accelerator", "Cycles", "Ops", "DRAM bytes",
+                     "NoC bytes", "Energy (uJ)", "PE util"});
+    bool first_json = true;
+    for (auto &acc : accelerators) {
+        sim::RunResult r = acc->run(dg, mconfig);
+        if (trace && !json) {
+            Table timeline(r.acceleratorName +
+                           ": per-snapshot timeline");
+            timeline.setHeader({"t", "col", "DRAM done", "GNN comp",
+                                "spatial comm", "GNN done",
+                                "RNN comp", "temporal comm",
+                                "RNN done"});
+            for (const auto &tr : r.trace) {
+                timeline.addRow({
+                    Table::integer(tr.snapshot),
+                    Table::integer(tr.column),
+                    Table::integer(static_cast<long long>(
+                        tr.dramDone)),
+                    Table::integer(static_cast<long long>(
+                        tr.gnnComputeCycles)),
+                    Table::integer(static_cast<long long>(
+                        tr.spatialCommCycles)),
+                    Table::integer(static_cast<long long>(
+                        tr.gnnDone)),
+                    Table::integer(static_cast<long long>(
+                        tr.rnnComputeCycles)),
+                    Table::integer(static_cast<long long>(
+                        tr.temporalCommCycles)),
+                    Table::integer(static_cast<long long>(
+                        tr.rnnDone)),
+                });
+            }
+            timeline.print();
+        }
+        if (json) {
+            std::printf("%s%s", first_json ? "[\n" : ",\n",
+                        resultToJson(r, dg).c_str());
+            first_json = false;
+            continue;
+        }
+        table.addRow({r.acceleratorName,
+                      Table::integer(static_cast<long long>(
+                          r.totalCycles)),
+                      Table::sci(static_cast<double>(
+                          r.ops.totalArithmetic())),
+                      Table::sci(static_cast<double>(
+                          r.dramTraffic.total())),
+                      Table::sci(static_cast<double>(r.nocBytes)),
+                      Table::num(r.energy.totalPj() / 1e6, 2),
+                      Table::percent(r.peUtilization)});
+    }
+    if (json) {
+        std::printf("\n]\n");
+    } else if (csv) {
+        std::fputs(table.toCsv().c_str(), stdout);
+    } else {
+        table.print();
+    }
+    return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_dram_access.dir/bench_fig08_dram_access.cpp.o"
+  "CMakeFiles/bench_fig08_dram_access.dir/bench_fig08_dram_access.cpp.o.d"
+  "bench_fig08_dram_access"
+  "bench_fig08_dram_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_dram_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

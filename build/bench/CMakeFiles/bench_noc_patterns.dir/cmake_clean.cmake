@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_noc_patterns.dir/bench_noc_patterns.cpp.o"
+  "CMakeFiles/bench_noc_patterns.dir/bench_noc_patterns.cpp.o.d"
+  "bench_noc_patterns"
+  "bench_noc_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_noc_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

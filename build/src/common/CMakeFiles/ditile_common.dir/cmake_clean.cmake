@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_common.dir/cli.cc.o"
+  "CMakeFiles/ditile_common.dir/cli.cc.o.d"
+  "CMakeFiles/ditile_common.dir/json.cc.o"
+  "CMakeFiles/ditile_common.dir/json.cc.o.d"
+  "CMakeFiles/ditile_common.dir/logging.cc.o"
+  "CMakeFiles/ditile_common.dir/logging.cc.o.d"
+  "CMakeFiles/ditile_common.dir/rng.cc.o"
+  "CMakeFiles/ditile_common.dir/rng.cc.o.d"
+  "CMakeFiles/ditile_common.dir/stats.cc.o"
+  "CMakeFiles/ditile_common.dir/stats.cc.o.d"
+  "CMakeFiles/ditile_common.dir/table.cc.o"
+  "CMakeFiles/ditile_common.dir/table.cc.o.d"
+  "libditile_common.a"
+  "libditile_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_core.dir/analytical_estimator.cc.o"
+  "CMakeFiles/ditile_core.dir/analytical_estimator.cc.o.d"
+  "CMakeFiles/ditile_core.dir/ditile_accelerator.cc.o"
+  "CMakeFiles/ditile_core.dir/ditile_accelerator.cc.o.d"
+  "CMakeFiles/ditile_core.dir/units.cc.o"
+  "CMakeFiles/ditile_core.dir/units.cc.o.d"
+  "libditile_core.a"
+  "libditile_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_dram.dir/dram_model.cc.o"
+  "CMakeFiles/ditile_dram.dir/dram_model.cc.o.d"
+  "libditile_dram.a"
+  "libditile_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

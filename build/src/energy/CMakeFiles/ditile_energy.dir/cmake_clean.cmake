@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_energy.dir/area_model.cc.o"
+  "CMakeFiles/ditile_energy.dir/area_model.cc.o.d"
+  "CMakeFiles/ditile_energy.dir/energy_model.cc.o"
+  "CMakeFiles/ditile_energy.dir/energy_model.cc.o.d"
+  "libditile_energy.a"
+  "libditile_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr.cc" "src/graph/CMakeFiles/ditile_graph.dir/csr.cc.o" "gcc" "src/graph/CMakeFiles/ditile_graph.dir/csr.cc.o.d"
+  "/root/repo/src/graph/ctdg.cc" "src/graph/CMakeFiles/ditile_graph.dir/ctdg.cc.o" "gcc" "src/graph/CMakeFiles/ditile_graph.dir/ctdg.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/graph/CMakeFiles/ditile_graph.dir/datasets.cc.o" "gcc" "src/graph/CMakeFiles/ditile_graph.dir/datasets.cc.o.d"
+  "/root/repo/src/graph/delta.cc" "src/graph/CMakeFiles/ditile_graph.dir/delta.cc.o" "gcc" "src/graph/CMakeFiles/ditile_graph.dir/delta.cc.o.d"
+  "/root/repo/src/graph/dynamic_graph.cc" "src/graph/CMakeFiles/ditile_graph.dir/dynamic_graph.cc.o" "gcc" "src/graph/CMakeFiles/ditile_graph.dir/dynamic_graph.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/graph/CMakeFiles/ditile_graph.dir/generator.cc.o" "gcc" "src/graph/CMakeFiles/ditile_graph.dir/generator.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/ditile_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/ditile_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/metrics.cc" "src/graph/CMakeFiles/ditile_graph.dir/metrics.cc.o" "gcc" "src/graph/CMakeFiles/ditile_graph.dir/metrics.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/ditile_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/ditile_graph.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ditile_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

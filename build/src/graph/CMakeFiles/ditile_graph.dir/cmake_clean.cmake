@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_graph.dir/csr.cc.o"
+  "CMakeFiles/ditile_graph.dir/csr.cc.o.d"
+  "CMakeFiles/ditile_graph.dir/ctdg.cc.o"
+  "CMakeFiles/ditile_graph.dir/ctdg.cc.o.d"
+  "CMakeFiles/ditile_graph.dir/datasets.cc.o"
+  "CMakeFiles/ditile_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/ditile_graph.dir/delta.cc.o"
+  "CMakeFiles/ditile_graph.dir/delta.cc.o.d"
+  "CMakeFiles/ditile_graph.dir/dynamic_graph.cc.o"
+  "CMakeFiles/ditile_graph.dir/dynamic_graph.cc.o.d"
+  "CMakeFiles/ditile_graph.dir/generator.cc.o"
+  "CMakeFiles/ditile_graph.dir/generator.cc.o.d"
+  "CMakeFiles/ditile_graph.dir/io.cc.o"
+  "CMakeFiles/ditile_graph.dir/io.cc.o.d"
+  "CMakeFiles/ditile_graph.dir/metrics.cc.o"
+  "CMakeFiles/ditile_graph.dir/metrics.cc.o.d"
+  "CMakeFiles/ditile_graph.dir/partition.cc.o"
+  "CMakeFiles/ditile_graph.dir/partition.cc.o.d"
+  "libditile_graph.a"
+  "libditile_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libditile_graph.a"
+)

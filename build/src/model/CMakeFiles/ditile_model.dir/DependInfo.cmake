@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/accounting.cc" "src/model/CMakeFiles/ditile_model.dir/accounting.cc.o" "gcc" "src/model/CMakeFiles/ditile_model.dir/accounting.cc.o.d"
+  "/root/repo/src/model/dgnn_config.cc" "src/model/CMakeFiles/ditile_model.dir/dgnn_config.cc.o" "gcc" "src/model/CMakeFiles/ditile_model.dir/dgnn_config.cc.o.d"
+  "/root/repo/src/model/functional.cc" "src/model/CMakeFiles/ditile_model.dir/functional.cc.o" "gcc" "src/model/CMakeFiles/ditile_model.dir/functional.cc.o.d"
+  "/root/repo/src/model/incremental.cc" "src/model/CMakeFiles/ditile_model.dir/incremental.cc.o" "gcc" "src/model/CMakeFiles/ditile_model.dir/incremental.cc.o.d"
+  "/root/repo/src/model/matrix.cc" "src/model/CMakeFiles/ditile_model.dir/matrix.cc.o" "gcc" "src/model/CMakeFiles/ditile_model.dir/matrix.cc.o.d"
+  "/root/repo/src/model/training.cc" "src/model/CMakeFiles/ditile_model.dir/training.cc.o" "gcc" "src/model/CMakeFiles/ditile_model.dir/training.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ditile_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ditile_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

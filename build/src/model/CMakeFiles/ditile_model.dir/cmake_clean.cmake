@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_model.dir/accounting.cc.o"
+  "CMakeFiles/ditile_model.dir/accounting.cc.o.d"
+  "CMakeFiles/ditile_model.dir/dgnn_config.cc.o"
+  "CMakeFiles/ditile_model.dir/dgnn_config.cc.o.d"
+  "CMakeFiles/ditile_model.dir/functional.cc.o"
+  "CMakeFiles/ditile_model.dir/functional.cc.o.d"
+  "CMakeFiles/ditile_model.dir/incremental.cc.o"
+  "CMakeFiles/ditile_model.dir/incremental.cc.o.d"
+  "CMakeFiles/ditile_model.dir/matrix.cc.o"
+  "CMakeFiles/ditile_model.dir/matrix.cc.o.d"
+  "CMakeFiles/ditile_model.dir/training.cc.o"
+  "CMakeFiles/ditile_model.dir/training.cc.o.d"
+  "libditile_model.a"
+  "libditile_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

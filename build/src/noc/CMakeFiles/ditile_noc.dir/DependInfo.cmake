@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/flit_network.cc" "src/noc/CMakeFiles/ditile_noc.dir/flit_network.cc.o" "gcc" "src/noc/CMakeFiles/ditile_noc.dir/flit_network.cc.o.d"
+  "/root/repo/src/noc/network.cc" "src/noc/CMakeFiles/ditile_noc.dir/network.cc.o" "gcc" "src/noc/CMakeFiles/ditile_noc.dir/network.cc.o.d"
+  "/root/repo/src/noc/relink_controller.cc" "src/noc/CMakeFiles/ditile_noc.dir/relink_controller.cc.o" "gcc" "src/noc/CMakeFiles/ditile_noc.dir/relink_controller.cc.o.d"
+  "/root/repo/src/noc/topology.cc" "src/noc/CMakeFiles/ditile_noc.dir/topology.cc.o" "gcc" "src/noc/CMakeFiles/ditile_noc.dir/topology.cc.o.d"
+  "/root/repo/src/noc/traffic_patterns.cc" "src/noc/CMakeFiles/ditile_noc.dir/traffic_patterns.cc.o" "gcc" "src/noc/CMakeFiles/ditile_noc.dir/traffic_patterns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ditile_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

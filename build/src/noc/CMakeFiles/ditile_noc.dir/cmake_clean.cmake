@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_noc.dir/flit_network.cc.o"
+  "CMakeFiles/ditile_noc.dir/flit_network.cc.o.d"
+  "CMakeFiles/ditile_noc.dir/network.cc.o"
+  "CMakeFiles/ditile_noc.dir/network.cc.o.d"
+  "CMakeFiles/ditile_noc.dir/relink_controller.cc.o"
+  "CMakeFiles/ditile_noc.dir/relink_controller.cc.o.d"
+  "CMakeFiles/ditile_noc.dir/topology.cc.o"
+  "CMakeFiles/ditile_noc.dir/topology.cc.o.d"
+  "CMakeFiles/ditile_noc.dir/traffic_patterns.cc.o"
+  "CMakeFiles/ditile_noc.dir/traffic_patterns.cc.o.d"
+  "libditile_noc.a"
+  "libditile_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

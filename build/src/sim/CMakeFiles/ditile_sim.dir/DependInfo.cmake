@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/baselines.cc" "src/sim/CMakeFiles/ditile_sim.dir/baselines.cc.o" "gcc" "src/sim/CMakeFiles/ditile_sim.dir/baselines.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/ditile_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/ditile_sim.dir/engine.cc.o.d"
+  "/root/repo/src/sim/isa.cc" "src/sim/CMakeFiles/ditile_sim.dir/isa.cc.o" "gcc" "src/sim/CMakeFiles/ditile_sim.dir/isa.cc.o.d"
+  "/root/repo/src/sim/tile_interpreter.cc" "src/sim/CMakeFiles/ditile_sim.dir/tile_interpreter.cc.o" "gcc" "src/sim/CMakeFiles/ditile_sim.dir/tile_interpreter.cc.o.d"
+  "/root/repo/src/sim/tile_model.cc" "src/sim/CMakeFiles/ditile_sim.dir/tile_model.cc.o" "gcc" "src/sim/CMakeFiles/ditile_sim.dir/tile_model.cc.o.d"
+  "/root/repo/src/sim/training_engine.cc" "src/sim/CMakeFiles/ditile_sim.dir/training_engine.cc.o" "gcc" "src/sim/CMakeFiles/ditile_sim.dir/training_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/ditile_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ditile_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ditile_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ditile_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiling/CMakeFiles/ditile_tiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ditile_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ditile_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ditile_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

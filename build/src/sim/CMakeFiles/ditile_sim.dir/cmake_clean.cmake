@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_sim.dir/baselines.cc.o"
+  "CMakeFiles/ditile_sim.dir/baselines.cc.o.d"
+  "CMakeFiles/ditile_sim.dir/engine.cc.o"
+  "CMakeFiles/ditile_sim.dir/engine.cc.o.d"
+  "CMakeFiles/ditile_sim.dir/isa.cc.o"
+  "CMakeFiles/ditile_sim.dir/isa.cc.o.d"
+  "CMakeFiles/ditile_sim.dir/tile_interpreter.cc.o"
+  "CMakeFiles/ditile_sim.dir/tile_interpreter.cc.o.d"
+  "CMakeFiles/ditile_sim.dir/tile_model.cc.o"
+  "CMakeFiles/ditile_sim.dir/tile_model.cc.o.d"
+  "CMakeFiles/ditile_sim.dir/training_engine.cc.o"
+  "CMakeFiles/ditile_sim.dir/training_engine.cc.o.d"
+  "libditile_sim.a"
+  "libditile_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

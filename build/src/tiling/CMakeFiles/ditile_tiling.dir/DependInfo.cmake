@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tiling/comm_model.cc" "src/tiling/CMakeFiles/ditile_tiling.dir/comm_model.cc.o" "gcc" "src/tiling/CMakeFiles/ditile_tiling.dir/comm_model.cc.o.d"
+  "/root/repo/src/tiling/optimizer.cc" "src/tiling/CMakeFiles/ditile_tiling.dir/optimizer.cc.o" "gcc" "src/tiling/CMakeFiles/ditile_tiling.dir/optimizer.cc.o.d"
+  "/root/repo/src/tiling/subgraph_former.cc" "src/tiling/CMakeFiles/ditile_tiling.dir/subgraph_former.cc.o" "gcc" "src/tiling/CMakeFiles/ditile_tiling.dir/subgraph_former.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ditile_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ditile_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_tiling.dir/comm_model.cc.o"
+  "CMakeFiles/ditile_tiling.dir/comm_model.cc.o.d"
+  "CMakeFiles/ditile_tiling.dir/optimizer.cc.o"
+  "CMakeFiles/ditile_tiling.dir/optimizer.cc.o.d"
+  "CMakeFiles/ditile_tiling.dir/subgraph_former.cc.o"
+  "CMakeFiles/ditile_tiling.dir/subgraph_former.cc.o.d"
+  "libditile_tiling.a"
+  "libditile_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ditile_tiling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_workload.dir/balance.cc.o"
+  "CMakeFiles/ditile_workload.dir/balance.cc.o.d"
+  "libditile_workload.a"
+  "libditile_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

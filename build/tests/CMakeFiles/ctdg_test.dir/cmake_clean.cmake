@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctdg_test.dir/ctdg_test.cc.o"
+  "CMakeFiles/ctdg_test.dir/ctdg_test.cc.o.d"
+  "ctdg_test"
+  "ctdg_test.pdb"
+  "ctdg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctdg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

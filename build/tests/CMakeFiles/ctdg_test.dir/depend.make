@@ -1,0 +1,2 @@
+# Empty dependencies file for ctdg_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flit_network_test.dir/flit_network_test.cc.o"
+  "CMakeFiles/flit_network_test.dir/flit_network_test.cc.o.d"
+  "flit_network_test"
+  "flit_network_test.pdb"
+  "flit_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flit_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relink_test.dir/relink_test.cc.o"
+  "CMakeFiles/relink_test.dir/relink_test.cc.o.d"
+  "relink_test"
+  "relink_test.pdb"
+  "relink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

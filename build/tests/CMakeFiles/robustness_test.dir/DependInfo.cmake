@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/robustness_test.cc" "tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o" "gcc" "tests/CMakeFiles/robustness_test.dir/robustness_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ditile_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ditile_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/ditile_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/ditile_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ditile_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ditile_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiling/CMakeFiles/ditile_tiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ditile_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ditile_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ditile_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_engine_test.dir/training_engine_test.cc.o"
+  "CMakeFiles/training_engine_test.dir/training_engine_test.cc.o.d"
+  "training_engine_test"
+  "training_engine_test.pdb"
+  "training_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

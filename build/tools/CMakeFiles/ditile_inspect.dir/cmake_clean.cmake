@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_inspect.dir/ditile_inspect.cpp.o"
+  "CMakeFiles/ditile_inspect.dir/ditile_inspect.cpp.o.d"
+  "ditile_inspect"
+  "ditile_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

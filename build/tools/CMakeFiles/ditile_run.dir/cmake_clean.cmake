@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_run.dir/ditile_run.cpp.o"
+  "CMakeFiles/ditile_run.dir/ditile_run.cpp.o.d"
+  "ditile_run"
+  "ditile_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

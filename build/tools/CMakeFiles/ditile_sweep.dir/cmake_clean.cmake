@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ditile_sweep.dir/ditile_sweep.cpp.o"
+  "CMakeFiles/ditile_sweep.dir/ditile_sweep.cpp.o.d"
+  "ditile_sweep"
+  "ditile_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ditile_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

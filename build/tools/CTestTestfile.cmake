@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_ditile_run_table "/root/repo/build/tools/ditile_run" "--accel=all" "--vertices=300" "--edges=1500" "--snapshots=3")
+set_tests_properties(tool_ditile_run_table PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ditile_run_json "/root/repo/build/tools/ditile_run" "--accel=ditile" "--vertices=300" "--edges=1500" "--snapshots=3" "--json")
+set_tests_properties(tool_ditile_run_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_ditile_run_trace "/root/repo/build/tools/ditile_run" "--accel=ditile" "--vertices=300" "--edges=1500" "--snapshots=3" "--trace" "--rnn=gru" "--aggregator=sage")
+set_tests_properties(tool_ditile_run_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_inspect_dataset "/root/repo/build/tools/ditile_inspect" "dataset" "--vertices=300" "--edges=1500" "--snapshots=3")
+set_tests_properties(tool_inspect_dataset PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_inspect_plan "/root/repo/build/tools/ditile_inspect" "plan" "--vertices=300" "--edges=1500" "--snapshots=3" "--algo=race")
+set_tests_properties(tool_inspect_plan PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_inspect_mapping "/root/repo/build/tools/ditile_inspect" "mapping" "--vertices=300" "--edges=1500" "--snapshots=3")
+set_tests_properties(tool_inspect_mapping PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_inspect_program "/root/repo/build/tools/ditile_inspect" "program" "--vertices=300" "--edges=1500" "--snapshots=3")
+set_tests_properties(tool_inspect_program PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_sweep "/root/repo/build/tools/ditile_sweep" "--dataset=WD" "--scale=0.1" "--dis=0.05,0.1" "--snapshots=3")
+set_tests_properties(tool_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;39;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -44,11 +44,14 @@ main(int argc, char **argv)
         if (i == 0)
             full_cycles = cycles;
         const double increase = cycles / full_cycles - 1.0;
+        std::string delta = "-";
+        if (i != 0) {
+            delta = "+";
+            delta += Table::percent(increase);
+        }
         table.addRow({variants[i] == "full" ? "DiTile-DGNN"
                                             : variants[i],
-                      Table::sci(cycles),
-                      i == 0 ? "-" : "+" + Table::percent(increase),
-                      paper[i]});
+                      Table::sci(cycles), delta, paper[i]});
     }
     bench::emit(table, options);
     return 0;

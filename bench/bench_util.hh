@@ -8,6 +8,10 @@
  *   --seed=S       generator seed override
  *   --datasets=PM,RD,...  subset selection
  *   --csv          additionally print the table as CSV
+ *   --threads=N    width of the process-wide thread pool (default 1;
+ *                  results are bit-identical at any width)
+ *   --smoke        reduced-size run for CI crash checks (tiny scale,
+ *                  2 snapshots unless overridden)
  */
 
 #ifndef DITILE_BENCH_BENCH_UTIL_HH
@@ -19,6 +23,7 @@
 
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "graph/datasets.hh"
 #include "model/dgnn_config.hh"
 
@@ -34,17 +39,22 @@ struct BenchOptions
     std::uint64_t seed = 0;
     std::vector<std::string> datasets;
     bool csv = false;
+    bool smoke = false;
+    int threads = 1;
 
     static BenchOptions
     parse(int argc, char **argv)
     {
         const CliFlags flags = CliFlags::parse(argc, argv);
         BenchOptions o;
-        o.scale = flags.getDouble("scale", 0.0);
+        o.smoke = flags.getBool("smoke", false);
+        o.scale = flags.getDouble("scale", o.smoke ? 0.05 : 0.0);
         o.numSnapshots = static_cast<SnapshotId>(
-            flags.getInt("snapshots", 8));
+            flags.getInt("snapshots", o.smoke ? 2 : 8));
         o.seed = static_cast<std::uint64_t>(flags.getInt("seed", 0));
         o.csv = flags.getBool("csv", false);
+        o.threads = static_cast<int>(flags.getInt("threads", 1));
+        ThreadPool::setGlobalThreads(o.threads);
         std::string list = flags.getString(
             "datasets", "PM,RD,MB,TW,WD,FK");
         std::size_t pos = 0;

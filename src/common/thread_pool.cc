@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Work-stealing thread pool implementation.
+ */
+
+#include "common/thread_pool.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+
+namespace ditile {
+
+namespace {
+
+/** Which pool's worker (if any) the current thread belongs to. */
+thread_local ThreadPool *tls_pool = nullptr;
+thread_local std::size_t tls_worker = 0;
+
+/** Desired size of the global pool (1 = serial default). */
+std::mutex global_mutex;
+int global_threads = 1;
+std::unique_ptr<ThreadPool> global_pool;
+
+} // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    const std::size_t n =
+        static_cast<std::size_t>(num_threads < 1 ? 1 : num_threads);
+    queues_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        queues_.push_back(std::make_unique<Queue>());
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    // Drain: workers only exit once every queue is empty.
+    stopping_.store(true, std::memory_order_release);
+    sleepCv_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    DITILE_ASSERT(task, "submitted an empty task");
+    std::size_t target;
+    if (tls_pool == this) {
+        // Worker-local push: LIFO for cache warmth.
+        target = tls_worker;
+    } else {
+        target = nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+            queues_.size();
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->tasks.push_back(std::move(task));
+    }
+    pendingTasks_.fetch_add(1, std::memory_order_release);
+    sleepCv_.notify_one();
+}
+
+bool
+ThreadPool::popTask(std::size_t self, std::function<void()> &out)
+{
+    // Own queue first (back = most recently pushed), then steal the
+    // oldest task from a sibling.
+    {
+        Queue &own = *queues_[self];
+        std::lock_guard<std::mutex> lock(own.mutex);
+        if (!own.tasks.empty()) {
+            out = std::move(own.tasks.back());
+            own.tasks.pop_back();
+            return true;
+        }
+    }
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+        Queue &victim = *queues_[(self + k) % queues_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ThreadPool::tryRunOneTask()
+{
+    if (pendingTasks_.load(std::memory_order_acquire) == 0)
+        return false;
+    const std::size_t self = tls_pool == this ? tls_worker : 0;
+    std::function<void()> task;
+    if (!popTask(self, task))
+        return false;
+    pendingTasks_.fetch_sub(1, std::memory_order_acq_rel);
+    task();
+    return true;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    tls_pool = this;
+    tls_worker = self;
+    for (;;) {
+        std::function<void()> task;
+        if (popTask(self, task)) {
+            pendingTasks_.fetch_sub(1, std::memory_order_acq_rel);
+            task();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleepMutex_);
+        if (stopping_.load(std::memory_order_acquire) &&
+            pendingTasks_.load(std::memory_order_acquire) == 0) {
+            break;
+        }
+        sleepCv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+            return pendingTasks_.load(std::memory_order_acquire) > 0 ||
+                stopping_.load(std::memory_order_acquire);
+        });
+    }
+    tls_pool = nullptr;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lock(global_mutex);
+    if (!global_pool)
+        global_pool = std::make_unique<ThreadPool>(global_threads);
+    return *global_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int n)
+{
+    if (n <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        n = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    std::lock_guard<std::mutex> lock(global_mutex);
+    global_threads = n;
+    if (global_pool && global_pool->numThreads() != n)
+        global_pool.reset();
+}
+
+int
+ThreadPool::globalThreads()
+{
+    std::lock_guard<std::mutex> lock(global_mutex);
+    return global_threads;
+}
+
+} // namespace ditile

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Deterministic parallel execution layer.
+ *
+ * A small work-stealing thread pool plus a blocking parallelFor used
+ * by the cycle-level engine and the sweep/bench drivers. The design
+ * goal is *bit-identical results at any thread count*:
+ *
+ *  - parallelFor(n, fn) calls fn(i) exactly once per index; callers
+ *    write results into per-index slots and merge them afterwards in
+ *    canonical (ascending-index) order, so the schedule never leaks
+ *    into the output.
+ *  - With one thread (the default), parallelFor degenerates to the
+ *    plain serial loop on the calling thread — no pool, no atomics on
+ *    the data path — so `--threads 1` is literally the serial code.
+ *  - The calling thread always participates in the loop, which makes
+ *    nested parallelFor (a parallel region inside a pool task) safe:
+ *    even if every worker is busy, the caller drains its own indices
+ *    and the region terminates.
+ *
+ * Exceptions thrown by loop bodies or submitted tasks are captured
+ * and rethrown on the thread that invoked parallelFor / future::get.
+ */
+
+#ifndef DITILE_COMMON_THREAD_POOL_HH
+#define DITILE_COMMON_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace ditile {
+
+/**
+ * Work-stealing thread pool.
+ *
+ * Each worker owns a deque: it pops its own work LIFO (cache-warm)
+ * and steals FIFO from siblings when idle. submit() from a worker
+ * thread pushes to that worker's own deque; submit() from outside
+ * round-robins across workers. Destruction drains every queued task
+ * before joining.
+ */
+class ThreadPool
+{
+  public:
+    /** @param num_threads Worker count; clamped to >= 1. */
+    explicit ThreadPool(int num_threads);
+
+    /** Drains all queued tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int numThreads() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue a fire-and-forget task. */
+    void submit(std::function<void()> task);
+
+    /** Enqueue a task and get a future for its result. */
+    template <typename Fn>
+    auto
+    async(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using Result = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<Fn>(fn));
+        std::future<Result> future = task->get_future();
+        submit([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run one queued task if any is available (own queue first, then
+     * steal). Returns false when every queue is empty. Used by
+     * blocked parallelFor callers to help instead of spinning.
+     */
+    bool tryRunOneTask();
+
+    /**
+     * The process-wide pool used by the engine and the drivers.
+     * Sized by setGlobalThreads(); defaults to 1 (serial) so every
+     * entry point reproduces the single-threaded numbers unless a
+     * --threads flag says otherwise.
+     */
+    static ThreadPool &global();
+
+    /**
+     * Resize the global pool. n <= 0 selects the hardware
+     * concurrency. Must not be called while parallel regions are in
+     * flight on the global pool.
+     */
+    static void setGlobalThreads(int n);
+
+    /** Current size of the global pool without instantiating workers. */
+    static int globalThreads();
+
+  private:
+    struct Queue
+    {
+        std::deque<std::function<void()>> tasks;
+        std::mutex mutex;
+    };
+
+    void workerLoop(std::size_t self);
+    bool popTask(std::size_t self, std::function<void()> &out);
+
+    std::vector<std::unique_ptr<Queue>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex sleepMutex_;
+    std::condition_variable sleepCv_;
+    std::atomic<std::size_t> nextQueue_{0};
+    std::atomic<std::size_t> pendingTasks_{0};
+    std::atomic<bool> stopping_{false};
+};
+
+namespace detail {
+
+/** Shared state of one parallelFor region. */
+struct ParallelForState
+{
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t total = 0;
+    std::size_t grain = 1;
+    std::function<void(std::size_t)> body;
+    std::atomic<bool> failed{false};
+    std::mutex errorMutex;
+    std::exception_ptr error;
+
+    void
+    runChunks()
+    {
+        for (;;) {
+            const std::size_t begin =
+                next.fetch_add(grain, std::memory_order_relaxed);
+            if (begin >= total)
+                return;
+            const std::size_t end =
+                begin + grain < total ? begin + grain : total;
+            if (!failed.load(std::memory_order_relaxed)) {
+                try {
+                    for (std::size_t i = begin; i < end; ++i)
+                        body(i);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(errorMutex);
+                    if (!failed.exchange(true))
+                        error = std::current_exception();
+                }
+            }
+            done.fetch_add(end - begin, std::memory_order_acq_rel);
+        }
+    }
+};
+
+} // namespace detail
+
+/**
+ * Execute fn(i) for every i in [0, n), blocking until all complete.
+ *
+ * Uses `pool` (default: ThreadPool::global()). With an effective
+ * width of 1 — or n <= 1 — the loop runs inline in index order.
+ * Otherwise indices are handed out in dynamic chunks of `grain`; the
+ * caller participates and, while waiting for stragglers, helps run
+ * unrelated pool tasks, so nesting cannot deadlock. The first
+ * exception thrown by fn is rethrown here.
+ */
+template <typename Fn>
+void
+parallelFor(std::size_t n, Fn &&fn, ThreadPool *pool = nullptr,
+            std::size_t grain = 1)
+{
+    if (n == 0)
+        return;
+    ThreadPool &p = pool ? *pool : ThreadPool::global();
+    const int width = p.numThreads();
+    if (width <= 1 || n <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    auto state = std::make_shared<detail::ParallelForState>();
+    state->total = n;
+    state->grain = grain < 1 ? 1 : grain;
+    state->body = std::ref(fn);
+
+    // Helpers beyond the caller itself; stragglers that wake after
+    // the region completed see an exhausted index counter and return.
+    const std::size_t helpers =
+        std::min<std::size_t>(static_cast<std::size_t>(width), n) - 1;
+    for (std::size_t h = 0; h < helpers; ++h)
+        p.submit([state] { state->runChunks(); });
+
+    state->runChunks();
+    while (state->done.load(std::memory_order_acquire) < n) {
+        if (!p.tryRunOneTask())
+            std::this_thread::yield();
+    }
+    if (state->failed.load(std::memory_order_acquire))
+        std::rethrow_exception(state->error);
+}
+
+} // namespace ditile
+
+#endif // DITILE_COMMON_THREAD_POOL_HH

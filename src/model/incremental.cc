@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "graph/delta.hh"
 
 namespace ditile::model {
@@ -174,17 +175,20 @@ IncrementalPlanner::buildAll()
 {
     const SnapshotId t_count = dg_.numSnapshots();
     const int layers = config_.numGcnLayers();
-    plans_.reserve(static_cast<std::size_t>(t_count));
+    plans_.resize(static_cast<std::size_t>(t_count));
 
-    // Cumulative hidden-state change set: once a vertex's z changes at
-    // some snapshot, its h/c differ from the reuse baseline at every
-    // later snapshot, so DiTile's selective RNN keeps updating it.
-    std::vector<VertexId> dirty_hidden;
-
-    for (SnapshotId t = 0; t < t_count; ++t) {
+    // Per-snapshot plan construction (seed expansion, degree sums,
+    // frontier counts) is a pure function of the snapshot and its
+    // delta — the hash-sampled expansion carries its own salt — so it
+    // fans out over the thread pool into per-snapshot slots. Only
+    // DiTile's cumulative selective-RNN state chains across
+    // snapshots; that union runs in a cheap serial epilogue below, so
+    // plans are identical at any thread width.
+    parallelFor(static_cast<std::size_t>(t_count), [&](std::size_t i) {
+        const auto t = static_cast<SnapshotId>(i);
         if (t == 0 || kind_ == AlgoKind::ReAlg) {
-            plans_.push_back(fullPlan(t));
-            continue;
+            plans_[i] = fullPlan(t);
+            return;
         }
 
         const graph::Csr &g = dg_.snapshot(t);
@@ -243,20 +247,31 @@ IncrementalPlanner::buildAll()
             }
         }
 
-        // RNN: only DiTile runs the LSTM selectively — on vertices
-        // whose GNN output changed now or at any earlier snapshot (the
-        // hidden state stays dirty once diverged); baselines update
-        // every hidden state.
-        if (kind_ == AlgoKind::DiTileAlg) {
-            dirty_hidden = unionSorted(dirty_hidden, p.gcn.back().vertices);
-            p.rnnVertices = dirty_hidden;
-        } else {
+        // RNN: baselines update every hidden state; DiTile's
+        // selective set depends on earlier snapshots and is filled in
+        // by the serial epilogue.
+        if (kind_ != AlgoKind::DiTileAlg) {
             p.rnnVertices.resize(
                 static_cast<std::size_t>(g.numVertices()));
             for (VertexId v = 0; v < g.numVertices(); ++v)
                 p.rnnVertices[static_cast<std::size_t>(v)] = v;
         }
-        plans_.push_back(std::move(p));
+        plans_[i] = std::move(p);
+    });
+
+    // Cumulative hidden-state change set: once a vertex's z changes at
+    // some snapshot, its h/c differ from the reuse baseline at every
+    // later snapshot, so DiTile's selective RNN keeps updating it.
+    if (kind_ == AlgoKind::DiTileAlg) {
+        std::vector<VertexId> dirty_hidden;
+        for (SnapshotId t = 1; t < t_count; ++t) {
+            auto &p = plans_[static_cast<std::size_t>(t)];
+            if (p.fullRecompute)
+                continue;
+            dirty_hidden = unionSorted(dirty_hidden,
+                                       p.gcn.back().vertices);
+            p.rnnVertices = dirty_hidden;
+        }
     }
 }
 

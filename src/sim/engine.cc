@@ -1,6 +1,32 @@
 /**
  * @file
  * Shared execution-engine implementation.
+ *
+ * ### Parallel evaluation, serial semantics
+ *
+ * Snapshots mapped to different tile columns are independent by
+ * construction (paper §4): given the eagerly-built incremental plans,
+ * everything per snapshot — op/byte accounting, the per-tile compute
+ * distribution, the detailed tile timing and the NoC replays — is a
+ * pure function of that snapshot. Only three things chain across
+ * snapshots: the DRAM device state (row buffers + completion cursor),
+ * the Re-Link controller's engaged span, and the result accumulators.
+ *
+ * runEngine therefore executes in stages:
+ *
+ *   1. *parallel* per-snapshot evaluation into one SnapshotWork slot
+ *      per snapshot (per-tile sub-models fan out a second level),
+ *   2. *serial* DRAM replay and Re-Link decisions in snapshot order,
+ *   3. *parallel* spatial NoC replay for snapshots whose span was
+ *      only known after stage 2 (adaptive Re-Link),
+ *   4. *serial* merge of every accumulator in canonical snapshot
+ *      order, then the (inherently sequential) timeline assembly.
+ *
+ * All accumulators merged in stage 4 are integers and the per-index
+ * slots make the schedule invisible, so results are bit-identical to
+ * the single-threaded path at any thread count (asserted by
+ * parallel_test.cc). Width comes from ThreadPool::global(), i.e. the
+ * --threads flag; the default of 1 runs the loop inline.
  */
 
 #include "sim/engine.hh"
@@ -11,6 +37,7 @@
 #include "common/logging.hh"
 #include "common/math_util.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "noc/network.hh"
 #include "noc/relink_controller.hh"
 #include "sim/tile_model.hh"
@@ -66,6 +93,33 @@ computeCycles(OpCount macs, double units)
         static_cast<double>(macs) / units + 0.999999);
 }
 
+/**
+ * Everything one snapshot contributes to the run, produced by the
+ * parallel evaluation stage and merged in canonical order afterwards.
+ */
+struct SnapshotWork
+{
+    model::OpsBreakdown ops;
+    model::DramBreakdown dramTraffic;
+
+    /** Off-chip requests; issue cycles patched in the serial stage. */
+    std::vector<dram::DramRequest> requests;
+
+    Cycle gnnCompute = 0;
+    Cycle rnnCompute = 0;
+    ByteCount localBufferBytes = 0; ///< Detailed-tile staging traffic.
+
+    /** Pending spatial messages (adaptive Re-Link defers the replay). */
+    std::vector<noc::Message> spatialMsgs;
+    std::vector<int> spatialDistances; ///< Vertical hops per message.
+    bool spatialPending = false;
+    noc::NocResult spatial;
+
+    bool hasTemporal = false;
+    noc::NocResult temporal;
+    ByteCount reuseTotal = 0;
+};
+
 } // namespace
 
 RunResult
@@ -95,6 +149,8 @@ runEngine(const graph::DynamicGraph &dg,
                       "snapshot->column map must cover every snapshot");
     }
 
+    // Plans for every snapshot are built eagerly here; the parallel
+    // stage below only reads them.
     model::IncrementalPlanner planner(dg, model_config, options.algo);
     dram::DramModel dram_model(hw.dram);
 
@@ -118,41 +174,34 @@ runEngine(const graph::DynamicGraph &dg,
     result.acceleratorName = accelerator_name;
     result.workloadName = dg.name();
 
-    // Per-snapshot derived quantities.
-    std::vector<Cycle> dram_done(static_cast<std::size_t>(num_snapshots));
-    std::vector<Cycle> gnn_compute(
-        static_cast<std::size_t>(num_snapshots));
-    std::vector<Cycle> rnn_compute(
-        static_cast<std::size_t>(num_snapshots));
-    std::vector<Cycle> spatial_comm(
-        static_cast<std::size_t>(num_snapshots));
-    std::vector<Cycle> temporal_comm(
-        static_cast<std::size_t>(num_snapshots));
-
     const double tile_macs = hw.macsPerTile();
     const OpCount rnn_vertex_macs =
         model::rnnMacsPerVertex(model_config);
-    noc::RelinkController relink_controller(hw.tileRows);
-    Cycle dram_cursor = 0;
+    const bool adaptive_relink = options.adaptiveRelink &&
+        hw.noc.topology == noc::TopologyKind::Reconfigurable;
 
-    for (SnapshotId t = 0; t < num_snapshots; ++t) {
+    ThreadPool &pool = ThreadPool::global();
+    std::vector<SnapshotWork> work(
+        static_cast<std::size_t>(num_snapshots));
+
+    // ---- Stage 1: parallel per-snapshot evaluation. ----
+    auto evaluateSnapshot = [&](std::size_t i) {
+        const auto t = static_cast<SnapshotId>(i);
+        SnapshotWork &w = work[i];
         const graph::Csr &g = dg.snapshot(t);
-        const model::SnapshotPlan plan = planner.plan(t);
+        const model::SnapshotPlan &plan = planner.plan(t);
 
         // ---- Accounting (ops + off-chip bytes). ----
-        const auto ops =
-            model::countSnapshotOps(dg, t, model_config, plan);
-        result.ops += ops;
-        const auto dram_traffic = model::countSnapshotDram(
+        w.ops = model::countSnapshotOps(dg, t, model_config, plan);
+        w.dramTraffic = model::countSnapshotDram(
             dg, t, model_config, options.algo, plan, options.accounting);
-        result.dramTraffic += dram_traffic;
 
-        // ---- Off-chip replay. ----
+        // ---- Off-chip request synthesis. ----
         // Full recomputation streams regions sequentially (row-buffer
         // friendly); incremental snapshots gather scattered subsets,
         // so their reads are split into pseudo-randomly placed chunks
-        // that exercise row misses and bank conflicts.
-        std::vector<dram::DramRequest> requests;
+        // that exercise row misses and bank conflicts. Issue cycles
+        // stay 0 here; the serial replay stage stamps the cursor.
         auto scaled = [&](ByteCount bytes) {
             return static_cast<ByteCount>(
                 static_cast<double>(bytes) * options.dramTrafficScale);
@@ -163,57 +212,50 @@ runEngine(const graph::DynamicGraph &dg,
             if (bytes == 0)
                 return;
             if (plan.fullRecompute || bytes >= region_bytes) {
-                requests.push_back({base, bytes, false, dram_cursor});
+                w.requests.push_back({base, bytes, false, 0});
                 return;
             }
             const auto chunks = static_cast<ByteCount>(clamp<ByteCount>(
                 bytes / 1024, 1, 4096));
             const ByteCount chunk = bytes / chunks;
-            for (ByteCount i = 0; i < chunks; ++i) {
+            for (ByteCount k = 0; k < chunks; ++k) {
                 const std::uint64_t span =
                     region_bytes > chunk ? region_bytes - chunk : 1;
                 const std::uint64_t offset = mix64(
-                    (static_cast<std::uint64_t>(t) << 32) ^ i ^ base)
+                    (static_cast<std::uint64_t>(t) << 32) ^ k ^ base)
                     % span;
-                const ByteCount size = i + 1 == chunks
+                const ByteCount size = k + 1 == chunks
                     ? bytes - chunk * (chunks - 1) : chunk;
-                requests.push_back({base + offset, size, false,
-                                    dram_cursor});
+                w.requests.push_back({base + offset, size, false, 0});
             }
         };
         const ByteCount intermediate_region =
             static_cast<ByteCount>(num_vertices) * z_bytes * 4;
-        requests.push_back({weight_base,
-                            scaled(dram_traffic.weightBytes), false,
-                            dram_cursor});
-        requests.push_back({adjacency_base,
-                            scaled(dram_traffic.adjacencyBytes), false,
-                            dram_cursor});
+        w.requests.push_back({weight_base,
+                              scaled(w.dramTraffic.weightBytes), false,
+                              0});
+        w.requests.push_back({adjacency_base,
+                              scaled(w.dramTraffic.adjacencyBytes),
+                              false, 0});
         push_read(feature_base, feature_bytes_total,
-                  dram_traffic.inputFeatureBytes);
-        if (dram_traffic.intermediateBytes > 0) {
-            requests.push_back({intermediate_base,
-                                scaled(dram_traffic.intermediateBytes
-                                       / 2), true, dram_cursor});
+                  w.dramTraffic.inputFeatureBytes);
+        if (w.dramTraffic.intermediateBytes > 0) {
+            w.requests.push_back({intermediate_base,
+                                  scaled(w.dramTraffic.intermediateBytes
+                                         / 2), true, 0});
             push_read(intermediate_base, intermediate_region,
-                      dram_traffic.intermediateBytes -
-                          dram_traffic.intermediateBytes / 2);
+                      w.dramTraffic.intermediateBytes -
+                          w.dramTraffic.intermediateBytes / 2);
         }
-        if (dram_traffic.outputBytes > 0) {
+        if (w.dramTraffic.outputBytes > 0) {
             const ByteCount writes =
-                dram_traffic.outputBytes * 3 / 5; // z + new h/c.
-            requests.push_back({output_base, scaled(writes), true,
-                                dram_cursor});
-            requests.push_back({output_base,
-                                scaled(dram_traffic.outputBytes -
-                                       writes), false, dram_cursor});
+                w.dramTraffic.outputBytes * 3 / 5; // z + new h/c.
+            w.requests.push_back({output_base, scaled(writes), true,
+                                  0});
+            w.requests.push_back({output_base,
+                                  scaled(w.dramTraffic.outputBytes -
+                                         writes), false, 0});
         }
-        const auto dram_res = dram_model.service(requests);
-        dram_cursor = std::max(dram_cursor, dram_res.completionCycle);
-        dram_done[static_cast<std::size_t>(t)] = dram_cursor;
-        result.energyEvents.dramBytes += dram_res.totalBytes();
-        result.energyEvents.dramActivates +=
-            dram_res.rowMisses + dram_res.rowConflicts;
 
         // ---- Compute distribution over tiles. ----
         auto owner = [&](VertexId v) {
@@ -234,7 +276,7 @@ runEngine(const graph::DynamicGraph &dg,
 
         TrafficMatrix spatial_traffic;
         const int col = mapping.spatialOnly
-            ? 0 : mapping.snapshotColumn[static_cast<std::size_t>(t)];
+            ? 0 : mapping.snapshotColumn[i];
         auto tile_of_slot = [&](int slot) {
             return mapping.spatialOnly
                 ? static_cast<TileId>(slot)
@@ -291,6 +333,8 @@ runEngine(const graph::DynamicGraph &dg,
         if (options.detailedTileTiming) {
             // Critical slot via explicit PE-array scheduling. The
             // static MAC fraction scales the per-PE array width.
+            // Independent per-tile sub-models: fan out over slots and
+            // reduce into per-slot result vectors.
             TileConfig tconfig;
             tconfig.pes = hw.pesPerTile;
             tconfig.macsPerPe = std::max(1, static_cast<int>(
@@ -298,62 +342,56 @@ runEngine(const graph::DynamicGraph &dg,
             tconfig.localBufferBytes = hw.localBufferBytes;
             tconfig.reuseFifoBytes = hw.reuseFifoBytes;
             const TileModel tile(tconfig);
+            const std::size_t slots = slot_tasks.size();
+            std::vector<Cycle> slot_cycles(slots, 0);
+            std::vector<ByteCount> slot_traffic(slots, 0);
+            parallelFor(slots, [&](std::size_t s) {
+                if (slot_tasks[s].empty())
+                    return;
+                const auto phase =
+                    tile.executePhase(std::move(slot_tasks[s]));
+                slot_cycles[s] = phase.cycles;
+                slot_traffic[s] = phase.localBufferTraffic;
+            }, &pool);
             Cycle worst = 0;
-            for (auto &tasks : slot_tasks) {
-                if (tasks.empty())
-                    continue;
-                const auto phase = tile.executePhase(std::move(tasks));
-                worst = std::max(worst, phase.cycles);
-                result.energyEvents.localBufferBytes +=
-                    phase.localBufferTraffic;
+            for (std::size_t s = 0; s < slots; ++s) {
+                worst = std::max(worst, slot_cycles[s]);
+                w.localBufferBytes += slot_traffic[s];
             }
-            gnn_compute[static_cast<std::size_t>(t)] = worst;
+            w.gnnCompute = worst;
         } else {
-            gnn_compute[static_cast<std::size_t>(t)] = computeCycles(
+            w.gnnCompute = computeCycles(
                 gnn_crit_macs, tile_macs * options.gnnMacFraction);
         }
-        rnn_compute[static_cast<std::size_t>(t)] = computeCycles(
+        w.rnnCompute = computeCycles(
             rnn_crit_macs, tile_macs * options.rnnMacFraction);
 
         // ---- NoC replay: GNN-phase spatial traffic. ----
-        {
-            std::vector<noc::Message> msgs;
-            spatial_traffic.emit(msgs, noc::TrafficClass::Spatial, 0);
-            noc::NocConfig noc_config = hw.noc;
-            if (options.adaptiveRelink &&
-                noc_config.topology ==
-                    noc::TopologyKind::Reconfigurable) {
-                // Re-Link controller: pick the bypass span from this
-                // phase's vertical-distance profile.
-                std::vector<int> distances;
-                distances.reserve(msgs.size());
-                for (const auto &m : msgs) {
-                    const int rs = m.src / hw.tileCols;
-                    const int rd = m.dst / hw.tileCols;
-                    const int fwd = (rd - rs + hw.tileRows) %
-                        hw.tileRows;
-                    distances.push_back(std::min(fwd,
-                                                 hw.tileRows - fwd));
-                }
-                const auto decision = relink_controller.decide(
-                    distances, noc_config.routerLatencyCycles);
-                noc_config.reLinkSpan = decision.span;
-                result.energyEvents.reconfigEvents +=
-                    decision.reconfigEvents;
+        spatial_traffic.emit(w.spatialMsgs, noc::TrafficClass::Spatial,
+                             0);
+        if (adaptive_relink) {
+            // The Re-Link span depends on the controller's engaged
+            // state, which chains across snapshots: record this
+            // phase's vertical-distance profile and defer the replay
+            // until the serial stage has decided the span.
+            w.spatialDistances.reserve(w.spatialMsgs.size());
+            for (const auto &m : w.spatialMsgs) {
+                const int rs = m.src / hw.tileCols;
+                const int rd = m.dst / hw.tileCols;
+                const int fwd = (rd - rs + hw.tileRows) % hw.tileRows;
+                w.spatialDistances.push_back(
+                    std::min(fwd, hw.tileRows - fwd));
             }
-            const auto res = noc::simulateTraffic(noc_config,
-                                                  std::move(msgs));
-            spatial_comm[static_cast<std::size_t>(t)] = res.makespan;
-            result.nocBytes += res.totalBytes;
-            result.nocBytesSpatial += res.totalBytes;
-            result.energyEvents.nocLinkBytes += res.hopBytes;
-            result.energyEvents.nocRouterBytes += res.routerBytes;
+            w.spatialPending = true;
+        } else {
+            w.spatial = noc::simulateTraffic(hw.noc,
+                                             std::move(w.spatialMsgs));
+            w.spatialMsgs.clear();
         }
 
         // ---- RNN-boundary temporal + reuse traffic. ----
         if (!mapping.spatialOnly && t > 0) {
-            const int prev_col =
-                mapping.snapshotColumn[static_cast<std::size_t>(t) - 1];
+            const int prev_col = mapping.snapshotColumn[i - 1];
             if (prev_col != col) {
                 TrafficMatrix boundary;
                 // Temporal: every RNN-active vertex needs its previous
@@ -369,7 +407,6 @@ runEngine(const graph::DynamicGraph &dg,
                 // vertices' outputs instead of recomputing them.
                 std::vector<noc::Message> msgs;
                 boundary.emit(msgs, noc::TrafficClass::Temporal, 0);
-                ByteCount reuse_total = 0;
                 if (!plan.fullRecompute) {
                     TrafficMatrix reuse;
                     std::vector<bool> changed(
@@ -385,24 +422,87 @@ runEngine(const graph::DynamicGraph &dg,
                                                 prev_col),
                             static_cast<TileId>(r * hw.tileCols + col),
                             z_bytes + h_bytes);
-                        reuse_total += z_bytes + h_bytes;
+                        w.reuseTotal += z_bytes + h_bytes;
                     }
                     reuse.emit(msgs, noc::TrafficClass::Reuse, 0);
                 }
-                const auto res = noc::simulateTraffic(hw.noc,
-                                                      std::move(msgs));
-                temporal_comm[static_cast<std::size_t>(t)] = res.makespan;
-                result.nocBytes += res.totalBytes;
-                result.nocBytesTemporal +=
-                    res.bytesByClass[static_cast<int>(
-                        noc::TrafficClass::Temporal)];
-                result.nocBytesReuse += res.bytesByClass[
-                    static_cast<int>(noc::TrafficClass::Reuse)];
-                result.energyEvents.nocLinkBytes += res.hopBytes;
-                result.energyEvents.nocRouterBytes += res.routerBytes;
-                if (options.reuseFifoForwarding)
-                    result.energyEvents.reuseFifoBytes += reuse_total;
+                w.temporal = noc::simulateTraffic(hw.noc,
+                                                  std::move(msgs));
+                w.hasTemporal = true;
             }
+        }
+    };
+    parallelFor(static_cast<std::size_t>(num_snapshots),
+                evaluateSnapshot, &pool);
+
+    // ---- Stage 2: serial DRAM replay + Re-Link decisions. ----
+    // Row-buffer state and the completion cursor chain snapshot to
+    // snapshot; the controller's engaged span likewise.
+    noc::RelinkController relink_controller(hw.tileRows);
+    std::vector<int> relink_span(
+        static_cast<std::size_t>(num_snapshots), hw.noc.reLinkSpan);
+    std::vector<Cycle> dram_done(
+        static_cast<std::size_t>(num_snapshots));
+    Cycle dram_cursor = 0;
+    for (SnapshotId t = 0; t < num_snapshots; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        SnapshotWork &w = work[i];
+        for (auto &request : w.requests)
+            request.issueCycle = dram_cursor;
+        const auto dram_res = dram_model.service(w.requests);
+        dram_cursor = std::max(dram_cursor, dram_res.completionCycle);
+        dram_done[i] = dram_cursor;
+        result.energyEvents.dramBytes += dram_res.totalBytes();
+        result.energyEvents.dramActivates +=
+            dram_res.rowMisses + dram_res.rowConflicts;
+        if (w.spatialPending) {
+            const auto decision = relink_controller.decide(
+                w.spatialDistances, hw.noc.routerLatencyCycles);
+            relink_span[i] = decision.span;
+            result.energyEvents.reconfigEvents +=
+                decision.reconfigEvents;
+        }
+    }
+
+    // ---- Stage 3: deferred spatial replays, span now known. ----
+    if (adaptive_relink) {
+        parallelFor(static_cast<std::size_t>(num_snapshots),
+                    [&](std::size_t i) {
+            SnapshotWork &w = work[i];
+            if (!w.spatialPending)
+                return;
+            noc::NocConfig noc_config = hw.noc;
+            noc_config.reLinkSpan = relink_span[i];
+            w.spatial = noc::simulateTraffic(noc_config,
+                                             std::move(w.spatialMsgs));
+            w.spatialMsgs.clear();
+        }, &pool);
+    }
+
+    // ---- Stage 4: ordered reduction into the result record. ----
+    // Every accumulator is an integer count, merged in ascending
+    // snapshot order, so this reproduces the serial loop exactly.
+    for (SnapshotId t = 0; t < num_snapshots; ++t) {
+        const auto i = static_cast<std::size_t>(t);
+        const SnapshotWork &w = work[i];
+        result.ops += w.ops;
+        result.dramTraffic += w.dramTraffic;
+        result.energyEvents.localBufferBytes += w.localBufferBytes;
+        result.nocBytes += w.spatial.totalBytes;
+        result.nocBytesSpatial += w.spatial.totalBytes;
+        result.energyEvents.nocLinkBytes += w.spatial.hopBytes;
+        result.energyEvents.nocRouterBytes += w.spatial.routerBytes;
+        if (w.hasTemporal) {
+            result.nocBytes += w.temporal.totalBytes;
+            result.nocBytesTemporal +=
+                w.temporal.bytesByClass[static_cast<int>(
+                    noc::TrafficClass::Temporal)];
+            result.nocBytesReuse += w.temporal.bytesByClass[
+                static_cast<int>(noc::TrafficClass::Reuse)];
+            result.energyEvents.nocLinkBytes += w.temporal.hopBytes;
+            result.energyEvents.nocRouterBytes += w.temporal.routerBytes;
+            if (options.reuseFifoForwarding)
+                result.energyEvents.reuseFifoBytes += w.reuseTotal;
         }
     }
 
@@ -415,10 +515,10 @@ runEngine(const graph::DynamicGraph &dg,
         tr.column = mapping.spatialOnly
             ? 0 : mapping.snapshotColumn[i];
         tr.dramDone = dram_done[i];
-        tr.gnnComputeCycles = gnn_compute[i];
-        tr.rnnComputeCycles = rnn_compute[i];
-        tr.spatialCommCycles = spatial_comm[i];
-        tr.temporalCommCycles = temporal_comm[i];
+        tr.gnnComputeCycles = work[i].gnnCompute;
+        tr.rnnComputeCycles = work[i].rnnCompute;
+        tr.spatialCommCycles = work[i].spatial.makespan;
+        tr.temporalCommCycles = work[i].temporal.makespan;
     }
     Cycle last_done = 0;
     if (mapping.spatialOnly) {
@@ -428,9 +528,10 @@ runEngine(const graph::DynamicGraph &dg,
         for (SnapshotId t = 0; t < num_snapshots; ++t) {
             const auto i = static_cast<std::size_t>(t);
             const Cycle gnn_done = std::max(
-                prev_done + std::max(gnn_compute[i], spatial_comm[i]),
+                prev_done + std::max(work[i].gnnCompute,
+                                     work[i].spatial.makespan),
                 dram_done[i]);
-            const Cycle done = gnn_done + rnn_compute[i];
+            const Cycle done = gnn_done + work[i].rnnCompute;
             result.trace[i].gnnDone = gnn_done;
             result.trace[i].rnnDone = done;
             prev_done = done;
@@ -446,8 +547,8 @@ runEngine(const graph::DynamicGraph &dg,
             const auto i = static_cast<std::size_t>(t);
             const auto c = static_cast<std::size_t>(
                 mapping.snapshotColumn[i]);
-            const Cycle on_chip = std::max(gnn_compute[i],
-                                           spatial_comm[i]);
+            const Cycle on_chip = std::max(work[i].gnnCompute,
+                                           work[i].spatial.makespan);
             const Cycle done = std::max(col_free[c] + on_chip,
                                         dram_done[i]);
             gnn_done[i] = done;
@@ -463,9 +564,10 @@ runEngine(const graph::DynamicGraph &dg,
         Cycle rnn_prev = 0;
         for (SnapshotId t = 0; t < num_snapshots; ++t) {
             const auto i = static_cast<std::size_t>(t);
-            const Cycle start = std::max({gnn_done[i], barrier,
-                                          rnn_prev + temporal_comm[i]});
-            const Cycle done = start + rnn_compute[i];
+            const Cycle start = std::max(
+                {gnn_done[i], barrier,
+                 rnn_prev + work[i].temporal.makespan});
+            const Cycle done = start + work[i].rnnCompute;
             result.trace[i].rnnDone = done;
             rnn_prev = done;
             last_done = std::max(last_done, done);
@@ -482,8 +584,9 @@ runEngine(const graph::DynamicGraph &dg,
     result.totalCycles = last_done + result.configCycles;
     for (SnapshotId t = 0; t < num_snapshots; ++t) {
         const auto i = static_cast<std::size_t>(t);
-        result.computeCycles += gnn_compute[i] + rnn_compute[i];
-        result.onChipCommCycles += spatial_comm[i] + temporal_comm[i];
+        result.computeCycles += work[i].gnnCompute + work[i].rnnCompute;
+        result.onChipCommCycles +=
+            work[i].spatial.makespan + work[i].temporal.makespan;
     }
     result.offChipCycles = dram_cursor;
 
@@ -499,9 +602,9 @@ runEngine(const graph::DynamicGraph &dg,
         const auto i = static_cast<std::size_t>(t);
         capacity += static_cast<double>(active_tiles) * tile_macs *
             (options.gnnMacFraction *
-                 static_cast<double>(gnn_compute[i]) +
+                 static_cast<double>(work[i].gnnCompute) +
              options.rnnMacFraction *
-                 static_cast<double>(rnn_compute[i]));
+                 static_cast<double>(work[i].rnnCompute));
     }
     result.peUtilization = capacity > 0.0 ? busy / capacity : 0.0;
 

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Tests for the parallel execution layer: thread-pool semantics
+ * (exception propagation, nested regions, shutdown draining) and the
+ * engine's determinism guarantee — any --threads width must produce
+ * bit-identical RunResults.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "core/ditile_accelerator.hh"
+#include "graph/generator.hh"
+#include "sim/baselines.hh"
+
+namespace ditile {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.async([&counter, i] {
+            counter.fetch_add(1);
+            return i * i;
+        }));
+    }
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // The pool must not drop work on shutdown.
+    EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, AsyncExceptionReachesFuture)
+{
+    ThreadPool pool(2);
+    auto future = pool.async(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t n = 10000;
+    std::vector<int> hits(n, 0);
+    parallelFor(n, [&](std::size_t i) { ++hits[i]; }, &pool);
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+              static_cast<int>(n));
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelFor, PropagatesBodyException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        parallelFor(256, [](std::size_t i) {
+            if (i == 97)
+                throw std::runtime_error("index 97");
+        }, &pool),
+        std::runtime_error);
+}
+
+TEST(ParallelFor, NestedRegionsComplete)
+{
+    ThreadPool pool(3);
+    constexpr std::size_t outer = 16;
+    constexpr std::size_t inner = 32;
+    std::vector<std::vector<int>> grid(
+        outer, std::vector<int>(inner, 0));
+    parallelFor(outer, [&](std::size_t o) {
+        parallelFor(inner, [&](std::size_t i) {
+            grid[o][i] = static_cast<int>(o * inner + i);
+        }, &pool);
+    }, &pool);
+    for (std::size_t o = 0; o < outer; ++o)
+        for (std::size_t i = 0; i < inner; ++i)
+            ASSERT_EQ(grid[o][i], static_cast<int>(o * inner + i));
+}
+
+TEST(ParallelFor, SubmitFromWorkerDoesNotDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    parallelFor(8, [&](std::size_t) {
+        // A pool task enqueueing more pool work must not wedge the
+        // region even when every worker is already busy in it.
+        counter.fetch_add(1);
+    }, &pool);
+    for (int i = 0; i < 8; ++i) {
+        futures.push_back(pool.async([&counter, &pool] {
+            pool.submit([&counter] { counter.fetch_add(1); });
+            counter.fetch_add(1);
+        }));
+    }
+    for (auto &future : futures)
+        future.get();
+    // Submitted grandchildren drain at destruction at the latest.
+}
+
+TEST(ThreadPool, GlobalPoolResizes)
+{
+    ThreadPool::setGlobalThreads(3);
+    EXPECT_EQ(ThreadPool::globalThreads(), 3);
+    EXPECT_EQ(ThreadPool::global().numThreads(), 3);
+    ThreadPool::setGlobalThreads(1);
+    EXPECT_EQ(ThreadPool::global().numThreads(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Engine determinism across thread counts.
+// ---------------------------------------------------------------------
+
+graph::DynamicGraph
+ctdgWorkload()
+{
+    graph::EvolutionConfig config;
+    config.numVertices = 1200;
+    config.numEdges = 9600;
+    config.numSnapshots = 8;
+    config.dissimilarity = 0.12;
+    config.featureDim = 64;
+    config.seed = 11;
+    return graph::generateDynamicGraph(config);
+}
+
+/** Field-by-field equality of two runs, with readable failures. */
+void
+expectIdentical(const sim::RunResult &a, const sim::RunResult &b)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.computeCycles, b.computeCycles);
+    EXPECT_EQ(a.onChipCommCycles, b.onChipCommCycles);
+    EXPECT_EQ(a.offChipCycles, b.offChipCycles);
+    EXPECT_EQ(a.configCycles, b.configCycles);
+    EXPECT_EQ(a.ops.totalMacs(), b.ops.totalMacs());
+    EXPECT_EQ(a.ops.totalArithmetic(), b.ops.totalArithmetic());
+    EXPECT_EQ(a.dramTraffic.total(), b.dramTraffic.total());
+    EXPECT_EQ(a.nocBytes, b.nocBytes);
+    EXPECT_EQ(a.nocBytesSpatial, b.nocBytesSpatial);
+    EXPECT_EQ(a.nocBytesTemporal, b.nocBytesTemporal);
+    EXPECT_EQ(a.nocBytesReuse, b.nocBytesReuse);
+    // Utilization and energy derive from integer totals through the
+    // same expressions, so they must match to the last bit.
+    EXPECT_EQ(a.peUtilization, b.peUtilization);
+    EXPECT_EQ(a.energy.totalPj(), b.energy.totalPj());
+    EXPECT_EQ(a.energyEvents.dramBytes, b.energyEvents.dramBytes);
+    EXPECT_EQ(a.energyEvents.dramActivates,
+              b.energyEvents.dramActivates);
+    EXPECT_EQ(a.energyEvents.reconfigEvents,
+              b.energyEvents.reconfigEvents);
+    EXPECT_EQ(a.energyEvents.localBufferBytes,
+              b.energyEvents.localBufferBytes);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        const auto &ta = a.trace[i];
+        const auto &tb = b.trace[i];
+        EXPECT_EQ(ta.dramDone, tb.dramDone) << "snapshot " << i;
+        EXPECT_EQ(ta.gnnComputeCycles, tb.gnnComputeCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.rnnComputeCycles, tb.rnnComputeCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.spatialCommCycles, tb.spatialCommCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.temporalCommCycles, tb.temporalCommCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.gnnDone, tb.gnnDone) << "snapshot " << i;
+        EXPECT_EQ(ta.rnnDone, tb.rnnDone) << "snapshot " << i;
+    }
+}
+
+/** Run one accelerator at a given global width. */
+sim::RunResult
+runAt(int threads, sim::Accelerator &accel,
+      const graph::DynamicGraph &dg, const model::DgnnConfig &mconfig)
+{
+    ThreadPool::setGlobalThreads(threads);
+    auto result = accel.run(dg, mconfig);
+    ThreadPool::setGlobalThreads(1);
+    return result;
+}
+
+TEST(EngineDeterminism, DiTileIdenticalAcrossThreadCounts)
+{
+    const auto dg = ctdgWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    const auto serial = runAt(1, accel, dg, mconfig);
+    for (int threads : {2, 8}) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        expectIdentical(serial, runAt(threads, accel, dg, mconfig));
+    }
+}
+
+TEST(EngineDeterminism, DetailedTileTimingIdentical)
+{
+    const auto dg = ctdgWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileOptions options;
+    options.detailedTileTiming = true;
+    core::DiTileAccelerator accel(sim::AcceleratorConfig::defaults(),
+                                  options);
+    const auto serial = runAt(1, accel, dg, mconfig);
+    expectIdentical(serial, runAt(8, accel, dg, mconfig));
+}
+
+TEST(EngineDeterminism, BaselinesIdenticalAcrossThreadCounts)
+{
+    const auto dg = ctdgWorkload();
+    const model::DgnnConfig mconfig;
+    std::vector<std::unique_ptr<sim::Accelerator>> fleet;
+    fleet.push_back(sim::makeReady());
+    fleet.push_back(sim::makeDgnnBooster());
+    fleet.push_back(sim::makeRace());
+    fleet.push_back(sim::makeMega());
+    for (auto &accel : fleet) {
+        const auto serial = runAt(1, *accel, dg, mconfig);
+        SCOPED_TRACE(serial.acceleratorName);
+        expectIdentical(serial, runAt(8, *accel, dg, mconfig));
+    }
+}
+
+} // namespace
+} // namespace ditile

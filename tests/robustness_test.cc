@@ -156,8 +156,9 @@ TEST_P(BufferSweep, TilingAdaptsToCapacity)
     const auto &tiling = accel.lastPlan().tiling;
     EXPECT_GE(tiling.tilingFactor, 1);
     // Smaller buffers force finer tiling.
-    if (GetParam() <= (64u << 10))
+    if (GetParam() <= (64u << 10)) {
         EXPECT_GT(tiling.tilingFactor, 4);
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Capacities, BufferSweep,

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Format gate: clang-format --dry-run -Werror over the enforced file
+# list (.clang-format-files). Run by the CI "format" job; skips with
+# a notice when clang-format is not installed locally.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "check_format: clang-format not found; skipping" >&2
+    exit 0
+fi
+
+clang-format --version
+grep -Ev '^(#|$)' .clang-format-files |
+    xargs clang-format --style=file --dry-run -Werror
+echo "check_format: all enforced files are clean"

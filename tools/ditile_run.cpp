@@ -16,6 +16,8 @@
  *   --dataset=PM|RD|MB|TW|WD|FK   --scale=F   (Table-1 workloads)
  *   --vertices=N --edges=M --features=F --dissimilarity=D
  *   --snapshots=T --seed=S
+ *   --threads=N            (engine thread-pool width; default 1,
+ *                           results identical at any width)
  *   --rnn=lstm|gru  --aggregator=gcn|sage|gin
  *   --detailed-tiles       (PE-level compute timing)
  *   --json / --csv         (output format; default ASCII table)
@@ -29,6 +31,7 @@
 #include "common/cli.hh"
 #include "common/json.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "core/ditile_accelerator.hh"
 #include "graph/datasets.hh"
 #include "graph/generator.hh"
@@ -160,6 +163,8 @@ int
 main(int argc, char **argv)
 {
     const CliFlags flags = CliFlags::parse(argc, argv);
+    ThreadPool::setGlobalThreads(
+        static_cast<int>(flags.getInt("threads", 1)));
     const auto dg = buildWorkload(flags);
     const auto mconfig = buildModel(flags);
     auto accelerators = buildAccelerators(flags);

@@ -7,7 +7,12 @@
  * emitting one CSV row per run.
  *
  *   ditile_sweep --dataset=WD --dis=0.02,0.06,0.10,0.14 \
- *                --snapshots=4,8,16 [--all-accels] [--scale=F]
+ *                --snapshots=4,8,16 [--all-accels] [--scale=F] \
+ *                [--threads=N]
+ *
+ * Config points are independent, so with --threads=N they fan out
+ * across the process-wide thread pool; rows are still emitted in
+ * grid order and every number is bit-identical to --threads=1.
  */
 
 #include <memory>
@@ -15,6 +20,7 @@
 
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "core/ditile_accelerator.hh"
 #include "graph/datasets.hh"
 #include "sim/baselines.hh"
@@ -48,50 +54,68 @@ main(int argc, char **argv)
     const auto snap_list = parseList(flags.getString("snapshots", ""),
                                      8.0);
     const bool all_accels = flags.getBool("all-accels", false);
+    ThreadPool::setGlobalThreads(
+        static_cast<int>(flags.getInt("threads", 1)));
+
+    // One job per (dissimilarity, snapshot-count) grid point; each
+    // job owns its dataset, accelerator fleet and row block, so jobs
+    // share nothing and merge back in grid order.
+    struct Job
+    {
+        double dis = 0.0;
+        double snaps = 0.0;
+        std::vector<std::vector<std::string>> rows;
+    };
+    std::vector<Job> jobs;
+    for (double dis : dis_list)
+        for (double snaps : snap_list)
+            jobs.push_back({dis, snaps, {}});
+
+    parallelFor(jobs.size(), [&](std::size_t j) {
+        Job &job = jobs[j];
+        graph::DatasetOptions options;
+        options.scale = flags.getDouble("scale", 0.0);
+        options.numSnapshots = static_cast<SnapshotId>(job.snaps);
+        options.dissimilarity = job.dis;
+        options.seed = static_cast<std::uint64_t>(
+            flags.getInt("seed", 0));
+        const auto dg = graph::makeDataset(dataset, options);
+        const model::DgnnConfig mconfig;
+
+        std::vector<std::unique_ptr<sim::Accelerator>> fleet;
+        if (all_accels) {
+            fleet.push_back(sim::makeReady());
+            fleet.push_back(sim::makeDgnnBooster());
+            fleet.push_back(sim::makeRace());
+            fleet.push_back(sim::makeMega());
+        }
+        fleet.push_back(std::make_unique<core::DiTileAccelerator>());
+        for (auto &accel : fleet) {
+            const auto r = accel->run(dg, mconfig);
+            job.rows.push_back({dataset, Table::num(job.dis, 3),
+                                Table::integer(static_cast<long long>(
+                                    job.snaps)),
+                                r.acceleratorName,
+                                Table::integer(static_cast<long long>(
+                                    r.totalCycles)),
+                                Table::integer(static_cast<long long>(
+                                    r.ops.totalArithmetic())),
+                                Table::integer(static_cast<long long>(
+                                    r.dramTraffic.total())),
+                                Table::integer(static_cast<long long>(
+                                    r.nocBytes)),
+                                Table::num(r.energy.totalPj(), 0),
+                                Table::num(r.peUtilization, 4)});
+        }
+    });
 
     Table table("sweep");
     table.setHeader({"dataset", "dissimilarity", "snapshots",
                      "accelerator", "cycles", "ops", "dram_bytes",
                      "noc_bytes", "energy_pj", "pe_utilization"});
-    for (double dis : dis_list) {
-        for (double snaps : snap_list) {
-            graph::DatasetOptions options;
-            options.scale = flags.getDouble("scale", 0.0);
-            options.numSnapshots = static_cast<SnapshotId>(snaps);
-            options.dissimilarity = dis;
-            options.seed = static_cast<std::uint64_t>(
-                flags.getInt("seed", 0));
-            const auto dg = graph::makeDataset(dataset, options);
-            const model::DgnnConfig mconfig;
-
-            std::vector<std::unique_ptr<sim::Accelerator>> fleet;
-            if (all_accels) {
-                fleet.push_back(sim::makeReady());
-                fleet.push_back(sim::makeDgnnBooster());
-                fleet.push_back(sim::makeRace());
-                fleet.push_back(sim::makeMega());
-            }
-            fleet.push_back(
-                std::make_unique<core::DiTileAccelerator>());
-            for (auto &accel : fleet) {
-                const auto r = accel->run(dg, mconfig);
-                table.addRow({dataset, Table::num(dis, 3),
-                              Table::integer(static_cast<long long>(
-                                  snaps)),
-                              r.acceleratorName,
-                              Table::integer(static_cast<long long>(
-                                  r.totalCycles)),
-                              Table::integer(static_cast<long long>(
-                                  r.ops.totalArithmetic())),
-                              Table::integer(static_cast<long long>(
-                                  r.dramTraffic.total())),
-                              Table::integer(static_cast<long long>(
-                                  r.nocBytes)),
-                              Table::num(r.energy.totalPj(), 0),
-                              Table::num(r.peUtilization, 4)});
-            }
-        }
-    }
+    for (const auto &job : jobs)
+        for (const auto &row : job.rows)
+            table.addRow(row);
     std::fputs(table.toCsv().c_str(), stdout);
     return 0;
 }

@@ -110,16 +110,20 @@ DiTileAccelerator::prepare(const graph::DynamicGraph &dg,
     mapping.snapshotColumn = lastMapping_.snapshotColumn;
 }
 
-sim::RunResult
-DiTileAccelerator::run(const graph::DynamicGraph &dg,
-                       const model::DgnnConfig &model_config)
+sim::ExecutionPlan
+DiTileAccelerator::plan(const graph::DynamicGraph &dg,
+                        const model::DgnnConfig &model_config,
+                        sim::PlanCache *cache)
 {
     sim::AcceleratorConfig hw;
     sim::MappingSpec mapping;
     sim::EngineOptions engine_options;
     prepare(dg, model_config, hw, mapping, engine_options);
-    return sim::runEngine(dg, model_config, hw, mapping, engine_options,
-                          name());
+    sim::ExecutionPlan plan = sim::buildEnginePlan(
+        dg, model_config, hw, mapping, engine_options, name(), cache);
+    plan.parallel = lastPlan_;
+    plan.groups = lastMapping_.groups;
+    return plan;
 }
 
 sim::TrainingResult

@@ -50,8 +50,15 @@ class DiTileAccelerator : public sim::Accelerator
 
     std::string name() const override;
 
-    sim::RunResult run(const graph::DynamicGraph &dg,
-                       const model::DgnnConfig &model_config) override;
+    /**
+     * Runs the full Figure-5 front end (workload computation,
+     * Algorithm 1, Algorithm 2, execution planning, NoC mode) and
+     * packages its outputs as one ExecutionPlan; run() (inherited)
+     * replays it.
+     */
+    sim::ExecutionPlan plan(const graph::DynamicGraph &dg,
+                            const model::DgnnConfig &model_config,
+                            sim::PlanCache *cache = nullptr) override;
 
     /**
      * Simulate one training iteration (paper §4.1's extension): the

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "sim/engine.hh"
+#include "sim/execution_plan.hh"
 #include "tiling/optimizer.hh"
 
 namespace ditile::sim {
@@ -45,6 +46,25 @@ roundRobinColumns(SnapshotId num_snapshots, int cols)
 }
 
 /**
+ * Fit-only tiling of the baselines: partition to fit the buffer but
+ * without the Eq. 6 access-minimizing subgraph formation, so subgraphs
+ * fragment roughly twice as much as the optimized tiling and respect
+ * no locality.
+ */
+tiling::TilingResult
+baselineTiling(const graph::DynamicGraph &dg,
+               const model::DgnnConfig &model_config,
+               const AcceleratorConfig &hw)
+{
+    const auto app = tiling::ApplicationFeatures::fromGraph(
+        dg, model_config.numGcnLayers(), residentDims(dg, model_config),
+        model_config.bytesPerValue);
+    auto tiled = tiling::optimizeTiling(app, tilingHardware(hw));
+    tiled.tilingFactor *= 2;
+    return tiled;
+}
+
+/**
  * Shared scaffolding for the three temporal-parallel baselines.
  */
 class BaselineAccelerator : public Accelerator
@@ -60,21 +80,28 @@ class BaselineAccelerator : public Accelerator
 
     std::string name() const override { return name_; }
 
-    RunResult
-    run(const graph::DynamicGraph &dg,
-        const model::DgnnConfig &model_config) override
+    ExecutionPlan
+    plan(const graph::DynamicGraph &dg,
+         const model::DgnnConfig &model_config,
+         PlanCache *cache = nullptr) override
     {
+        const auto tiled = baselineTiling(dg, model_config, hw_);
         EngineOptions options = options_;
         options.accounting.crossFetchFraction =
-            baselineCrossFetchFraction(dg, model_config, hw_);
+            tiled.crossFetchFraction(1.0);
 
         MappingSpec mapping;
         mapping.rowPartition = graph::VertexPartition::contiguous(
             dg.numVertices(), hw_.tileRows);
         mapping.snapshotColumn = roundRobinColumns(dg.numSnapshots(),
                                                    hw_.tileCols);
-        return runEngine(dg, model_config, hw_, mapping, options,
-                         name_);
+        ExecutionPlan p = buildEnginePlan(dg, model_config, hw_,
+                                          mapping, options, name_,
+                                          cache);
+        // Fit-only tiling provenance; Algorithm-1 parallelism stays at
+        // the analytic defaults (the baselines don't co-optimize it).
+        p.parallel.tiling = tiled;
+        return p;
     }
 
   protected:
@@ -97,14 +124,16 @@ class MegaAccelerator : public Accelerator
 
     std::string name() const override { return "MEGA"; }
 
-    RunResult
-    run(const graph::DynamicGraph &dg,
-        const model::DgnnConfig &model_config) override
+    ExecutionPlan
+    plan(const graph::DynamicGraph &dg,
+         const model::DgnnConfig &model_config,
+         PlanCache *cache = nullptr) override
     {
+        const auto tiled = baselineTiling(dg, model_config, hw_);
         EngineOptions options;
         options.algo = model::AlgoKind::MegaAlg;
         options.accounting.crossFetchFraction =
-            baselineCrossFetchFraction(dg, model_config, hw_);
+            tiled.crossFetchFraction(1.0);
         // Whole-grid spatial partitioning duplicates boundary fetches
         // across the tiles sharing a gather.
         options.dramTrafficScale = 1.15;
@@ -118,8 +147,11 @@ class MegaAccelerator : public Accelerator
         mapping.spatialOnly = true;
         mapping.tilePartition = graph::VertexPartition::contiguous(
             dg.numVertices(), hw_.totalTiles());
-        return runEngine(dg, model_config, hw_, mapping, options,
-                         name());
+        ExecutionPlan p = buildEnginePlan(dg, model_config, hw_,
+                                          mapping, options, name(),
+                                          cache);
+        p.parallel.tiling = tiled;
+        return p;
     }
 
   private:
@@ -133,15 +165,8 @@ baselineCrossFetchFraction(const graph::DynamicGraph &dg,
                            const model::DgnnConfig &model_config,
                            const AcceleratorConfig &hw)
 {
-    const auto app = tiling::ApplicationFeatures::fromGraph(
-        dg, model_config.numGcnLayers(), residentDims(dg, model_config),
-        model_config.bytesPerValue);
-    auto tiled = tiling::optimizeTiling(app, tilingHardware(hw));
-    // Baselines partition to fit but without access-minimizing subgraph
-    // formation: effectively twice the subgraph fragmentation and no
-    // locality in the subgraph contents.
-    tiled.tilingFactor *= 2;
-    return tiled.crossFetchFraction(1.0);
+    return baselineTiling(dg, model_config, hw)
+        .crossFetchFraction(1.0);
 }
 
 std::unique_ptr<Accelerator>

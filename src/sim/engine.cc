@@ -2,17 +2,24 @@
  * @file
  * Shared execution-engine implementation.
  *
- * ### Parallel evaluation, serial semantics
+ * ### Plan replay, parallel evaluation, serial semantics
+ *
+ * The engine executes an ExecutionPlan: every planning decision (the
+ * mapping, the policy knobs, the per-snapshot redundancy-free plans,
+ * the reconfiguration schedule) is pure data computed before the first
+ * simulated cycle. runEngine() is the legacy one-shot entry point and
+ * simply assembles a plan (buildEnginePlan) and replays it, so the two
+ * paths are bit-identical by construction.
  *
  * Snapshots mapped to different tile columns are independent by
- * construction (paper §4): given the eagerly-built incremental plans,
+ * construction (paper §4): given the plan's per-snapshot work sets,
  * everything per snapshot — op/byte accounting, the per-tile compute
  * distribution, the detailed tile timing and the NoC replays — is a
  * pure function of that snapshot. Only three things chain across
  * snapshots: the DRAM device state (row buffers + completion cursor),
  * the Re-Link controller's engaged span, and the result accumulators.
  *
- * runEngine therefore executes in stages:
+ * executePlan therefore runs in stages:
  *
  *   1. *parallel* per-snapshot evaluation into one SnapshotWork slot
  *      per snapshot (per-tile sub-models fan out a second level),
@@ -40,6 +47,7 @@
 #include "common/thread_pool.hh"
 #include "noc/network.hh"
 #include "noc/relink_controller.hh"
+#include "sim/execution_plan.hh"
 #include "sim/tile_model.hh"
 
 namespace ditile::sim {
@@ -123,12 +131,13 @@ struct SnapshotWork
 } // namespace
 
 RunResult
-runEngine(const graph::DynamicGraph &dg,
-          const model::DgnnConfig &model_config,
-          const AcceleratorConfig &hw, const MappingSpec &mapping,
-          const EngineOptions &options,
-          const std::string &accelerator_name)
+executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
 {
+    const AcceleratorConfig &hw = plan.hw;
+    const model::DgnnConfig &model_config = plan.modelConfig;
+    const MappingSpec &mapping = plan.mapping;
+    const EngineOptions &options = plan.options;
+
     const SnapshotId num_snapshots = dg.numSnapshots();
     const VertexId num_vertices = dg.numVertices();
     const int feature_dim = dg.featureDim();
@@ -137,6 +146,13 @@ runEngine(const graph::DynamicGraph &dg,
         static_cast<ByteCount>(model_config.gnnOutputDim()) * bpv;
     const auto h_bytes =
         static_cast<ByteCount>(model_config.lstmHidden) * bpv;
+
+    DITILE_ASSERT(plan.snapshots != nullptr,
+                  "execution plan has no snapshot plans");
+    DITILE_ASSERT(plan.numSnapshots() == num_snapshots,
+                  "plan snapshot count does not match the workload");
+    const std::vector<model::SnapshotPlan> &snapshot_plans =
+        *plan.snapshots;
 
     if (mapping.spatialOnly) {
         DITILE_ASSERT(mapping.tilePartition.numVertices() == num_vertices,
@@ -149,9 +165,6 @@ runEngine(const graph::DynamicGraph &dg,
                       "snapshot->column map must cover every snapshot");
     }
 
-    // Plans for every snapshot are built eagerly here; the parallel
-    // stage below only reads them.
-    model::IncrementalPlanner planner(dg, model_config, options.algo);
     dram::DramModel dram_model(hw.dram);
 
     // Stable address regions so row-buffer locality behaves like a real
@@ -171,13 +184,13 @@ runEngine(const graph::DynamicGraph &dg,
         + 4096);
 
     RunResult result;
-    result.acceleratorName = accelerator_name;
+    result.acceleratorName = plan.acceleratorName;
     result.workloadName = dg.name();
 
     const double tile_macs = hw.macsPerTile();
     const OpCount rnn_vertex_macs =
         model::rnnMacsPerVertex(model_config);
-    const bool adaptive_relink = options.adaptiveRelink &&
+    const bool adaptive_relink = plan.relink.adaptive &&
         hw.noc.topology == noc::TopologyKind::Reconfigurable;
 
     ThreadPool &pool = ThreadPool::global();
@@ -189,12 +202,13 @@ runEngine(const graph::DynamicGraph &dg,
         const auto t = static_cast<SnapshotId>(i);
         SnapshotWork &w = work[i];
         const graph::Csr &g = dg.snapshot(t);
-        const model::SnapshotPlan &plan = planner.plan(t);
+        const model::SnapshotPlan &splan = snapshot_plans[i];
 
         // ---- Accounting (ops + off-chip bytes). ----
-        w.ops = model::countSnapshotOps(dg, t, model_config, plan);
+        w.ops = model::countSnapshotOps(dg, t, model_config, splan);
         w.dramTraffic = model::countSnapshotDram(
-            dg, t, model_config, options.algo, plan, options.accounting);
+            dg, t, model_config, options.algo, splan,
+            options.accounting);
 
         // ---- Off-chip request synthesis. ----
         // Full recomputation streams regions sequentially (row-buffer
@@ -211,7 +225,7 @@ runEngine(const graph::DynamicGraph &dg,
             bytes = scaled(bytes);
             if (bytes == 0)
                 return;
-            if (plan.fullRecompute || bytes >= region_bytes) {
+            if (splan.fullRecompute || bytes >= region_bytes) {
                 w.requests.push_back({base, bytes, false, 0});
                 return;
             }
@@ -284,7 +298,7 @@ runEngine(const graph::DynamicGraph &dg,
         };
 
         for (int l = 0; l < model_config.numGcnLayers(); ++l) {
-            const auto &lw = plan.gcn[static_cast<std::size_t>(l)];
+            const auto &lw = splan.gcn[static_cast<std::size_t>(l)];
             const auto in_dim = static_cast<OpCount>(
                 model_config.gcnInputDim(l, feature_dim));
             const auto out_dim =
@@ -318,7 +332,7 @@ runEngine(const graph::DynamicGraph &dg,
                 }
             }
         }
-        for (VertexId v : plan.rnnVertices)
+        for (VertexId v : splan.rnnVertices)
             slot_rnn[static_cast<std::size_t>(owner(v))] +=
                 rnn_vertex_macs;
 
@@ -396,7 +410,7 @@ runEngine(const graph::DynamicGraph &dg,
                 TrafficMatrix boundary;
                 // Temporal: every RNN-active vertex needs its previous
                 // hidden/cell state from the previous snapshot's column.
-                for (VertexId v : plan.rnnVertices) {
+                for (VertexId v : splan.rnnVertices) {
                     const int r = mapping.rowPartition.owner(v);
                     boundary.add(
                         static_cast<TileId>(r * hw.tileCols + prev_col),
@@ -407,11 +421,11 @@ runEngine(const graph::DynamicGraph &dg,
                 // vertices' outputs instead of recomputing them.
                 std::vector<noc::Message> msgs;
                 boundary.emit(msgs, noc::TrafficClass::Temporal, 0);
-                if (!plan.fullRecompute) {
+                if (!splan.fullRecompute) {
                     TrafficMatrix reuse;
                     std::vector<bool> changed(
                         static_cast<std::size_t>(num_vertices), false);
-                    for (VertexId v : plan.gcn.back().vertices)
+                    for (VertexId v : splan.gcn.back().vertices)
                         changed[static_cast<std::size_t>(v)] = true;
                     for (VertexId v = 0; v < num_vertices; ++v) {
                         if (changed[static_cast<std::size_t>(v)])
@@ -623,7 +637,7 @@ runEngine(const graph::DynamicGraph &dg,
     // Mode-switch events per snapshot, on top of any adaptive Re-Link
     // toggles counted during the NoC phases.
     result.energyEvents.reconfigEvents +=
-        options.reconfigEventsPerSnapshot *
+        plan.relink.reconfigEventsPerSnapshot *
         static_cast<std::uint64_t>(num_snapshots);
     result.energy = energy::computeEnergy(result.energyEvents,
                                           hw.energyTable);
@@ -650,6 +664,18 @@ runEngine(const graph::DynamicGraph &dg,
     result.stats.set("noc.bytes", static_cast<double>(result.nocBytes));
     result.stats.merge(result.energy.toStats());
     return result;
+}
+
+RunResult
+runEngine(const graph::DynamicGraph &dg,
+          const model::DgnnConfig &model_config,
+          const AcceleratorConfig &hw, const MappingSpec &mapping,
+          const EngineOptions &options,
+          const std::string &accelerator_name)
+{
+    return executePlan(dg, buildEnginePlan(dg, model_config, hw,
+                                           mapping, options,
+                                           accelerator_name));
 }
 
 } // namespace ditile::sim

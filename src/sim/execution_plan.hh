@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ExecutionPlan: the serializable intermediate representation between
+ * the Figure-5 front end and the execution engine.
+ *
+ * The paper separates planning from execution: workload computation ->
+ * Algorithm-1 strategy adjustment -> Algorithm-2 balanced workload ->
+ * redundancy-free execution planning -> NoC reconfiguration, all
+ * before the tile array runs. An ExecutionPlan captures every output
+ * of those stages as one value:
+ *
+ *   - the resolved hardware instance (topology included),
+ *   - the model shape the plan was derived for,
+ *   - the MappingSpec (vertex rows, snapshot columns),
+ *   - the engine policy knobs (EngineOptions),
+ *   - the Algorithm-1 ParallelPlan (tiling factor, Ps/Pv),
+ *   - the Algorithm-2 BDW group assignments,
+ *   - the Re-Link reconfiguration schedule (mode + per-snapshot
+ *     switch budget; span selection stays in the §6.1 runtime
+ *     controller, which reacts to realized traffic),
+ *   - the per-snapshot redundancy-free SnapshotPlans.
+ *
+ * Plans are pure data: executePlan() replays one bit-identically at
+ * any thread count, plans serialize to/from JSON for offline
+ * inspection and re-execution, and a content hash keys the PlanCache
+ * so sweeps and ablations plan once and execute many times.
+ */
+
+#ifndef DITILE_SIM_EXECUTION_PLAN_HH
+#define DITILE_SIM_EXECUTION_PLAN_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/incremental.hh"
+#include "sim/engine.hh"
+#include "tiling/optimizer.hh"
+#include "workload/balance.hh"
+
+namespace ditile::sim {
+
+class PlanCache;
+
+/**
+ * NoC reconfiguration schedule (Figure-5 steps (8)-(9)): the selected
+ * interconnect mode and the Re-Link switch budget charged per
+ * snapshot. When `adaptive` is set the §6.1 runtime controller picks
+ * the bypass span per phase from the realized traffic; the schedule
+ * fixes everything decidable before execution.
+ */
+struct RelinkSchedule
+{
+    bool adaptive = false;
+    std::uint64_t reconfigEventsPerSnapshot = 0;
+};
+
+/**
+ * Complete, serializable execution plan for one (workload, model,
+ * accelerator) triple.
+ */
+struct ExecutionPlan
+{
+    /** Formed-by accelerator, e.g. "DiTile-DGNN" or "RACE". */
+    std::string acceleratorName;
+
+    /** Workload the plan was derived for (provenance only). */
+    std::string workloadName;
+
+    /** Resolved hardware instance, NoC topology included. */
+    AcceleratorConfig hw;
+
+    /** Model shape the snapshot plans were computed against. */
+    model::DgnnConfig modelConfig;
+
+    /** Work placement onto the tile grid. */
+    MappingSpec mapping;
+
+    /** Engine policy knobs distinguishing the accelerator styles. */
+    EngineOptions options;
+
+    /** Algorithm-1 output (analytic defaults for the baselines). */
+    tiling::ParallelPlan parallel;
+
+    /** Algorithm-2 BDW groups (empty for the baselines). */
+    std::vector<workload::BalancedGroup> groups;
+
+    /** NoC reconfiguration schedule. */
+    RelinkSchedule relink;
+
+    /**
+     * Redundancy-free per-snapshot plans, shared so a PlanCache can
+     * hand the same (expensive) planner output to many plans.
+     */
+    std::shared_ptr<const std::vector<model::SnapshotPlan>> snapshots;
+
+    SnapshotId
+    numSnapshots() const
+    {
+        return snapshots
+            ? static_cast<SnapshotId>(snapshots->size()) : 0;
+    }
+
+    /**
+     * FNV-1a hash of the canonical serialization; equal hashes mean
+     * semantically identical plans.
+     */
+    std::uint64_t contentHash() const;
+
+    /** Canonical JSON serialization (self-contained, re-executable). */
+    std::string toJson() const;
+
+    /**
+     * Rebuild a plan from toJson() output. Throws std::runtime_error
+     * on malformed or incomplete documents. Round-trips bit-exactly:
+     * executing the parsed plan reproduces the original RunResult.
+     */
+    static ExecutionPlan fromJson(const std::string &text);
+};
+
+/**
+ * Assemble a plan from engine inputs: captures the IncrementalPlanner
+ * output (via `cache` when given, so equal planning inputs share one
+ * snapshot-plan set) and mirrors the options' reconfiguration fields
+ * into the RelinkSchedule.
+ */
+ExecutionPlan buildEnginePlan(const graph::DynamicGraph &dg,
+                              const model::DgnnConfig &model_config,
+                              const AcceleratorConfig &hw,
+                              const MappingSpec &mapping,
+                              const EngineOptions &options,
+                              const std::string &accelerator_name,
+                              PlanCache *cache = nullptr);
+
+/**
+ * Execute a plan over a dynamic graph and return the full result
+ * record. Pure replay: all planning decisions come from the plan; the
+ * graph supplies the adjacency the plan's vertex sets index into, and
+ * must structurally match the planning-time workload.
+ */
+RunResult executePlan(const graph::DynamicGraph &dg,
+                      const ExecutionPlan &plan);
+
+} // namespace ditile::sim
+
+#endif // DITILE_SIM_EXECUTION_PLAN_HH

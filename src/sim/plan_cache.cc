@@ -1,0 +1,119 @@
+/**
+ * @file
+ * PlanCache implementation.
+ */
+
+#include "sim/plan_cache.hh"
+
+namespace ditile::sim {
+
+namespace {
+
+/** FNV-1a accumulation over 64-bit words. */
+struct ContentHasher
+{
+    std::uint64_t h = 1469598103934665603ull;
+
+    void
+    mix(std::uint64_t v)
+    {
+        h = (h ^ v) * 1099511628211ull;
+    }
+};
+
+} // namespace
+
+std::shared_ptr<const PlanCache::SnapshotPlans>
+PlanCache::buildSnapshotPlans(const graph::DynamicGraph &dg,
+                              const model::DgnnConfig &config,
+                              model::AlgoKind algo)
+{
+    model::IncrementalPlanner planner(dg, config, algo);
+    auto plans = std::make_shared<SnapshotPlans>();
+    plans->reserve(static_cast<std::size_t>(dg.numSnapshots()));
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t)
+        plans->push_back(planner.plan(t));
+    return plans;
+}
+
+std::uint64_t
+PlanCache::planKey(const graph::DynamicGraph &dg,
+                   const model::DgnnConfig &config, model::AlgoKind algo)
+{
+    ContentHasher hasher;
+    hasher.mix(static_cast<std::uint64_t>(algo));
+    hasher.mix(static_cast<std::uint64_t>(config.lstmHidden));
+    hasher.mix(static_cast<std::uint64_t>(config.bytesPerValue));
+    hasher.mix(static_cast<std::uint64_t>(config.aggregator));
+    hasher.mix(static_cast<std::uint64_t>(config.rnn));
+    hasher.mix(static_cast<std::uint64_t>(config.precision));
+    for (int d : config.gcnDims)
+        hasher.mix(static_cast<std::uint64_t>(d));
+    hasher.mix(static_cast<std::uint64_t>(dg.numVertices()));
+    hasher.mix(static_cast<std::uint64_t>(dg.featureDim()));
+    hasher.mix(static_cast<std::uint64_t>(dg.numSnapshots()));
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
+        const graph::Csr &g = dg.snapshot(t);
+        hasher.mix(static_cast<std::uint64_t>(g.numEdges()));
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            hasher.mix(static_cast<std::uint64_t>(g.degree(v)));
+            for (VertexId u : g.neighbors(v))
+                hasher.mix(static_cast<std::uint64_t>(u));
+        }
+    }
+    return hasher.h;
+}
+
+std::shared_ptr<const PlanCache::SnapshotPlans>
+PlanCache::obtain(const graph::DynamicGraph &dg,
+                  const model::DgnnConfig &config, model::AlgoKind algo)
+{
+    const std::uint64_t key = planKey(dg, config, algo);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Plan outside the lock so concurrent misses on different keys
+    // proceed in parallel.
+    auto plans = buildSnapshotPlans(dg, config, algo);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    const auto [it, inserted] = entries_.emplace(key, std::move(plans));
+    return it->second;
+}
+
+std::uint64_t
+PlanCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+PlanCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace ditile::sim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Content-hash-keyed cache of IncrementalPlanner outputs.
+ *
+ * The per-snapshot SnapshotPlans are the expensive part of planning
+ * (damped multi-layer frontier expansion over every snapshot), and
+ * they depend only on (graph content, model shape, update algorithm).
+ * Accelerators and ablation variants that share those inputs — the
+ * seven Fig-11b DiTile variants, or ReaDy and DGNN-Booster's common
+ * Re-Alg — can therefore share one plan set. The cache keys on a
+ * content hash of the planning inputs, so it works across separately
+ * constructed but identical workloads (e.g. sweep grid points that
+ * regenerate the same dataset).
+ *
+ * Thread-safe: lookups lock, misses plan outside the lock (the first
+ * finished writer wins; losers reuse the published set).
+ */
+
+#ifndef DITILE_SIM_PLAN_CACHE_HH
+#define DITILE_SIM_PLAN_CACHE_HH
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dynamic_graph.hh"
+#include "model/incremental.hh"
+
+namespace ditile::sim {
+
+class PlanCache
+{
+  public:
+    using SnapshotPlans = std::vector<model::SnapshotPlan>;
+
+    /** Build a plan set directly, bypassing any cache. */
+    static std::shared_ptr<const SnapshotPlans>
+    buildSnapshotPlans(const graph::DynamicGraph &dg,
+                       const model::DgnnConfig &config,
+                       model::AlgoKind algo);
+
+    /**
+     * Content hash of one planning input set: graph structure (every
+     * adjacency list of every snapshot), model shape, and algorithm.
+     */
+    static std::uint64_t planKey(const graph::DynamicGraph &dg,
+                                 const model::DgnnConfig &config,
+                                 model::AlgoKind algo);
+
+    /** Return the cached plan set for the inputs, planning on miss. */
+    std::shared_ptr<const SnapshotPlans>
+    obtain(const graph::DynamicGraph &dg,
+           const model::DgnnConfig &config, model::AlgoKind algo);
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::size_t size() const;
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const SnapshotPlans>> entries_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace ditile::sim
+
+#endif // DITILE_SIM_PLAN_CACHE_HH

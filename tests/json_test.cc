@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
-#include <cmath>
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
 
 #include "common/json.hh"
 
@@ -85,6 +87,113 @@ TEST(JsonObject, BalancedBraces)
     const auto s = obj.toString();
     EXPECT_EQ(std::count(s.begin(), s.end(), '{'),
               std::count(s.begin(), s.end(), '}'));
+}
+
+// ---------------------------------------------------------------------
+// Parser.
+// ---------------------------------------------------------------------
+
+TEST(JsonParse, Scalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_EQ(JsonValue::parse("42").asInt(), 42);
+    EXPECT_EQ(JsonValue::parse("-7").asInt(), -7);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("0.25").asDouble(), 0.25);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").asDouble(), 1000.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParse, LargeIntegersAreExact)
+{
+    // Values beyond 2^53 would lose bits through a double; the parser
+    // must convert integral tokens directly.
+    EXPECT_EQ(JsonValue::parse("9007199254740993").asInt(),
+              9007199254740993ll);
+    EXPECT_EQ(JsonValue::parse("18446744073709551615").asUint(),
+              18446744073709551615ull);
+}
+
+TEST(JsonParse, DoublesRoundTripBitExactly)
+{
+    // %.17g emission + strtod parse is a bit-exact round trip; the
+    // plan serialization's determinism rests on this.
+    for (double value : {1.0 / 3.0, 0.1, 2.5e-17, 123456.789,
+                         6.02214076e23}) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        EXPECT_EQ(JsonValue::parse(buf).asDouble(), value) << buf;
+    }
+}
+
+TEST(JsonParse, NestedStructure)
+{
+    const auto v = JsonValue::parse(
+        "{\"a\": [1, 2, 3], \"b\": {\"c\": true}, \"d\": \"x\"}");
+    ASSERT_TRUE(v.has("a"));
+    EXPECT_EQ(v.at("a").size(), 3u);
+    EXPECT_EQ(v.at("a").items()[1].asInt(), 2);
+    EXPECT_TRUE(v.at("b").at("c").asBool());
+    EXPECT_EQ(v.at("d").asString(), "x");
+    EXPECT_EQ(v.find("missing"), nullptr);
+    EXPECT_THROW(v.at("missing"), std::runtime_error);
+}
+
+TEST(JsonParse, EmptyContainers)
+{
+    EXPECT_EQ(JsonValue::parse("[]").size(), 0u);
+    EXPECT_EQ(JsonValue::parse("{}").members().size(), 0u);
+    EXPECT_EQ(JsonValue::parse("[[], {}]").size(), 2u);
+}
+
+TEST(JsonParse, StringEscapes)
+{
+    EXPECT_EQ(JsonValue::parse("\"a\\n\\t\\\"\\\\b\"").asString(),
+              "a\n\t\"\\b");
+    EXPECT_EQ(JsonValue::parse("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(JsonValue::parse("\"\\u00e9\"").asString(),
+              "\xc3\xa9"); // UTF-8 e-acute.
+}
+
+TEST(JsonParse, QuoteRoundTripsThroughParser)
+{
+    const std::string original = "line1\nline2\t\"quoted\"\\\x01";
+    EXPECT_EQ(JsonValue::parse(jsonQuote(original)).asString(),
+              original);
+}
+
+TEST(JsonParse, MalformedInputThrows)
+{
+    for (const char *bad : {"", "{", "[1,", "{\"a\":}", "tru",
+                            "\"unterminated", "1 2", "{'a':1}",
+                            "[1] trailing", "\"\\u00g1\"", "01e"}) {
+        EXPECT_THROW(JsonValue::parse(bad), std::runtime_error)
+            << "input: " << bad;
+    }
+}
+
+TEST(JsonParse, KindMismatchThrows)
+{
+    const auto v = JsonValue::parse("{\"a\": 1}");
+    EXPECT_THROW(v.at("a").asString(), std::runtime_error);
+    EXPECT_THROW(v.at("a").asBool(), std::runtime_error);
+    EXPECT_THROW(v.at("a").items(), std::runtime_error);
+    EXPECT_THROW(v.items(), std::runtime_error);
+}
+
+TEST(JsonParse, EmitterOutputParses)
+{
+    StatSet stats;
+    stats.add("cycles.total", 12345.0);
+    JsonObject obj;
+    obj.add("name", "ditile");
+    obj.add("ratio", 1.0 / 3.0);
+    obj.addStats("stats", stats);
+    const auto v = JsonValue::parse(obj.toString());
+    EXPECT_EQ(v.at("name").asString(), "ditile");
+    EXPECT_EQ(v.at("ratio").asDouble(), 1.0 / 3.0);
+    EXPECT_EQ(v.at("stats").at("cycles.total").asInt(), 12345);
 }
 
 } // namespace

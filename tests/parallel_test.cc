@@ -240,5 +240,47 @@ TEST(EngineDeterminism, BaselinesIdenticalAcrossThreadCounts)
     }
 }
 
+// ---------------------------------------------------------------------
+// Plan construction and plan execution are independently deterministic
+// across thread counts (the plan/execute split must not smuggle a
+// schedule dependence into either half).
+// ---------------------------------------------------------------------
+
+TEST(PlanDeterminism, ConstructionIdenticalAcrossThreadCounts)
+{
+    const auto dg = ctdgWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    ThreadPool::setGlobalThreads(1);
+    const auto serial = accel.plan(dg, mconfig);
+    const std::string serial_json = serial.toJson();
+    for (int threads : {2, 8}) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        ThreadPool::setGlobalThreads(threads);
+        const auto parallel = accel.plan(dg, mconfig);
+        EXPECT_EQ(parallel.toJson(), serial_json);
+        EXPECT_EQ(parallel.contentHash(), serial.contentHash());
+    }
+    ThreadPool::setGlobalThreads(1);
+}
+
+TEST(PlanDeterminism, ExecutionOfOnePlanIdenticalAcrossThreadCounts)
+{
+    const auto dg = ctdgWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    ThreadPool::setGlobalThreads(1);
+    // One frozen plan, replayed at every width: execution-side
+    // parallelism alone is exercised (construction ran once).
+    const auto plan = accel.plan(dg, mconfig);
+    const auto serial = sim::executePlan(dg, plan);
+    for (int threads : {2, 8}) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        ThreadPool::setGlobalThreads(threads);
+        expectIdentical(serial, sim::executePlan(dg, plan));
+    }
+    ThreadPool::setGlobalThreads(1);
+}
+
 } // namespace
 } // namespace ditile

@@ -1,0 +1,306 @@
+/**
+ * @file
+ * Tests for the plan/execute split: ExecutionPlan JSON round-trips,
+ * bit-identical equivalence of plan()+execute() with the legacy
+ * one-shot run() for every accelerator and every Fig-11b ablation
+ * variant at multiple thread counts, and PlanCache semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "core/ditile_accelerator.hh"
+#include "graph/generator.hh"
+#include "sim/baselines.hh"
+#include "sim/execution_plan.hh"
+#include "sim/plan_cache.hh"
+
+namespace ditile {
+namespace {
+
+graph::DynamicGraph
+planWorkload()
+{
+    graph::EvolutionConfig config;
+    config.numVertices = 800;
+    config.numEdges = 6400;
+    config.numSnapshots = 6;
+    config.dissimilarity = 0.12;
+    config.featureDim = 64;
+    config.seed = 7;
+    return graph::generateDynamicGraph(config);
+}
+
+std::vector<std::unique_ptr<sim::Accelerator>>
+fullFleet()
+{
+    std::vector<std::unique_ptr<sim::Accelerator>> fleet;
+    fleet.push_back(sim::makeReady());
+    fleet.push_back(sim::makeDgnnBooster());
+    fleet.push_back(sim::makeRace());
+    fleet.push_back(sim::makeMega());
+    fleet.push_back(std::make_unique<core::DiTileAccelerator>());
+    return fleet;
+}
+
+/** Field-by-field equality of two runs, with readable failures. */
+void
+expectIdentical(const sim::RunResult &a, const sim::RunResult &b)
+{
+    EXPECT_EQ(a.acceleratorName, b.acceleratorName);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.computeCycles, b.computeCycles);
+    EXPECT_EQ(a.onChipCommCycles, b.onChipCommCycles);
+    EXPECT_EQ(a.offChipCycles, b.offChipCycles);
+    EXPECT_EQ(a.configCycles, b.configCycles);
+    EXPECT_EQ(a.ops.totalMacs(), b.ops.totalMacs());
+    EXPECT_EQ(a.ops.totalArithmetic(), b.ops.totalArithmetic());
+    EXPECT_EQ(a.dramTraffic.total(), b.dramTraffic.total());
+    EXPECT_EQ(a.nocBytes, b.nocBytes);
+    EXPECT_EQ(a.nocBytesSpatial, b.nocBytesSpatial);
+    EXPECT_EQ(a.nocBytesTemporal, b.nocBytesTemporal);
+    EXPECT_EQ(a.nocBytesReuse, b.nocBytesReuse);
+    EXPECT_EQ(a.peUtilization, b.peUtilization);
+    EXPECT_EQ(a.energy.totalPj(), b.energy.totalPj());
+    EXPECT_EQ(a.energyEvents.dramBytes, b.energyEvents.dramBytes);
+    EXPECT_EQ(a.energyEvents.dramActivates,
+              b.energyEvents.dramActivates);
+    EXPECT_EQ(a.energyEvents.reconfigEvents,
+              b.energyEvents.reconfigEvents);
+    EXPECT_EQ(a.energyEvents.localBufferBytes,
+              b.energyEvents.localBufferBytes);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        const auto &ta = a.trace[i];
+        const auto &tb = b.trace[i];
+        EXPECT_EQ(ta.dramDone, tb.dramDone) << "snapshot " << i;
+        EXPECT_EQ(ta.gnnComputeCycles, tb.gnnComputeCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.rnnComputeCycles, tb.rnnComputeCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.spatialCommCycles, tb.spatialCommCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.temporalCommCycles, tb.temporalCommCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.gnnDone, tb.gnnDone) << "snapshot " << i;
+        EXPECT_EQ(ta.rnnDone, tb.rnnDone) << "snapshot " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON round-trips.
+// ---------------------------------------------------------------------
+
+TEST(PlanJson, RoundTripIsByteStable)
+{
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    const auto plan = accel.plan(dg, mconfig);
+    const std::string json = plan.toJson();
+    const auto parsed = sim::ExecutionPlan::fromJson(json);
+    // Canonical form: parse + re-emit must reproduce every byte, and
+    // the content hash (defined over that form) must agree.
+    EXPECT_EQ(parsed.toJson(), json);
+    EXPECT_EQ(parsed.contentHash(), plan.contentHash());
+    EXPECT_EQ(parsed.acceleratorName, plan.acceleratorName);
+    EXPECT_EQ(parsed.numSnapshots(), plan.numSnapshots());
+    EXPECT_EQ(parsed.mapping.spatialOnly, plan.mapping.spatialOnly);
+    EXPECT_EQ(parsed.groups.size(), plan.groups.size());
+}
+
+TEST(PlanJson, RoundTripsForEveryAccelerator)
+{
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    for (auto &accel : fullFleet()) {
+        SCOPED_TRACE(accel->name());
+        const auto plan = accel->plan(dg, mconfig);
+        const std::string json = plan.toJson();
+        EXPECT_EQ(sim::ExecutionPlan::fromJson(json).toJson(), json);
+    }
+}
+
+TEST(PlanJson, DistinctVariantsHashDifferently)
+{
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator full;
+    core::DiTileAccelerator nora(
+        sim::AcceleratorConfig::defaults(),
+        core::DiTileOptions::fromVariant("NoRa"));
+    EXPECT_NE(full.plan(dg, mconfig).contentHash(),
+              nora.plan(dg, mconfig).contentHash());
+}
+
+TEST(PlanJson, MalformedDocumentsThrow)
+{
+    EXPECT_THROW(sim::ExecutionPlan::fromJson(""),
+                 std::runtime_error);
+    EXPECT_THROW(sim::ExecutionPlan::fromJson("{"),
+                 std::runtime_error);
+    EXPECT_THROW(sim::ExecutionPlan::fromJson("{}"),
+                 std::runtime_error);
+    EXPECT_THROW(sim::ExecutionPlan::fromJson("{\"plan_format\":99}"),
+                 std::runtime_error);
+    // Valid format marker but nothing else: missing keys must throw,
+    // not default-initialize.
+    EXPECT_THROW(sim::ExecutionPlan::fromJson("{\"plan_format\":1}"),
+                 std::runtime_error);
+}
+
+// ---------------------------------------------------------------------
+// plan()+execute() == run(), for everyone, at any thread count.
+// ---------------------------------------------------------------------
+
+class PlanExecuteEquivalence : public testing::TestWithParam<int>
+{
+  protected:
+    void TearDown() override { ThreadPool::setGlobalThreads(1); }
+};
+
+TEST_P(PlanExecuteEquivalence, AllAccelerators)
+{
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    ThreadPool::setGlobalThreads(GetParam());
+    for (auto &accel : fullFleet()) {
+        SCOPED_TRACE(accel->name());
+        const auto legacy = accel->run(dg, mconfig);
+        const auto plan = accel->plan(dg, mconfig);
+        expectIdentical(legacy, accel->execute(dg, plan));
+        // A plan that went through serialization must replay the same
+        // result bit for bit (doubles included).
+        expectIdentical(legacy, sim::executePlan(
+            dg, sim::ExecutionPlan::fromJson(plan.toJson())));
+    }
+}
+
+TEST_P(PlanExecuteEquivalence, AblationVariants)
+{
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    ThreadPool::setGlobalThreads(GetParam());
+    for (const char *variant : {"NoPs", "NoWos", "NoRa", "OnlyPs",
+                                "OnlyWos", "OnlyRa"}) {
+        SCOPED_TRACE(variant);
+        core::DiTileAccelerator accel(
+            sim::AcceleratorConfig::defaults(),
+            core::DiTileOptions::fromVariant(variant));
+        const auto legacy = accel.run(dg, mconfig);
+        const auto plan = accel.plan(dg, mconfig);
+        expectIdentical(legacy, accel.execute(dg, plan));
+        expectIdentical(legacy, sim::executePlan(
+            dg, sim::ExecutionPlan::fromJson(plan.toJson())));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, PlanExecuteEquivalence,
+                         testing::Values(1, 4));
+
+// ---------------------------------------------------------------------
+// PlanCache.
+// ---------------------------------------------------------------------
+
+TEST(PlanCacheTest, SecondObtainHits)
+{
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    sim::PlanCache cache;
+    const auto first =
+        cache.obtain(dg, mconfig, model::AlgoKind::DiTileAlg);
+    const auto second =
+        cache.obtain(dg, mconfig, model::AlgoKind::DiTileAlg);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCacheTest, AcceleratorsSharingAlgoShareSnapshotPlans)
+{
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    sim::PlanCache cache;
+    // ReaDy and DGNN-Booster both run Re-Alg: one planning pass.
+    auto ready = sim::makeReady();
+    auto booster = sim::makeDgnnBooster();
+    const auto plan_a = ready->plan(dg, mconfig, &cache);
+    const auto plan_b = booster->plan(dg, mconfig, &cache);
+    EXPECT_EQ(plan_a.snapshots.get(), plan_b.snapshots.get());
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+    // RACE uses a different algorithm: its own entry.
+    auto race = sim::makeRace();
+    race->plan(dg, mconfig, &cache);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PlanCacheTest, AblationVariantsShareSnapshotPlans)
+{
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    sim::PlanCache cache;
+    core::DiTileAccelerator full;
+    const auto base = full.plan(dg, mconfig, &cache);
+    for (const char *variant : {"NoPs", "NoWos", "NoRa", "OnlyPs",
+                                "OnlyWos", "OnlyRa"}) {
+        core::DiTileAccelerator accel(
+            sim::AcceleratorConfig::defaults(),
+            core::DiTileOptions::fromVariant(variant));
+        const auto plan = accel.plan(dg, mconfig, &cache);
+        EXPECT_EQ(plan.snapshots.get(), base.snapshots.get())
+            << variant;
+    }
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 6u);
+}
+
+TEST(PlanCacheTest, CachedPlanExecutesIdentically)
+{
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    sim::PlanCache cache;
+    core::DiTileAccelerator accel;
+    const auto uncached = accel.run(dg, mconfig);
+    accel.plan(dg, mconfig, &cache); // Warm the cache.
+    const auto cached =
+        accel.execute(dg, accel.plan(dg, mconfig, &cache));
+    EXPECT_GE(cache.hits(), 1u);
+    expectIdentical(uncached, cached);
+}
+
+TEST(PlanCacheTest, KeyedByGraphConfigAndAlgo)
+{
+    const auto dg = planWorkload();
+    model::DgnnConfig mconfig;
+    const auto base_key = sim::PlanCache::planKey(
+        dg, mconfig, model::AlgoKind::DiTileAlg);
+    EXPECT_NE(base_key, sim::PlanCache::planKey(
+        dg, mconfig, model::AlgoKind::ReAlg));
+    model::DgnnConfig gru = mconfig;
+    gru.rnn = model::RnnKind::Gru;
+    EXPECT_NE(base_key, sim::PlanCache::planKey(
+        dg, gru, model::AlgoKind::DiTileAlg));
+    graph::EvolutionConfig other;
+    other.numVertices = 800;
+    other.numEdges = 6400;
+    other.numSnapshots = 6;
+    other.dissimilarity = 0.12;
+    other.featureDim = 64;
+    other.seed = 8; // Different evolution, same shape.
+    EXPECT_NE(base_key, sim::PlanCache::planKey(
+        graph::generateDynamicGraph(other), mconfig,
+        model::AlgoKind::DiTileAlg));
+    // Identical regeneration hashes identically (the sweep relies on
+    // this to share plans across separately built workloads).
+    EXPECT_EQ(base_key, sim::PlanCache::planKey(
+        planWorkload(), mconfig, model::AlgoKind::DiTileAlg));
+}
+
+} // namespace
+} // namespace ditile

@@ -6,22 +6,33 @@
  *
  *   ditile_inspect dataset --dataset=WD
  *   ditile_inspect plan --dataset=WD --algo=ditile
+ *   ditile_inspect plan --dump[=FILE] --accel=ditile [--variant=V]
+ *   ditile_inspect plan --diff a.json b.json
  *   ditile_inspect mapping --dataset=WD
  *   ditile_inspect program --dataset=WD [--verbose]
  *
- * Shared workload flags match ditile_run (--scale, --snapshots,
- * --seed, --vertices/--edges for synthetic graphs).
+ * `plan --dump` serializes the full ExecutionPlan (Figure-5 front-end
+ * output) of the chosen accelerator to stdout or FILE; `plan --diff`
+ * compares two dumped plans field by field and exits 1 if they
+ * differ. Shared workload flags match ditile_run (--scale,
+ * --snapshots, --seed, --vertices/--edges for synthetic graphs).
  */
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
 
 #include "common/cli.hh"
+#include "common/json.hh"
 #include "common/table.hh"
 #include "core/ditile_accelerator.hh"
 #include "graph/datasets.hh"
 #include "graph/generator.hh"
 #include "graph/metrics.hh"
 #include "model/incremental.hh"
+#include "sim/baselines.hh"
+#include "sim/execution_plan.hh"
 #include "sim/isa.hh"
 
 using namespace ditile;
@@ -149,6 +160,149 @@ inspectPlan(const graph::DynamicGraph &dg, model::AlgoKind algo)
     table.print();
 }
 
+std::unique_ptr<sim::Accelerator>
+buildAccelerator(const CliFlags &flags)
+{
+    const auto which = flags.getString("accel", "ditile");
+    const auto hw = sim::AcceleratorConfig::defaults();
+    if (which == "ditile") {
+        return std::make_unique<core::DiTileAccelerator>(
+            hw, core::DiTileOptions::fromVariant(
+                    flags.getString("variant", "full")));
+    }
+    if (which == "ready")
+        return sim::makeReady(hw);
+    if (which == "booster")
+        return sim::makeDgnnBooster(hw);
+    if (which == "race")
+        return sim::makeRace(hw);
+    if (which == "mega")
+        return sim::makeMega(hw);
+    DITILE_FATAL("unknown --accel '", which,
+                 "' (expected ditile|ready|booster|race|mega)");
+}
+
+void
+dumpPlan(const graph::DynamicGraph &dg, const CliFlags &flags)
+{
+    const model::DgnnConfig mconfig;
+    auto accel = buildAccelerator(flags);
+    const auto plan = accel->plan(dg, mconfig);
+    const std::string json = plan.toJson();
+    const auto target = flags.getString("dump", "1");
+    if (target == "1") { // Bare --dump: stdout.
+        std::printf("%s\n", json.c_str());
+        return;
+    }
+    std::ofstream out(target);
+    if (!out)
+        DITILE_FATAL("cannot write plan dump '", target, "'");
+    out << json << "\n";
+    std::fprintf(stderr,
+                 "wrote %s plan (%zu bytes, content hash %016llx)\n",
+                 plan.acceleratorName.c_str(), json.size(),
+                 static_cast<unsigned long long>(plan.contentHash()));
+}
+
+/** Recursive field-level JSON diff; returns the difference count. */
+int
+diffJson(const std::string &path, const JsonValue &a,
+         const JsonValue &b, int printed_limit, int &printed)
+{
+    auto report = [&](const std::string &what) {
+        if (printed < printed_limit)
+            std::printf("  %s: %s\n", path.empty() ? "." : path.c_str(),
+                        what.c_str());
+        else if (printed == printed_limit)
+            std::printf("  ... further differences suppressed\n");
+        ++printed;
+        return 1;
+    };
+    if (a.kind() != b.kind())
+        return report("kind differs");
+    switch (a.kind()) {
+      case JsonValue::Kind::Null:
+        return 0;
+      case JsonValue::Kind::Bool:
+        return a.asBool() == b.asBool() ? 0 : report("bool differs");
+      case JsonValue::Kind::Number:
+        // Canonical emission: equal values have equal tokens.
+        return a.asDouble() == b.asDouble() && a.asInt() == b.asInt()
+            ? 0 : report("number differs");
+      case JsonValue::Kind::String:
+        return a.asString() == b.asString()
+            ? 0 : report("string differs");
+      case JsonValue::Kind::Array: {
+        if (a.size() != b.size())
+            return report("array length differs (" +
+                          std::to_string(a.size()) + " vs " +
+                          std::to_string(b.size()) + ")");
+        int diffs = 0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            diffs += diffJson(path + "[" + std::to_string(i) + "]",
+                              a.items()[i], b.items()[i],
+                              printed_limit, printed);
+        }
+        return diffs;
+      }
+      case JsonValue::Kind::Object: {
+        int diffs = 0;
+        for (const auto &[key, value] : a.members()) {
+            const std::string sub =
+                path.empty() ? key : path + "." + key;
+            if (const JsonValue *other = b.find(key)) {
+                diffs += diffJson(sub, value, *other, printed_limit,
+                                  printed);
+            } else {
+                if (printed++ < printed_limit)
+                    std::printf("  %s: only in first plan\n",
+                                sub.c_str());
+                ++diffs;
+            }
+        }
+        for (const auto &[key, value] : b.members()) {
+            if (!a.find(key)) {
+                const std::string sub =
+                    path.empty() ? key : path + "." + key;
+                if (printed++ < printed_limit)
+                    std::printf("  %s: only in second plan\n",
+                                sub.c_str());
+                ++diffs;
+            }
+        }
+        return diffs;
+      }
+    }
+    return 0;
+}
+
+int
+diffPlans(const std::string &path_a, const std::string &path_b)
+{
+    auto load = [](const std::string &path) {
+        std::ifstream in(path);
+        if (!in)
+            DITILE_FATAL("cannot open plan '", path, "'");
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        try {
+            return JsonValue::parse(buffer.str());
+        } catch (const std::runtime_error &e) {
+            DITILE_FATAL("failed to parse '", path, "': ", e.what());
+        }
+    };
+    const JsonValue a = load(path_a);
+    const JsonValue b = load(path_b);
+    int printed = 0;
+    const int diffs = diffJson("", a, b, 20, printed);
+    if (diffs == 0) {
+        std::printf("plans identical\n");
+        return 0;
+    }
+    std::printf("%d field(s) differ\n", diffs);
+    return 1;
+}
+
 void
 inspectMapping(const graph::DynamicGraph &dg)
 {
@@ -227,13 +381,24 @@ main(int argc, char **argv)
                      "dataset|stats|plan|mapping|program [flags]");
     }
     const auto &command = flags.positional().front();
+    if (command == "plan" && flags.has("diff")) {
+        if (flags.positional().size() != 3) {
+            DITILE_FATAL("usage: ditile_inspect plan --diff "
+                         "a.json b.json");
+        }
+        return diffPlans(flags.positional()[1],
+                         flags.positional()[2]);
+    }
     const auto dg = buildWorkload(flags);
     if (command == "dataset") {
         inspectDataset(dg);
     } else if (command == "stats") {
         inspectStats(dg);
     } else if (command == "plan") {
-        inspectPlan(dg, algoFromFlag(flags));
+        if (flags.has("dump"))
+            dumpPlan(dg, flags);
+        else
+            inspectPlan(dg, algoFromFlag(flags));
     } else if (command == "mapping") {
         inspectMapping(dg);
     } else if (command == "program") {

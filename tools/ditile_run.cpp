@@ -20,12 +20,19 @@
  *                           results identical at any width)
  *   --rnn=lstm|gru  --aggregator=gcn|sage|gin
  *   --detailed-tiles       (PE-level compute timing)
+ *   --plan-out=FILE        (write the ExecutionPlan JSON before
+ *                           executing; requires a single --accel)
+ *   --plan-in=FILE         (skip planning: execute a previously
+ *                           dumped plan against the same workload)
  *   --json / --csv         (output format; default ASCII table)
  *   --trace                (per-snapshot timeline table)
  *   positional args: snapshot edge-list files (loads from disk)
  */
 
+#include <fstream>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "common/cli.hh"
@@ -38,6 +45,7 @@
 #include "graph/io.hh"
 #include "sim/baselines.hh"
 #include "sim/engine.hh"
+#include "sim/execution_plan.hh"
 
 using namespace ditile;
 
@@ -167,18 +175,54 @@ main(int argc, char **argv)
         static_cast<int>(flags.getInt("threads", 1)));
     const auto dg = buildWorkload(flags);
     const auto mconfig = buildModel(flags);
-    auto accelerators = buildAccelerators(flags);
 
     const bool json = flags.getBool("json", false);
     const bool csv = flags.getBool("csv", false);
     const bool trace = flags.getBool("trace", false);
+    const auto plan_in = flags.getString("plan-in", "");
+    const auto plan_out = flags.getString("plan-out", "");
+
+    // Collect results first: either replay a dumped plan, or plan +
+    // execute the selected accelerators (optionally dumping the plan).
+    std::vector<sim::RunResult> results;
+    if (!plan_in.empty()) {
+        std::ifstream in(plan_in);
+        if (!in)
+            DITILE_FATAL("cannot open --plan-in '", plan_in, "'");
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        try {
+            const auto plan =
+                sim::ExecutionPlan::fromJson(buffer.str());
+            results.push_back(sim::executePlan(dg, plan));
+        } catch (const std::runtime_error &e) {
+            DITILE_FATAL("failed to load plan '", plan_in, "': ",
+                         e.what());
+        }
+    } else {
+        auto accelerators = buildAccelerators(flags);
+        if (!plan_out.empty() && accelerators.size() != 1)
+            DITILE_FATAL("--plan-out requires a single --accel");
+        for (auto &acc : accelerators) {
+            if (plan_out.empty()) {
+                results.push_back(acc->run(dg, mconfig));
+                continue;
+            }
+            const auto plan = acc->plan(dg, mconfig);
+            std::ofstream out(plan_out);
+            if (!out)
+                DITILE_FATAL("cannot write --plan-out '", plan_out,
+                             "'");
+            out << plan.toJson() << "\n";
+            results.push_back(acc->execute(dg, plan));
+        }
+    }
 
     Table table("ditile_run: " + dg.name());
     table.setHeader({"Accelerator", "Cycles", "Ops", "DRAM bytes",
                      "NoC bytes", "Energy (uJ)", "PE util"});
     bool first_json = true;
-    for (auto &acc : accelerators) {
-        sim::RunResult r = acc->run(dg, mconfig);
+    for (const sim::RunResult &r : results) {
         if (trace && !json) {
             Table timeline(r.acceleratorName +
                            ": per-snapshot timeline");

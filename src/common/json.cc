@@ -9,7 +9,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
-#include <stdexcept>
+
+#include "common/logging.hh"
 
 namespace ditile {
 
@@ -157,8 +158,7 @@ class JsonValue::Parser
     [[noreturn]] void
     fail(const std::string &what) const
     {
-        throw std::runtime_error("JSON parse error at byte " +
-                                 std::to_string(pos_) + ": " + what);
+        DITILE_THROW("JSON parse error at byte ", pos_, ": ", what);
     }
 
     void
@@ -382,7 +382,7 @@ namespace {
 [[noreturn]] void
 kindError(const char *want)
 {
-    throw std::runtime_error(std::string("JSON value is not ") + want);
+    DITILE_THROW("JSON value is not ", want);
 }
 
 } // namespace
@@ -465,7 +465,7 @@ JsonValue::at(const std::string &key) const
 {
     if (const JsonValue *v = find(key))
         return *v;
-    throw std::runtime_error("JSON object missing key '" + key + "'");
+    DITILE_THROW("JSON object missing key '", key, "'");
 }
 
 } // namespace ditile

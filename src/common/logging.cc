@@ -7,6 +7,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <unordered_set>
 
 namespace ditile {
 
@@ -53,6 +55,19 @@ void
 warnImpl(const std::string &msg)
 {
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+warnOnceImpl(const std::string &msg)
+{
+    static std::mutex mutex;
+    static std::unordered_set<std::string> seen;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!seen.insert(msg).second)
+            return;
+    }
+    std::fprintf(stderr, "warn: %s (repeats suppressed)\n", msg.c_str());
 }
 
 } // namespace detail

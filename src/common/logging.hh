@@ -4,16 +4,36 @@
  *
  * Follows the gem5 split: panic() for internal invariant violations
  * (simulator bugs -> abort) and fatal() for user/config errors
- * (clean exit(1)). inform()/warn() report status without stopping.
+ * (clean exit(1)). A third, recoverable tier sits between them:
+ * DITILE_THROW raises an InputError for malformed user input
+ * (files, CLI specs, serialized plans) so library code stays testable
+ * and callers can degrade gracefully; tool main()s catch it at the
+ * top and turn it into a fatal() exit. inform()/warn() report status
+ * without stopping, and warnOnce() deduplicates repeated warnings so
+ * degraded-mode runs do not flood stderr.
  */
 
 #ifndef DITILE_COMMON_LOGGING_HH
 #define DITILE_COMMON_LOGGING_HH
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace ditile {
+
+/**
+ * Recoverable error for malformed or unusable *input* (edge lists,
+ * JSON documents, fault specs, CLI values). Derives std::runtime_error
+ * so existing catch sites keep working; library code raises it via
+ * DITILE_THROW instead of exiting, and the CLI front ends catch it in
+ * main() and exit(1) with the message.
+ */
+class InputError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 /** Verbosity threshold for inform(); warn() always prints. */
 enum class LogLevel { Quiet, Normal, Verbose };
@@ -28,6 +48,7 @@ namespace detail {
 [[noreturn]] void fatalImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 void warnImpl(const std::string &msg);
+void warnOnceImpl(const std::string &msg);
 
 template <typename... Args>
 std::string
@@ -47,6 +68,10 @@ format(Args &&...args)
 /** Exit(1) with a message: the configuration or input is unusable. */
 #define DITILE_FATAL(...) \
     ::ditile::detail::fatalImpl(::ditile::detail::format(__VA_ARGS__))
+
+/** Throw InputError: the input is malformed but the caller may recover. */
+#define DITILE_THROW(...) \
+    throw ::ditile::InputError(::ditile::detail::format(__VA_ARGS__))
 
 /** Assert a simulator invariant; compiled in all build types. */
 #define DITILE_ASSERT(cond, ...) \
@@ -72,6 +97,18 @@ void
 warn(Args &&...args)
 {
     detail::warnImpl(detail::format(std::forward<Args>(args)...));
+}
+
+/**
+ * Warning printed at most once per distinct message per process.
+ * Thread-safe; later identical messages are silently dropped, so
+ * per-snapshot degradation notices cannot flood stderr.
+ */
+template <typename... Args>
+void
+warnOnce(Args &&...args)
+{
+    detail::warnOnceImpl(detail::format(std::forward<Args>(args)...));
 }
 
 } // namespace ditile

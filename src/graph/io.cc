@@ -41,11 +41,11 @@ parseEdges(std::istream &in, VertexId &max_id)
         long long u = -1;
         long long v = -1;
         if (!(fields >> u >> v)) {
-            DITILE_FATAL("edge-list parse error at line ", line_no,
+            DITILE_THROW("edge-list parse error at line ", line_no,
                          ": '", line, "'");
         }
         if (u < 0 || v < 0) {
-            DITILE_FATAL("negative vertex id at line ", line_no);
+            DITILE_THROW("negative vertex id at line ", line_no);
         }
         edges.emplace_back(static_cast<VertexId>(u),
                            static_cast<VertexId>(v));
@@ -60,12 +60,14 @@ parseEdges(std::istream &in, VertexId &max_id)
 Csr
 readEdgeList(std::istream &in, VertexId num_vertices)
 {
+    if (num_vertices < 0)
+        DITILE_THROW("negative vertex count ", num_vertices);
     VertexId max_id = -1;
     const auto edges = parseEdges(in, max_id);
     const VertexId universe = num_vertices > 0 ? num_vertices
                                                : max_id + 1;
     if (num_vertices > 0 && max_id >= num_vertices) {
-        DITILE_FATAL("edge list references vertex ", max_id,
+        DITILE_THROW("edge list references vertex ", max_id,
                      " outside the declared universe of ",
                      num_vertices);
     }
@@ -77,7 +79,7 @@ readEdgeListFile(const std::string &path, VertexId num_vertices)
 {
     std::ifstream in(path);
     if (!in)
-        DITILE_FATAL("cannot open edge list '", path, "'");
+        DITILE_THROW("cannot open edge list '", path, "'");
     return readEdgeList(in, num_vertices);
 }
 
@@ -95,7 +97,7 @@ writeEdgeListFile(const std::string &path, const Csr &g)
 {
     std::ofstream out(path);
     if (!out)
-        DITILE_FATAL("cannot write edge list '", path, "'");
+        DITILE_THROW("cannot write edge list '", path, "'");
     writeEdgeList(out, g);
 }
 
@@ -104,7 +106,10 @@ readSnapshotFiles(const std::string &name,
                   const std::vector<std::string> &paths,
                   int feature_dim, VertexId num_vertices)
 {
-    DITILE_ASSERT(!paths.empty(), "need at least one snapshot file");
+    if (paths.empty())
+        DITILE_THROW("need at least one snapshot file");
+    if (num_vertices < 0)
+        DITILE_THROW("negative vertex count ", num_vertices);
 
     // First pass: determine the shared universe if not given.
     std::vector<std::vector<Edge>> per_snapshot;
@@ -112,13 +117,13 @@ readSnapshotFiles(const std::string &name,
     for (const auto &path : paths) {
         std::ifstream in(path);
         if (!in)
-            DITILE_FATAL("cannot open snapshot '", path, "'");
+            DITILE_THROW("cannot open snapshot '", path, "'");
         VertexId max_id = -1;
         per_snapshot.push_back(parseEdges(in, max_id));
         if (num_vertices == 0)
             universe = std::max(universe, max_id + 1);
         else if (max_id >= num_vertices)
-            DITILE_FATAL("snapshot '", path, "' references vertex ",
+            DITILE_THROW("snapshot '", path, "' references vertex ",
                          max_id, " outside the declared universe");
     }
 
@@ -146,9 +151,11 @@ readEventStream(const std::string &name, Csr initial, std::istream &in)
         double ts = 0.0;
         if (!(fields >> op >> u >> v >> ts) ||
             (op != "+" && op != "-")) {
-            DITILE_FATAL("event parse error at line ", line_no, ": '",
+            DITILE_THROW("event parse error at line ", line_no, ": '",
                          line, "'");
         }
+        if (u < 0 || v < 0)
+            DITILE_THROW("negative vertex id at line ", line_no);
         GraphEvent e;
         e.kind = op == "+" ? GraphEvent::Kind::AddEdge
                            : GraphEvent::Kind::RemoveEdge;

@@ -48,11 +48,16 @@ NocResult::toStats() const
     s.set("noc.control_bytes",
           static_cast<double>(bytesByClass[
               static_cast<int>(TrafficClass::Control)]));
+    s.set("noc.rerouted_messages", static_cast<double>(reroutedMessages));
+    s.set("noc.retried_messages", static_cast<double>(retriedMessages));
+    s.set("noc.retry_backoff_cycles",
+          static_cast<double>(retryBackoffCycles));
     return s;
 }
 
 NocResult
-simulateTraffic(const NocConfig &config, std::vector<Message> messages)
+simulateTraffic(const NocConfig &config, std::vector<Message> messages,
+                const NocFaults *faults)
 {
     auto topology = Topology::create(config);
     NocResult result;
@@ -74,8 +79,31 @@ simulateTraffic(const NocConfig &config, std::vector<Message> messages)
         result.totalBytes += m.bytes;
         result.bytesByClass[static_cast<int>(m.cls)] += m.bytes;
 
-        const auto hops = topology->route(m.src, m.dst, m.cls);
+        Route rt;
+        if (faults && !faults->empty()) {
+            rt = topology->routeResilient(m.src, m.dst, m.cls, *faults);
+        } else {
+            rt.hops = topology->route(m.src, m.dst, m.cls);
+        }
+        const auto &hops = rt.hops;
         Cycle t = m.injectCycle;
+        if (rt.rerouted)
+            ++result.reroutedMessages;
+        if (rt.degraded) {
+            // No fault-free path exists: the sender retries with
+            // bounded exponential backoff before forcing the transfer
+            // through the degraded route.
+            ++result.retriedMessages;
+            Cycle backoff = 0;
+            Cycle step = faults->retryBackoffCycles;
+            for (int attempt = 0; attempt < faults->maxRetries;
+                 ++attempt) {
+                backoff += step;
+                step *= 2;
+            }
+            result.retryBackoffCycles += backoff;
+            t += backoff;
+        }
         const Cycle ser = serializationCycles(config, m.bytes);
         // Links between router stops form one bypass segment: the
         // message serializes once over the whole segment (cut-through

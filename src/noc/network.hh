@@ -36,6 +36,11 @@ struct NocResult
     std::uint64_t routerStops = 0; ///< Router pipeline traversals.
     ByteCount bytesByClass[4] = {0, 0, 0, 0}; ///< Indexed by
                                               ///< TrafficClass.
+    std::uint64_t reroutedMessages = 0; ///< Took a non-minimal path
+                                        ///< around dead links.
+    std::uint64_t retriedMessages = 0;  ///< No fault-free path; paid
+                                        ///< bounded retry backoff.
+    Cycle retryBackoffCycles = 0;       ///< Total backoff charged.
 
     /** Export every field into a StatSet for report merging. */
     StatSet toStats() const;
@@ -47,9 +52,16 @@ struct NocResult
  * Messages are served in injection-cycle order (ties by vector
  * order); each link is a FCFS resource moving linkBytesPerCycle per
  * cycle; router stops add routerLatencyCycles.
+ *
+ * When `faults` is non-null, routes dodge dead links where possible
+ * (counted in reroutedMessages); a message with no fault-free path
+ * pays maxRetries exponential backoff attempts before being forced
+ * through the degraded route (counted in retriedMessages). A null
+ * `faults` leaves the fault-free fast path untouched.
  */
 NocResult simulateTraffic(const NocConfig &config,
-                          std::vector<Message> messages);
+                          std::vector<Message> messages,
+                          const NocFaults *faults = nullptr);
 
 /** Ideal (zero-load) latency of a single message, for tests. */
 Cycle zeroLoadLatency(const NocConfig &config, const Message &message);

@@ -41,8 +41,10 @@ RelinkController::stopsForDistance(int distance, int span)
 
 RelinkDecision
 RelinkController::decide(const std::vector<int> &vertical_distances,
-                         Cycle router_latency)
+                         Cycle router_latency,
+                         double stuck_open_fraction)
 {
+    const double stuck = std::clamp(stuck_open_fraction, 0.0, 1.0);
     RelinkDecision decision;
     decision.span = currentSpan_;
 
@@ -65,9 +67,14 @@ RelinkController::decide(const std::vector<int> &vertical_distances,
             if (d <= 0)
                 continue;
             ++counted;
+            // Columns with a stuck-open bypass run at span 1 no matter
+            // what is engaged; weight their latency accordingly.
+            const double stops = stuck *
+                    static_cast<double>(stopsForDistance(d, 1)) +
+                (1.0 - stuck) *
+                    static_cast<double>(stopsForDistance(d, span));
             total += static_cast<double>(d) +
-                static_cast<double>(stopsForDistance(d, span)) *
-                    static_cast<double>(router_latency);
+                stops * static_cast<double>(router_latency);
         }
         const double score = counted
             ? total / static_cast<double>(counted) : 0.0;

@@ -60,9 +60,15 @@ class RelinkController
      * @param vertical_distances One entry per message: ring-minimal
      *        vertical distance (0 entries are ignored).
      * @param router_latency Cycles per router stop.
+     * @param stuck_open_fraction Fraction of columns whose bypass
+     *        switches are stuck open (forced to span 1). Those
+     *        columns see every router stop regardless of the chosen
+     *        span, so the controller blends their span-1 latency into
+     *        each candidate's score before deciding.
      */
     RelinkDecision decide(const std::vector<int> &vertical_distances,
-                          Cycle router_latency);
+                          Cycle router_latency,
+                          double stuck_open_fraction = 0.0);
 
     /** Cumulative switch toggles across all decide() calls. */
     std::uint64_t totalReconfigEvents() const { return totalEvents_; }

@@ -35,8 +35,17 @@ topologyKindName(TopologyKind kind)
 
 namespace {
 
-/** Direction encoding for grid link ids. */
-enum Dir { East = 0, West = 1, South = 2, North = 3 };
+bool
+crossesDead(const std::vector<Hop> &hops, const NocFaults &faults)
+{
+    if (faults.deadLinks.empty())
+        return false;
+    for (const Hop &h : hops) {
+        if (faults.linkDead(h.link))
+            return true;
+    }
+    return false;
+}
 
 /**
  * Shared grid-link helpers: every node owns four outgoing directed
@@ -58,10 +67,49 @@ class GridBase : public Topology
     int col(TileId t) const { return t % cols_; }
     TileId tile(int r, int c) const { return r * cols_ + c; }
 
-    LinkId
-    link(TileId from, Dir dir) const
+    void
+    step(int &r, int &c, GridDir dir) const
     {
-        return from * 4 + static_cast<LinkId>(dir);
+        switch (dir) {
+          case GridDir::East: c = (c + 1) % cols_; break;
+          case GridDir::West: c = (c + cols_ - 1) % cols_; break;
+          case GridDir::South: r = (r + 1) % rows_; break;
+          case GridDir::North: r = (r + rows_ - 1) % rows_; break;
+        }
+    }
+
+    /** Would a ring traversal of `steps` hops cross a dead link? */
+    bool
+    ringPathDead(int r, int c, GridDir dir, int steps,
+                 const NocFaults &faults) const
+    {
+        if (faults.deadLinks.empty())
+            return false;
+        while (steps-- > 0) {
+            if (faults.linkDead(gridLinkId(tile(r, c), dir)))
+                return true;
+            step(r, c, dir);
+        }
+        return false;
+    }
+
+    /**
+     * Append `steps` ring hops in `dir`, stopping at a router every
+     * `span` hops plus at the final node, advancing (r, c).
+     */
+    void
+    appendRingHops(std::vector<Hop> &hops, int &r, int &c, GridDir dir,
+                   int steps, int span) const
+    {
+        int until_stop = span;
+        while (steps-- > 0) {
+            const bool last = steps == 0;
+            const bool stop = last || --until_stop == 0;
+            if (stop)
+                until_stop = span;
+            hops.push_back({gridLinkId(tile(r, c), dir), stop});
+            step(r, c, dir);
+        }
     }
 
     int rows_;
@@ -70,7 +118,7 @@ class GridBase : public Topology
 
 /**
  * 2D mesh with dimension-ordered (XY) routing; ReaDy's interconnect
- * style.
+ * style. Under faults it falls back to YX before giving up.
  */
 class MeshTopology : public GridBase
 {
@@ -80,20 +128,53 @@ class MeshTopology : public GridBase
     std::vector<Hop>
     route(TileId src, TileId dst, TrafficClass) const override
     {
+        return build(src, dst, true);
+    }
+
+    Route
+    routeResilient(TileId src, TileId dst, TrafficClass,
+                   const NocFaults &faults) const override
+    {
+        Route out;
+        out.hops = build(src, dst, true);
+        if (!crossesDead(out.hops, faults))
+            return out;
+        std::vector<Hop> alt = build(src, dst, false);
+        if (!crossesDead(alt, faults)) {
+            out.hops = std::move(alt);
+            out.rerouted = true;
+            return out;
+        }
+        out.degraded = true;
+        return out;
+    }
+
+  private:
+    std::vector<Hop>
+    build(TileId src, TileId dst, bool x_first) const
+    {
         std::vector<Hop> hops;
         int r = row(src);
         int c = col(src);
         const int rd = row(dst);
         const int cd = col(dst);
-        while (c != cd) {
-            const Dir d = cd > c ? East : West;
-            hops.push_back({link(tile(r, c), d), true});
-            c += cd > c ? 1 : -1;
-        }
-        while (r != rd) {
-            const Dir d = rd > r ? South : North;
-            hops.push_back({link(tile(r, c), d), true});
-            r += rd > r ? 1 : -1;
+        for (int phase = 0; phase < 2; ++phase) {
+            const bool horizontal = (phase == 0) == x_first;
+            if (horizontal) {
+                while (c != cd) {
+                    const GridDir d = cd > c ? GridDir::East
+                                             : GridDir::West;
+                    hops.push_back({gridLinkId(tile(r, c), d), true});
+                    c += cd > c ? 1 : -1;
+                }
+            } else {
+                while (r != rd) {
+                    const GridDir d = rd > r ? GridDir::South
+                                             : GridDir::North;
+                    hops.push_back({gridLinkId(tile(r, c), d), true});
+                    r += rd > r ? 1 : -1;
+                }
+            }
         }
         return hops;
     }
@@ -101,7 +182,9 @@ class MeshTopology : public GridBase
 
 /**
  * Row rings + column rings with minimal-direction routing; the
- * no-bypass variant of the paper's dual-layer interconnect.
+ * no-bypass variant of the paper's dual-layer interconnect. Under
+ * faults each ring segment can reverse direction to dodge dead links,
+ * and a stuck bypass switch overrides the column's Re-Link span.
  */
 class RingTopology : public GridBase
 {
@@ -113,44 +196,72 @@ class RingTopology : public GridBase
     }
 
     std::vector<Hop>
-    route(TileId src, TileId dst, TrafficClass) const override
+    route(TileId src, TileId dst, TrafficClass cls) const override
     {
-        std::vector<Hop> hops;
+        static const NocFaults none;
+        return routeResilient(src, dst, cls, none).hops;
+    }
+
+    Route
+    routeResilient(TileId src, TileId dst, TrafficClass,
+                   const NocFaults &faults) const override
+    {
+        Route out;
         int r = row(src);
         int c = col(src);
         const int rd = row(dst);
         const int cd = col(dst);
 
-        // Horizontal ring: minimal direction around the row.
-        {
+        // Horizontal ring: minimal direction around the row unless
+        // that arc crosses a dead link and the opposite arc does not.
+        if (c != cd) {
             const int fwd = (cd - c + cols_) % cols_;
-            const bool east = fwd <= cols_ / 2;
-            int steps = east ? fwd : cols_ - fwd;
-            while (steps-- > 0) {
-                hops.push_back({link(tile(r, c), east ? East : West),
-                                true});
-                c = (c + (east ? 1 : cols_ - 1)) % cols_;
+            const bool min_east = fwd <= cols_ / 2;
+            const int min_steps = min_east ? fwd : cols_ - fwd;
+            GridDir dir = min_east ? GridDir::East : GridDir::West;
+            int steps = min_steps;
+            if (ringPathDead(r, c, dir, steps, faults)) {
+                const GridDir alt = min_east ? GridDir::West
+                                             : GridDir::East;
+                if (!ringPathDead(r, c, alt, cols_ - min_steps,
+                                  faults)) {
+                    dir = alt;
+                    steps = cols_ - min_steps;
+                    out.rerouted = true;
+                } else {
+                    out.degraded = true;
+                }
             }
+            appendRingHops(out.hops, r, c, dir, steps, 1);
         }
-        // Vertical ring: minimal direction; with a Re-Link span > 1,
+        // Vertical ring: same policy; with a Re-Link span > 1,
         // intermediate routers are bypassed (link still occupied, no
-        // router stop) and the message stops every span_ hops.
-        {
+        // router stop) and the message stops every span hops. A stuck
+        // bypass switch in this column forces its own span.
+        if (r != rd) {
+            int span = span_;
+            if (const int ov = faults.spanOverride(c))
+                span = ov;
             const int fwd = (rd - r + rows_) % rows_;
-            const bool south = fwd <= rows_ / 2;
-            int steps = south ? fwd : rows_ - fwd;
-            int until_stop = span_;
-            while (steps-- > 0) {
-                const bool last = steps == 0;
-                const bool stop = last || --until_stop == 0;
-                if (stop)
-                    until_stop = span_;
-                hops.push_back({link(tile(r, c), south ? South : North),
-                                stop});
-                r = (r + (south ? 1 : rows_ - 1)) % rows_;
+            const bool min_south = fwd <= rows_ / 2;
+            const int min_steps = min_south ? fwd : rows_ - fwd;
+            GridDir dir = min_south ? GridDir::South : GridDir::North;
+            int steps = min_steps;
+            if (ringPathDead(r, c, dir, steps, faults)) {
+                const GridDir alt = min_south ? GridDir::North
+                                              : GridDir::South;
+                if (!ringPathDead(r, c, alt, rows_ - min_steps,
+                                  faults)) {
+                    dir = alt;
+                    steps = rows_ - min_steps;
+                    out.rerouted = true;
+                } else {
+                    out.degraded = true;
+                }
             }
+            appendRingHops(out.hops, r, c, dir, steps, span);
         }
-        return hops;
+        return out;
     }
 
   private:
@@ -184,6 +295,16 @@ class CrossbarTopology : public Topology
 };
 
 } // namespace
+
+Route
+Topology::routeResilient(TileId src, TileId dst, TrafficClass cls,
+                         const NocFaults &faults) const
+{
+    Route out;
+    out.hops = route(src, dst, cls);
+    out.degraded = crossesDead(out.hops, faults);
+    return out;
+}
 
 std::unique_ptr<Topology>
 Topology::create(const NocConfig &config)

@@ -11,6 +11,7 @@
 #ifndef DITILE_NOC_TOPOLOGY_HH
 #define DITILE_NOC_TOPOLOGY_HH
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -21,6 +22,59 @@ namespace ditile::noc {
 /** Dense identifier of a directed physical link. */
 using LinkId = std::int32_t;
 
+/** Direction encoding for grid link ids (mesh and ring fabrics). */
+enum class GridDir { East = 0, West = 1, South = 2, North = 3 };
+
+/** Dense id of `tile`'s outgoing grid link in direction `dir`. */
+inline LinkId
+gridLinkId(TileId tile, GridDir dir)
+{
+    return tile * 4 + static_cast<LinkId>(dir);
+}
+
+/**
+ * Interconnect fault state for one communication phase: dead directed
+ * links, per-column Re-Link bypass overrides (stuck bypass switches),
+ * and the bounded-backoff retry policy applied when no fault-free
+ * route exists.
+ */
+struct NocFaults
+{
+    /** Dead directed link ids, sorted ascending. */
+    std::vector<LinkId> deadLinks;
+    /**
+     * Per-column vertical bypass span forced by a stuck switch
+     * (0 = no override). Empty when no bypass faults are active.
+     */
+    std::vector<int> columnSpanOverride;
+    /** Backoff charged per retry attempt on an unavoidable dead link. */
+    Cycle retryBackoffCycles = 64;
+    /** Retry attempts before the message is forced through degraded. */
+    int maxRetries = 3;
+
+    bool
+    empty() const
+    {
+        return deadLinks.empty() && columnSpanOverride.empty();
+    }
+
+    bool
+    linkDead(LinkId link) const
+    {
+        return std::binary_search(deadLinks.begin(), deadLinks.end(),
+                                  link);
+    }
+
+    int
+    spanOverride(int col) const
+    {
+        if (col < 0 ||
+            static_cast<std::size_t>(col) >= columnSpanOverride.size())
+            return 0;
+        return columnSpanOverride[col];
+    }
+};
+
 /**
  * One step of a route: traverse `link`; if `routerStop`, pay the
  * router pipeline latency at the downstream node.
@@ -29,6 +83,19 @@ struct Hop
 {
     LinkId link = 0;
     bool routerStop = true;
+};
+
+/**
+ * A fault-aware route: the hops plus what it took to find them.
+ * `rerouted` means a non-minimal path was chosen to dodge dead links;
+ * `degraded` means every candidate path crosses a dead link and the
+ * message must retry with backoff before being forced through.
+ */
+struct Route
+{
+    std::vector<Hop> hops;
+    bool rerouted = false;
+    bool degraded = false;
 };
 
 /**
@@ -42,6 +109,15 @@ class Topology
     /** Hops from src to dst (empty if src == dst). */
     virtual std::vector<Hop> route(TileId src, TileId dst,
                                    TrafficClass cls) const = 0;
+
+    /**
+     * Fault-aware routing. The base implementation returns the
+     * fault-free route and flags it degraded if it crosses a dead
+     * link; grid topologies override it to reroute around faults.
+     */
+    virtual Route routeResilient(TileId src, TileId dst,
+                                 TrafficClass cls,
+                                 const NocFaults &faults) const;
 
     /** Number of directed link resources. */
     virtual LinkId numLinks() const = 0;

@@ -39,6 +39,7 @@
 #include "sim/engine.hh"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 #include "common/logging.hh"
@@ -48,7 +49,9 @@
 #include "noc/network.hh"
 #include "noc/relink_controller.hh"
 #include "sim/execution_plan.hh"
+#include "sim/fault_model.hh"
 #include "sim/tile_model.hh"
+#include "workload/balance.hh"
 
 namespace ditile::sim {
 
@@ -197,6 +200,72 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
     std::vector<SnapshotWork> work(
         static_cast<std::size_t>(num_snapshots));
 
+    // ---- Fault resolution + degraded-mode BDW re-deal. ----
+    // A non-empty fault schedule resolves into per-snapshot fault
+    // state; snapshots whose column lost tiles get their vertex
+    // assignment re-dealt (Algorithm 2 over the survivors). All fault
+    // state is pure per-snapshot data computed up front, so the
+    // parallel stages below stay bit-identical at any thread width.
+    std::unique_ptr<FaultModel> fault_model;
+    if (!plan.faults.empty()) {
+        fault_model = std::make_unique<FaultModel>(plan.faults, hw,
+                                                   num_snapshots);
+    }
+    const FaultModel *fm = fault_model.get();
+    std::vector<std::vector<int>> owner_remap(
+        static_cast<std::size_t>(num_snapshots));
+    std::vector<int> dead_slots(
+        static_cast<std::size_t>(num_snapshots), 0);
+    std::vector<std::uint64_t> remap_moved(
+        static_cast<std::size_t>(num_snapshots), 0);
+    if (fm) {
+        warnOnce("fault injection active for '", dg.name(),
+                 "': executing in degraded mode");
+        parallelFor(static_cast<std::size_t>(num_snapshots),
+                    [&](std::size_t i) {
+            const auto t = static_cast<SnapshotId>(i);
+            const FaultSet &fs = fm->at(t);
+            if (!fs.anyTile())
+                return;
+            const int compute_slots = mapping.spatialOnly
+                ? hw.totalTiles() : hw.tileRows;
+            const int col = mapping.spatialOnly
+                ? 0 : mapping.snapshotColumn[i];
+            std::vector<bool> failed(
+                static_cast<std::size_t>(compute_slots), false);
+            int dead = 0;
+            for (int s = 0; s < compute_slots; ++s) {
+                const TileId tile = mapping.spatialOnly
+                    ? static_cast<TileId>(s)
+                    : static_cast<TileId>(s * hw.tileCols + col);
+                if (fs.deadTile[static_cast<std::size_t>(tile)]) {
+                    failed[static_cast<std::size_t>(s)] = true;
+                    ++dead;
+                }
+            }
+            if (dead == 0)
+                return;
+            dead_slots[i] = dead;
+            const auto loads = workload::computeSnapshotLoads(
+                dg.snapshot(t), model_config.numGcnLayers());
+            std::vector<int> owners(
+                static_cast<std::size_t>(num_vertices));
+            for (VertexId v = 0; v < num_vertices; ++v) {
+                owners[static_cast<std::size_t>(v)] =
+                    mapping.spatialOnly
+                        ? mapping.tilePartition.owner(v)
+                        : mapping.rowPartition.owner(v);
+            }
+            auto remapped = workload::remapFailedParts(
+                loads, owners, failed, compute_slots);
+            for (std::size_t v = 0; v < owners.size(); ++v) {
+                if (remapped[v] != owners[v])
+                    ++remap_moved[i];
+            }
+            owner_remap[i] = std::move(remapped);
+        }, &pool);
+    }
+
     // ---- Stage 1: parallel per-snapshot evaluation. ----
     auto evaluateSnapshot = [&](std::size_t i) {
         const auto t = static_cast<SnapshotId>(i);
@@ -272,11 +341,17 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
         }
 
         // ---- Compute distribution over tiles. ----
+        // Under tile faults the pre-computed degraded-mode re-deal
+        // replaces the planned assignment for this snapshot.
         auto owner = [&](VertexId v) {
+            if (!owner_remap[i].empty())
+                return owner_remap[i][static_cast<std::size_t>(v)];
             return mapping.spatialOnly
                 ? mapping.tilePartition.owner(v)
                 : mapping.rowPartition.owner(v);
         };
+        const noc::NocFaults *noc_faults =
+            fm && fm->at(t).anyNoc() ? &fm->at(t).noc : nullptr;
         const int compute_slots = mapping.spatialOnly
             ? hw.totalTiles() : hw.tileRows;
         std::vector<OpCount> slot_gnn(
@@ -399,7 +474,8 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
             w.spatialPending = true;
         } else {
             w.spatial = noc::simulateTraffic(hw.noc,
-                                             std::move(w.spatialMsgs));
+                                             std::move(w.spatialMsgs),
+                                             noc_faults);
             w.spatialMsgs.clear();
         }
 
@@ -407,14 +483,25 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
         if (!mapping.spatialOnly && t > 0) {
             const int prev_col = mapping.snapshotColumn[i - 1];
             if (prev_col != col) {
+                // Boundary endpoints honor the degraded-mode re-deal
+                // on *both* sides: the previous column's survivors may
+                // differ from this column's.
+                auto row_at = [&](VertexId v, std::size_t idx) {
+                    if (!owner_remap[idx].empty()) {
+                        return owner_remap[idx][
+                            static_cast<std::size_t>(v)];
+                    }
+                    return mapping.rowPartition.owner(v);
+                };
                 TrafficMatrix boundary;
                 // Temporal: every RNN-active vertex needs its previous
                 // hidden/cell state from the previous snapshot's column.
                 for (VertexId v : splan.rnnVertices) {
-                    const int r = mapping.rowPartition.owner(v);
+                    const int rp = row_at(v, i - 1);
+                    const int rc = row_at(v, i);
                     boundary.add(
-                        static_cast<TileId>(r * hw.tileCols + prev_col),
-                        static_cast<TileId>(r * hw.tileCols + col),
+                        static_cast<TileId>(rp * hw.tileCols + prev_col),
+                        static_cast<TileId>(rc * hw.tileCols + col),
                         2 * h_bytes);
                 }
                 // Reuse: incremental algorithms forward the unchanged
@@ -430,18 +517,20 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                     for (VertexId v = 0; v < num_vertices; ++v) {
                         if (changed[static_cast<std::size_t>(v)])
                             continue;
-                        const int r = mapping.rowPartition.owner(v);
+                        const int rp = row_at(v, i - 1);
+                        const int rc = row_at(v, i);
                         reuse.add(
-                            static_cast<TileId>(r * hw.tileCols +
+                            static_cast<TileId>(rp * hw.tileCols +
                                                 prev_col),
-                            static_cast<TileId>(r * hw.tileCols + col),
+                            static_cast<TileId>(rc * hw.tileCols + col),
                             z_bytes + h_bytes);
                         w.reuseTotal += z_bytes + h_bytes;
                     }
                     reuse.emit(msgs, noc::TrafficClass::Reuse, 0);
                 }
                 w.temporal = noc::simulateTraffic(hw.noc,
-                                                  std::move(msgs));
+                                                  std::move(msgs),
+                                                  noc_faults);
                 w.hasTemporal = true;
             }
         }
@@ -457,6 +546,12 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
         static_cast<std::size_t>(num_snapshots), hw.noc.reLinkSpan);
     std::vector<Cycle> dram_done(
         static_cast<std::size_t>(num_snapshots));
+    std::vector<std::uint64_t> dram_retry_requests(
+        static_cast<std::size_t>(num_snapshots), 0);
+    std::vector<ByteCount> dram_retry_bytes(
+        static_cast<std::size_t>(num_snapshots), 0);
+    std::vector<Cycle> dram_retry_cycles(
+        static_cast<std::size_t>(num_snapshots), 0);
     Cycle dram_cursor = 0;
     for (SnapshotId t = 0; t < num_snapshots; ++t) {
         const auto i = static_cast<std::size_t>(t);
@@ -465,13 +560,66 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
             request.issueCycle = dram_cursor;
         const auto dram_res = dram_model.service(w.requests);
         dram_cursor = std::max(dram_cursor, dram_res.completionCycle);
-        dram_done[i] = dram_cursor;
         result.energyEvents.dramBytes += dram_res.totalBytes();
         result.energyEvents.dramActivates +=
             dram_res.rowMisses + dram_res.rowConflicts;
+        if (fm && fm->at(t).anyDram()) {
+            // Transient channel errors: a seeded fraction of this
+            // snapshot's reads fails ECC and is re-read after the
+            // primary stream completes. Sampling is keyed off the
+            // (plan seed, snapshot) pair only, so the retry set is
+            // independent of thread width and replay order.
+            const FaultSet &fs = fm->at(t);
+            const double p = clamp(
+                plan.faults.dramRetryFraction *
+                    static_cast<double>(fs.dramFaultChannels) /
+                    static_cast<double>(hw.dram.channels),
+                0.0, 1.0);
+            Rng rng(mix64(plan.faults.seed ^
+                          (0x9e3779b97f4a7c15ULL *
+                           (static_cast<std::uint64_t>(t) + 1))));
+            std::vector<dram::DramRequest> retries;
+            for (const auto &request : w.requests) {
+                if (request.write || request.bytes == 0)
+                    continue;
+                if (rng.bernoulli(p))
+                    retries.push_back(request);
+            }
+            if (!retries.empty()) {
+                for (auto &request : retries)
+                    request.issueCycle = dram_cursor;
+                const auto retry_res = dram_model.service(retries);
+                dram_retry_requests[i] = retries.size();
+                dram_retry_bytes[i] = retry_res.totalBytes();
+                dram_retry_cycles[i] =
+                    retry_res.completionCycle > dram_cursor
+                        ? retry_res.completionCycle - dram_cursor : 0;
+                dram_cursor = std::max(dram_cursor,
+                                       retry_res.completionCycle);
+                result.energyEvents.dramBytes += retry_res.totalBytes();
+                result.energyEvents.dramActivates +=
+                    retry_res.rowMisses + retry_res.rowConflicts;
+            }
+        }
+        dram_done[i] = dram_cursor;
         if (w.spatialPending) {
+            // Stuck-open bypass columns force span-1 routing for the
+            // traffic crossing them; the controller prices that into
+            // its engage/bypass decision as a per-message blend.
+            double stuck_open = 0.0;
+            if (fm && hw.tileCols > 0) {
+                const auto &nf = fm->at(t).noc;
+                int stuck = 0;
+                for (int c = 0; c < hw.tileCols; ++c) {
+                    if (nf.spanOverride(c) == 1)
+                        ++stuck;
+                }
+                stuck_open = static_cast<double>(stuck) /
+                    static_cast<double>(hw.tileCols);
+            }
             const auto decision = relink_controller.decide(
-                w.spatialDistances, hw.noc.routerLatencyCycles);
+                w.spatialDistances, hw.noc.routerLatencyCycles,
+                stuck_open);
             relink_span[i] = decision.span;
             result.energyEvents.reconfigEvents +=
                 decision.reconfigEvents;
@@ -485,10 +633,14 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
             SnapshotWork &w = work[i];
             if (!w.spatialPending)
                 return;
+            const auto t = static_cast<SnapshotId>(i);
+            const noc::NocFaults *noc_faults =
+                fm && fm->at(t).anyNoc() ? &fm->at(t).noc : nullptr;
             noc::NocConfig noc_config = hw.noc;
             noc_config.reLinkSpan = relink_span[i];
             w.spatial = noc::simulateTraffic(noc_config,
-                                             std::move(w.spatialMsgs));
+                                             std::move(w.spatialMsgs),
+                                             noc_faults);
             w.spatialMsgs.clear();
         }, &pool);
     }
@@ -614,7 +766,11 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
     double capacity = 0.0;
     for (SnapshotId t = 0; t < num_snapshots; ++t) {
         const auto i = static_cast<std::size_t>(t);
-        capacity += static_cast<double>(active_tiles) * tile_macs *
+        // Dead tiles offer no capacity; fault-free runs see the
+        // unmodified tile count (dead_slots stays all-zero).
+        capacity +=
+            static_cast<double>(active_tiles - dead_slots[i]) *
+            tile_macs *
             (options.gnnMacFraction *
                  static_cast<double>(work[i].gnnCompute) +
              options.rnnMacFraction *
@@ -645,6 +801,68 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
     result.energy.onChipCommPj *= options.onChipEnergyScale;
     result.energy.offChipCommPj *= options.offChipEnergyScale;
 
+    // ---- Resilience report. ----
+    if (fm) {
+        ResilienceReport &rr = result.resilience;
+        rr.enabled = true;
+        rr.injectedTileFaults = fm->tileFaults();
+        rr.injectedLinkFaults = fm->linkFaults();
+        rr.injectedBypassFaults = fm->bypassFaults();
+        rr.injectedDramFaults = fm->dramFaults();
+        rr.degradedSnapshots = fm->degradedSnapshots();
+        double offline = 0.0;
+        for (SnapshotId t = 0; t < num_snapshots; ++t) {
+            const auto i = static_cast<std::size_t>(t);
+            const SnapshotWork &w = work[i];
+            const std::uint64_t rerouted = w.spatial.reroutedMessages +
+                w.temporal.reroutedMessages;
+            const std::uint64_t retried = w.spatial.retriedMessages +
+                w.temporal.retriedMessages;
+            const Cycle backoff = w.spatial.retryBackoffCycles +
+                w.temporal.retryBackoffCycles;
+            rr.remappedVertices += remap_moved[i];
+            rr.reroutedMessages += rerouted;
+            rr.retriedMessages += retried;
+            rr.nocRetryBackoffCycles += backoff;
+            rr.dramRetryRequests += dram_retry_requests[i];
+            rr.dramRetryBytes += dram_retry_bytes[i];
+            rr.dramRetryCycles += dram_retry_cycles[i];
+            offline += static_cast<double>(dead_slots[i]) /
+                static_cast<double>(active_tiles);
+            if (dead_slots[i] > 0) {
+                rr.events.push_back(
+                    {t, "tile-remap",
+                     std::to_string(dead_slots[i]) +
+                         " compute slot(s) offline; re-dealt " +
+                         std::to_string(remap_moved[i]) + " vertices"});
+            }
+            if (rerouted > 0) {
+                rr.events.push_back(
+                    {t, "noc-reroute",
+                     std::to_string(rerouted) +
+                         " message(s) took non-minimal routes around "
+                         "dead links"});
+            }
+            if (retried > 0) {
+                rr.events.push_back(
+                    {t, "noc-retry",
+                     std::to_string(retried) + " message(s) paid " +
+                         std::to_string(backoff) +
+                         " backoff cycles on unavoidable dead links"});
+            }
+            if (dram_retry_requests[i] > 0) {
+                rr.events.push_back(
+                    {t, "dram-retry",
+                     std::to_string(dram_retry_requests[i]) +
+                         " read request(s) re-streamed (" +
+                         std::to_string(dram_retry_bytes[i]) +
+                         " bytes)"});
+            }
+        }
+        rr.degradedCapacityFraction = num_snapshots > 0
+            ? offline / static_cast<double>(num_snapshots) : 0.0;
+    }
+
     // ---- Detail stats. ----
     result.stats.set("cycles.total",
                      static_cast<double>(result.totalCycles));
@@ -663,6 +881,8 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                      static_cast<double>(result.dramTraffic.total()));
     result.stats.set("noc.bytes", static_cast<double>(result.nocBytes));
     result.stats.merge(result.energy.toStats());
+    if (fm)
+        result.stats.merge(result.resilience.toStats());
     return result;
 }
 

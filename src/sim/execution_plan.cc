@@ -14,9 +14,9 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
-#include <stdexcept>
 
 #include "common/json.hh"
+#include "common/logging.hh"
 #include "sim/plan_cache.hh"
 
 namespace ditile::sim {
@@ -48,7 +48,7 @@ algoFromToken(const std::string &token)
         return model::AlgoKind::MegaAlg;
     if (token == "ditile")
         return model::AlgoKind::DiTileAlg;
-    throw std::runtime_error("unknown algo token '" + token + "'");
+    DITILE_THROW("unknown algo token '", token, "'");
 }
 
 const char *
@@ -71,8 +71,7 @@ aggregatorFromToken(const std::string &token)
         return model::GnnAggregator::SageMean;
     if (token == "gin")
         return model::GnnAggregator::GinSum;
-    throw std::runtime_error("unknown aggregator token '" + token +
-                             "'");
+    DITILE_THROW("unknown aggregator token '", token, "'");
 }
 
 const char *
@@ -88,7 +87,7 @@ rnnFromToken(const std::string &token)
         return model::RnnKind::Lstm;
     if (token == "gru")
         return model::RnnKind::Gru;
-    throw std::runtime_error("unknown rnn token '" + token + "'");
+    DITILE_THROW("unknown rnn token '", token, "'");
 }
 
 const char *
@@ -111,8 +110,7 @@ precisionFromToken(const std::string &token)
         return model::Precision::Fp16;
     if (token == "int8")
         return model::Precision::Int8;
-    throw std::runtime_error("unknown precision token '" + token +
-                             "'");
+    DITILE_THROW("unknown precision token '", token, "'");
 }
 
 const char *
@@ -138,7 +136,7 @@ topologyFromToken(const std::string &token)
         return noc::TopologyKind::Crossbar;
     if (token == "reconfigurable")
         return noc::TopologyKind::Reconfigurable;
-    throw std::runtime_error("unknown topology token '" + token + "'");
+    DITILE_THROW("unknown topology token '", token, "'");
 }
 
 // ---- Emission helpers. ----
@@ -435,6 +433,26 @@ ExecutionPlan::toJson() const
           relink.reconfigEventsPerSnapshot);
     e.close();
 
+    // ---- Fault-injection schedule. ----
+    e.open("faults");
+    e.kvU("seed", faults.seed);
+    e.kv("dram_retry_fraction", faults.dramRetryFraction);
+    e.kvU("noc_backoff", faults.nocBackoffCycles);
+    e.kv("noc_retries", static_cast<long long>(faults.nocMaxRetries));
+    e.comma();
+    out << jsonQuote("events") << ":[";
+    for (std::size_t i = 0; i < faults.events.size(); ++i) {
+        const FaultEvent &ev = faults.events[i];
+        if (i)
+            out << ",";
+        out << "{\"kind\":" << jsonQuote(faultKindToken(ev.kind))
+            << ",\"snapshot\":" << ev.snapshot << ",\"row\":" << ev.row
+            << ",\"col\":" << ev.col << ",\"channel\":" << ev.channel
+            << "}";
+    }
+    out << "]";
+    e.close();
+
     // ---- Redundancy-free per-snapshot plans. ----
     e.comma();
     out << jsonQuote("snapshots") << ":[";
@@ -478,7 +496,7 @@ ExecutionPlan::fromJson(const std::string &text)
 {
     const JsonValue doc = JsonValue::parse(text);
     if (doc.at("plan_format").asInt() != 1)
-        throw std::runtime_error("unsupported plan_format");
+        DITILE_THROW("unsupported plan_format");
 
     ExecutionPlan plan;
     plan.acceleratorName = doc.at("accelerator").asString();
@@ -635,6 +653,28 @@ ExecutionPlan::fromJson(const std::string &text)
     plan.relink.adaptive = relink.at("adaptive").asBool();
     plan.relink.reconfigEventsPerSnapshot =
         relink.at("reconfig_events_per_snapshot").asUint();
+
+    // Plans serialized before the fault model existed carry no
+    // "faults" key; they load as fault-free.
+    if (const JsonValue *faults = doc.find("faults")) {
+        plan.faults.seed = faults->at("seed").asUint();
+        plan.faults.dramRetryFraction =
+            faults->at("dram_retry_fraction").asDouble();
+        plan.faults.nocBackoffCycles =
+            faults->at("noc_backoff").asUint();
+        plan.faults.nocMaxRetries =
+            static_cast<int>(faults->at("noc_retries").asInt());
+        for (const auto &item : faults->at("events").items()) {
+            FaultEvent ev;
+            ev.kind = faultKindFromToken(item.at("kind").asString());
+            ev.snapshot =
+                static_cast<SnapshotId>(item.at("snapshot").asInt());
+            ev.row = static_cast<int>(item.at("row").asInt());
+            ev.col = static_cast<int>(item.at("col").asInt());
+            ev.channel = static_cast<int>(item.at("channel").asInt());
+            plan.faults.events.push_back(ev);
+        }
+    }
 
     auto snaps = std::make_shared<std::vector<model::SnapshotPlan>>();
     for (const auto &item : doc.at("snapshots").items()) {

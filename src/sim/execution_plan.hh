@@ -35,6 +35,7 @@
 
 #include "model/incremental.hh"
 #include "sim/engine.hh"
+#include "sim/fault_model.hh"
 #include "tiling/optimizer.hh"
 #include "workload/balance.hh"
 
@@ -87,6 +88,13 @@ struct ExecutionPlan
 
     /** NoC reconfiguration schedule. */
     RelinkSchedule relink;
+
+    /**
+     * Fault-injection schedule (empty = fault-free run). Part of the
+     * canonical serialization, so a faulted run replays bit-identically
+     * from its plan; documents without the field load as fault-free.
+     */
+    FaultSpec faults;
 
     /**
      * Redundancy-free per-snapshot plans, shared so a PlanCache can

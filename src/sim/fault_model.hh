@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Deterministic fault injection for the DiTile-DGNN simulator.
+ *
+ * The paper evaluates a perfect machine; at production scale the
+ * 16x16 tile array, the dual-layer rings, and the Re-Link bypass
+ * switches are exactly what fails first. A FaultSpec is a seeded,
+ * snapshot-indexed schedule of such failures; a FaultModel resolves
+ * it against a concrete accelerator into per-snapshot fault state the
+ * engine consumes. The spec serializes into ExecutionPlan, so a
+ * faulted run replays bit-identically at any thread width.
+ *
+ * Spec grammar (CLI `--faults=SPEC`, items separated by ';'):
+ *
+ *   tile@T:rRcC          tile (R, C) dies at snapshot T (permanent)
+ *   hlink@T:rRcC         row-ring link (R,C)<->(R,C+1) dies at T
+ *   vlink@T:rRcC         column-ring link (R,C)<->(R+1,C) dies at T
+ *   bypass-open@T:cC     column C bypass stuck open (span 1) from T
+ *   bypass-closed@T:cC   column C bypass stuck closed (hw span) from T
+ *   dram@T:chK           DRAM channel K suffers transient errors at T
+ *   seed=U64             retry-sampling seed (default 1)
+ *   dram-retry-fraction=F    fraction of reads re-read per faulted
+ *                            channel share (default 0.5)
+ *   noc-backoff=CYCLES   base NoC retry backoff (default 64)
+ *   noc-retries=N        bounded NoC retry attempts (default 3)
+ *
+ * Row/column/channel coordinates accept '*' as a wildcard covering
+ * every valid index. Tile/link/bypass faults are permanent from their
+ * onset snapshot; DRAM faults are transient (that snapshot only).
+ */
+
+#ifndef DITILE_SIM_FAULT_MODEL_HH
+#define DITILE_SIM_FAULT_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "noc/topology.hh"
+#include "sim/accel_config.hh"
+
+namespace ditile::sim {
+
+/** Kinds of hardware failure the schedule can inject. */
+enum class FaultKind
+{
+    TileFail,          ///< A compute tile goes permanently dark.
+    HLinkFail,         ///< A horizontal (row-ring) link dies.
+    VLinkFail,         ///< A vertical (column-ring) link dies.
+    BypassStuckOpen,   ///< Column bypass switch stuck open (span 1).
+    BypassStuckClosed, ///< Column bypass switch stuck closed (hw span).
+    DramTransient,     ///< Transient errors on a DRAM channel.
+};
+
+/** Canonical spec token for a fault kind ("tile", "hlink", ...). */
+const char *faultKindToken(FaultKind kind);
+
+/** Parse a spec token into a kind; throws InputError if unknown. */
+FaultKind faultKindFromToken(const std::string &token);
+
+/** Coordinate wildcard: the fault covers every valid index. */
+inline constexpr int kAnyCoord = -1;
+
+/**
+ * One scheduled failure. Which coordinates are meaningful depends on
+ * the kind: tile/link faults use (row, col), bypass faults use col,
+ * DRAM faults use channel; kAnyCoord in a meaningful field expands to
+ * every valid index when the FaultModel resolves the schedule.
+ */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::TileFail;
+    SnapshotId snapshot = 0; ///< Onset (permanent) or occurrence
+                             ///< (transient) snapshot.
+    int row = kAnyCoord;
+    int col = kAnyCoord;
+    int channel = kAnyCoord;
+};
+
+/**
+ * A complete, serializable fault schedule plus the knobs of the
+ * recovery policies. Lives inside ExecutionPlan so faulted runs are
+ * content-hashed and replayable.
+ */
+struct FaultSpec
+{
+    std::uint64_t seed = 1;
+    double dramRetryFraction = 0.5;
+    Cycle nocBackoffCycles = 64;
+    int nocMaxRetries = 3;
+    std::vector<FaultEvent> events;
+
+    /** True when no faults are scheduled (policy knobs irrelevant). */
+    bool empty() const { return events.empty(); }
+
+    /** Parse the CLI grammar above; throws InputError on bad input. */
+    static FaultSpec parse(const std::string &text);
+
+    /** Render back into the CLI grammar (parse(toString()) == *this). */
+    std::string toString() const;
+};
+
+bool operator==(const FaultEvent &a, const FaultEvent &b);
+bool operator==(const FaultSpec &a, const FaultSpec &b);
+
+/**
+ * Resolved fault state for one snapshot: which tiles are dark, the
+ * NoC fault set (dead links + bypass overrides + retry policy), and
+ * how many DRAM channels see transient errors.
+ */
+struct FaultSet
+{
+    /** Per-tile dead flag; empty when no tile faults are active. */
+    std::vector<std::uint8_t> deadTile;
+    noc::NocFaults noc;
+    int dramFaultChannels = 0;
+
+    bool anyTile() const { return !deadTile.empty(); }
+    bool anyNoc() const { return !noc.empty(); }
+    bool anyDram() const { return dramFaultChannels > 0; }
+    bool degraded() const { return anyTile() || anyNoc() || anyDram(); }
+};
+
+/**
+ * Resolves a FaultSpec against a concrete accelerator and snapshot
+ * count into per-snapshot FaultSets. Validation happens here: out of
+ * range coordinates throw InputError; link and bypass faults on
+ * topologies without grid links or bypass switches are ignored with a
+ * one-shot warning.
+ */
+class FaultModel
+{
+  public:
+    FaultModel(const FaultSpec &spec, const AcceleratorConfig &hw,
+               SnapshotId num_snapshots);
+
+    const FaultSpec &spec() const { return spec_; }
+
+    /** Fault state active during snapshot t. */
+    const FaultSet &at(SnapshotId t) const;
+
+    /** Distinct injected faults by category (for the report). */
+    std::uint64_t tileFaults() const { return tile_faults_; }
+    std::uint64_t linkFaults() const { return link_faults_; }
+    std::uint64_t bypassFaults() const { return bypass_faults_; }
+    std::uint64_t dramFaults() const { return dram_faults_; }
+
+    /** Snapshots with any active fault state. */
+    std::uint64_t degradedSnapshots() const;
+
+  private:
+    FaultSpec spec_;
+    std::vector<FaultSet> per_snapshot_;
+    std::uint64_t tile_faults_ = 0;
+    std::uint64_t link_faults_ = 0;
+    std::uint64_t bypass_faults_ = 0;
+    std::uint64_t dram_faults_ = 0;
+};
+
+} // namespace ditile::sim
+
+#endif // DITILE_SIM_FAULT_MODEL_HH

@@ -35,6 +35,84 @@ struct SnapshotTrace
 };
 
 /**
+ * One recovery action the engine performed in degraded mode.
+ */
+struct RecoveryEvent
+{
+    SnapshotId snapshot = 0;
+    std::string kind;   ///< "tile-remap", "noc-reroute", "noc-retry",
+                        ///< or "dram-retry".
+    std::string detail; ///< Human-readable description.
+};
+
+/**
+ * Fault-injection outcome: what was injected and how the run degraded.
+ * All zero / disabled when the plan carries no fault schedule.
+ */
+struct ResilienceReport
+{
+    bool enabled = false;
+
+    // Injected fault counts by category (distinct hardware elements).
+    std::uint64_t injectedTileFaults = 0;
+    std::uint64_t injectedLinkFaults = 0;
+    std::uint64_t injectedBypassFaults = 0;
+    std::uint64_t injectedDramFaults = 0;
+
+    std::uint64_t degradedSnapshots = 0; ///< Snapshots with any
+                                         ///< active fault state.
+    std::uint64_t remappedVertices = 0;  ///< Vertex-snapshot pairs the
+                                         ///< BDW re-deal moved.
+    std::uint64_t reroutedMessages = 0;  ///< Non-minimal NoC paths.
+    std::uint64_t retriedMessages = 0;   ///< Messages that paid retry
+                                         ///< backoff.
+    Cycle nocRetryBackoffCycles = 0;     ///< Total NoC backoff paid.
+    std::uint64_t dramRetryRequests = 0; ///< Re-read DRAM requests.
+    ByteCount dramRetryBytes = 0;        ///< Bytes re-streamed.
+    Cycle dramRetryCycles = 0;           ///< Extra off-chip cycles.
+
+    /** Mean fraction of compute slots offline across snapshots. */
+    double degradedCapacityFraction = 0.0;
+
+    /** Ordered recovery log (snapshot-major). */
+    std::vector<RecoveryEvent> events;
+
+    /** Export the counters into a StatSet ("resilience.*" keys). */
+    StatSet
+    toStats() const
+    {
+        StatSet s;
+        s.set("resilience.tile_faults",
+              static_cast<double>(injectedTileFaults));
+        s.set("resilience.link_faults",
+              static_cast<double>(injectedLinkFaults));
+        s.set("resilience.bypass_faults",
+              static_cast<double>(injectedBypassFaults));
+        s.set("resilience.dram_faults",
+              static_cast<double>(injectedDramFaults));
+        s.set("resilience.degraded_snapshots",
+              static_cast<double>(degradedSnapshots));
+        s.set("resilience.remapped_vertices",
+              static_cast<double>(remappedVertices));
+        s.set("resilience.rerouted_messages",
+              static_cast<double>(reroutedMessages));
+        s.set("resilience.retried_messages",
+              static_cast<double>(retriedMessages));
+        s.set("resilience.noc_retry_backoff_cycles",
+              static_cast<double>(nocRetryBackoffCycles));
+        s.set("resilience.dram_retry_requests",
+              static_cast<double>(dramRetryRequests));
+        s.set("resilience.dram_retry_bytes",
+              static_cast<double>(dramRetryBytes));
+        s.set("resilience.dram_retry_cycles",
+              static_cast<double>(dramRetryCycles));
+        s.set("resilience.degraded_capacity_fraction",
+              degradedCapacityFraction);
+        return s;
+    }
+};
+
+/**
  * Everything the figure benches and tests read out of a run.
  */
 struct RunResult
@@ -70,6 +148,9 @@ struct RunResult
 
     /** Per-snapshot timeline, size == T. */
     std::vector<SnapshotTrace> trace;
+
+    /** Fault-injection outcome (disabled on fault-free runs). */
+    ResilienceReport resilience;
 };
 
 } // namespace ditile::sim

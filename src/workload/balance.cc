@@ -116,4 +116,46 @@ partitionImbalance(const std::vector<double> &loads,
     return partition.imbalance(loads);
 }
 
+std::vector<int>
+remapFailedParts(const std::vector<double> &loads,
+                 const std::vector<int> &owners,
+                 const std::vector<bool> &failed, int num_parts)
+{
+    DITILE_ASSERT(num_parts >= 1);
+    DITILE_ASSERT(owners.size() == loads.size());
+    DITILE_ASSERT(failed.size() == static_cast<std::size_t>(num_parts));
+
+    std::vector<int> survivors;
+    for (int p = 0; p < num_parts; ++p) {
+        if (!failed[static_cast<std::size_t>(p)])
+            survivors.push_back(p);
+    }
+    if (survivors.empty())
+        DITILE_THROW("every compute part has failed; nothing left to "
+                     "run the workload on");
+
+    std::vector<int> result = owners;
+    std::vector<VertexId> orphans;
+    for (std::size_t v = 0; v < owners.size(); ++v) {
+        const int p = owners[v];
+        if (p >= 0 && p < num_parts &&
+            failed[static_cast<std::size_t>(p)]) {
+            orphans.push_back(static_cast<VertexId>(v));
+        }
+    }
+    std::stable_sort(orphans.begin(), orphans.end(),
+        [&loads](VertexId a, VertexId b) {
+            const double la = loads[static_cast<std::size_t>(a)];
+            const double lb = loads[static_cast<std::size_t>(b)];
+            if (la != lb)
+                return la > lb;
+            return a < b;
+        });
+    for (std::size_t rank = 0; rank < orphans.size(); ++rank) {
+        result[static_cast<std::size_t>(orphans[rank])] =
+            survivors[rank % survivors.size()];
+    }
+    return result;
+}
+
 } // namespace ditile::workload

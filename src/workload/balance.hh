@@ -70,6 +70,25 @@ std::vector<BalancedGroup> splitGroups(SnapshotId num_snapshots,
 double partitionImbalance(const std::vector<double> &loads,
                           const graph::VertexPartition &partition);
 
+/**
+ * Degraded-mode Algorithm 2: re-deal the vertices of failed parts
+ * over the surviving parts. Vertices whose owner survives keep their
+ * assignment; the orphaned vertices are sorted by descending load
+ * (ties by id, the Algorithm-2 idiom) and dealt round-robin across
+ * the surviving parts in ascending part order. Deterministic.
+ *
+ * @param loads Per-vertex loads, size numVertices.
+ * @param owners Current owner part per vertex (0 .. num_parts-1).
+ * @param failed failed[p] marks part p as dead, size num_parts.
+ * @param num_parts Total part count.
+ * @return New owner per vertex; no vertex maps to a failed part.
+ * @throws InputError if every part failed.
+ */
+std::vector<int> remapFailedParts(const std::vector<double> &loads,
+                                  const std::vector<int> &owners,
+                                  const std::vector<bool> &failed,
+                                  int num_parts);
+
 } // namespace ditile::workload
 
 #endif // DITILE_WORKLOAD_BALANCE_HH

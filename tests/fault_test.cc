@@ -1,0 +1,469 @@
+/**
+ * @file
+ * Tests for the fault-injection and resilience subsystem: FaultSpec
+ * grammar round-trips, FaultModel schedule resolution, the degradation
+ * paths (Algorithm-2 re-deal around dead tiles, NoC reroute/retry
+ * around dead links, seeded DRAM transient retries, stuck bypass
+ * switches), and the determinism contracts — an empty schedule is
+ * bit-identical to no fault model at all, and faulted runs replay
+ * bit-identically from their serialized plans.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/ditile_accelerator.hh"
+#include "graph/generator.hh"
+#include "noc/network.hh"
+#include "noc/relink_controller.hh"
+#include "sim/execution_plan.hh"
+#include "sim/fault_model.hh"
+#include "workload/balance.hh"
+
+namespace ditile {
+namespace {
+
+graph::DynamicGraph
+faultWorkload()
+{
+    graph::EvolutionConfig config;
+    config.numVertices = 800;
+    config.numEdges = 6400;
+    config.numSnapshots = 6;
+    config.dissimilarity = 0.12;
+    config.featureDim = 64;
+    config.seed = 7;
+    return graph::generateDynamicGraph(config);
+}
+
+/** Field-by-field equality of two runs, with readable failures. */
+void
+expectIdentical(const sim::RunResult &a, const sim::RunResult &b)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.computeCycles, b.computeCycles);
+    EXPECT_EQ(a.onChipCommCycles, b.onChipCommCycles);
+    EXPECT_EQ(a.offChipCycles, b.offChipCycles);
+    EXPECT_EQ(a.ops.totalMacs(), b.ops.totalMacs());
+    EXPECT_EQ(a.dramTraffic.total(), b.dramTraffic.total());
+    EXPECT_EQ(a.nocBytes, b.nocBytes);
+    EXPECT_EQ(a.peUtilization, b.peUtilization);
+    EXPECT_EQ(a.energy.totalPj(), b.energy.totalPj());
+    EXPECT_EQ(a.energyEvents.dramBytes, b.energyEvents.dramBytes);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        EXPECT_EQ(a.trace[i].gnnDone, b.trace[i].gnnDone)
+            << "snapshot " << i;
+        EXPECT_EQ(a.trace[i].rnnDone, b.trace[i].rnnDone)
+            << "snapshot " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// FaultSpec grammar.
+// ---------------------------------------------------------------------
+
+TEST(FaultSpec, ParsesEventsAndOptions)
+{
+    const auto spec = sim::FaultSpec::parse(
+        "seed=42;dram-retry-fraction=0.25;noc-backoff=128;"
+        "noc-retries=5;tile@1:r3c2;hlink@0:r2c7;vlink@2:r15c0;"
+        "bypass-open@1:c5;bypass-closed@3:c9;dram@2:ch4");
+    EXPECT_EQ(spec.seed, 42u);
+    EXPECT_DOUBLE_EQ(spec.dramRetryFraction, 0.25);
+    EXPECT_EQ(spec.nocBackoffCycles, 128u);
+    EXPECT_EQ(spec.nocMaxRetries, 5);
+    ASSERT_EQ(spec.events.size(), 6u);
+    EXPECT_EQ(spec.events[0].kind, sim::FaultKind::TileFail);
+    EXPECT_EQ(spec.events[0].snapshot, 1);
+    EXPECT_EQ(spec.events[0].row, 3);
+    EXPECT_EQ(spec.events[0].col, 2);
+    EXPECT_EQ(spec.events[3].kind, sim::FaultKind::BypassStuckOpen);
+    EXPECT_EQ(spec.events[3].col, 5);
+    EXPECT_EQ(spec.events[5].kind, sim::FaultKind::DramTransient);
+    EXPECT_EQ(spec.events[5].channel, 4);
+}
+
+TEST(FaultSpec, WildcardCoordinates)
+{
+    const auto spec = sim::FaultSpec::parse("tile@0:r*c3;dram@1:ch*");
+    ASSERT_EQ(spec.events.size(), 2u);
+    EXPECT_EQ(spec.events[0].row, sim::kAnyCoord);
+    EXPECT_EQ(spec.events[0].col, 3);
+    EXPECT_EQ(spec.events[1].channel, sim::kAnyCoord);
+}
+
+TEST(FaultSpec, RoundTripsThroughToString)
+{
+    const char *text = "seed=9;dram-retry-fraction=0.25;"
+        "tile@1:r3c*;vlink@0:r1c2;bypass-open@1:c5;dram@2:ch*";
+    const auto spec = sim::FaultSpec::parse(text);
+    const auto back = sim::FaultSpec::parse(spec.toString());
+    EXPECT_TRUE(back == spec);
+}
+
+TEST(FaultSpec, EmptyAndWhitespaceSpecsAreEmpty)
+{
+    EXPECT_TRUE(sim::FaultSpec::parse("").empty());
+    EXPECT_TRUE(sim::FaultSpec::parse("  ;; ;").empty());
+}
+
+TEST(FaultSpec, MalformedSpecsThrow)
+{
+    EXPECT_THROW(sim::FaultSpec::parse("gremlin@0:r1c1"), InputError);
+    EXPECT_THROW(sim::FaultSpec::parse("tile:r1c1"), InputError);
+    EXPECT_THROW(sim::FaultSpec::parse("tile@x:r1c1"), InputError);
+    EXPECT_THROW(sim::FaultSpec::parse("tile@0:c1"), InputError);
+    EXPECT_THROW(sim::FaultSpec::parse("tile@0:r1c1junk"), InputError);
+    EXPECT_THROW(sim::FaultSpec::parse("dram@0:r1c1"), InputError);
+    EXPECT_THROW(sim::FaultSpec::parse("dram-retry-fraction=1.5"),
+                 InputError);
+    EXPECT_THROW(sim::FaultSpec::parse("noc-retries=-1;tile@0:r1c1"),
+                 InputError);
+}
+
+// ---------------------------------------------------------------------
+// FaultModel schedule resolution.
+// ---------------------------------------------------------------------
+
+TEST(FaultModelTest, PermanentFaultsPersistFromOnset)
+{
+    const auto hw = sim::AcceleratorConfig::defaults();
+    const auto spec = sim::FaultSpec::parse("tile@2:r3c2;dram@1:ch0");
+    const sim::FaultModel fm(spec, hw, 4);
+    EXPECT_FALSE(fm.at(0).anyTile());
+    EXPECT_FALSE(fm.at(1).anyTile());
+    EXPECT_TRUE(fm.at(2).anyTile());
+    EXPECT_TRUE(fm.at(3).anyTile());
+    const TileId tile = 3 * hw.tileCols + 2;
+    EXPECT_TRUE(fm.at(3).deadTile[static_cast<std::size_t>(tile)]);
+    // DRAM faults are transient: snapshot 1 only.
+    EXPECT_FALSE(fm.at(0).anyDram());
+    EXPECT_TRUE(fm.at(1).anyDram());
+    EXPECT_FALSE(fm.at(2).anyDram());
+    EXPECT_EQ(fm.tileFaults(), 1u);
+    EXPECT_EQ(fm.dramFaults(), 1u);
+    EXPECT_EQ(fm.degradedSnapshots(), 3u);
+}
+
+TEST(FaultModelTest, LinkFaultsKillBothDirections)
+{
+    const auto hw = sim::AcceleratorConfig::defaults();
+    const auto spec = sim::FaultSpec::parse("vlink@0:r1c2");
+    const sim::FaultModel fm(spec, hw, 2);
+    const auto &nf = fm.at(0).noc;
+    ASSERT_EQ(nf.deadLinks.size(), 2u);
+    const TileId upper = 1 * hw.tileCols + 2;
+    const TileId lower = 2 * hw.tileCols + 2;
+    EXPECT_TRUE(nf.linkDead(noc::gridLinkId(upper,
+                                            noc::GridDir::South)));
+    EXPECT_TRUE(nf.linkDead(noc::gridLinkId(lower,
+                                            noc::GridDir::North)));
+    EXPECT_EQ(fm.linkFaults(), 1u);
+}
+
+TEST(FaultModelTest, WildcardTileRowKillsWholeRow)
+{
+    const auto hw = sim::AcceleratorConfig::defaults();
+    const auto spec = sim::FaultSpec::parse("tile@0:r3c*");
+    const sim::FaultModel fm(spec, hw, 1);
+    int dead = 0;
+    for (int c = 0; c < hw.tileCols; ++c) {
+        dead += fm.at(0).deadTile[static_cast<std::size_t>(
+            3 * hw.tileCols + c)] ? 1 : 0;
+    }
+    EXPECT_EQ(dead, hw.tileCols);
+    EXPECT_EQ(fm.tileFaults(),
+              static_cast<std::uint64_t>(hw.tileCols));
+}
+
+TEST(FaultModelTest, BypassOverridesAndValidation)
+{
+    const auto hw = sim::AcceleratorConfig::defaults();
+    const auto spec =
+        sim::FaultSpec::parse("bypass-open@0:c5;bypass-closed@1:c6");
+    const sim::FaultModel fm(spec, hw, 2);
+    EXPECT_EQ(fm.at(0).noc.spanOverride(5), 1);
+    EXPECT_EQ(fm.at(0).noc.spanOverride(6), 0); // Not yet stuck.
+    EXPECT_EQ(fm.at(1).noc.spanOverride(6), hw.noc.reLinkSpan);
+    EXPECT_EQ(fm.bypassFaults(), 2u);
+
+    // Out-of-range coordinates are rejected at resolution time.
+    EXPECT_THROW(
+        sim::FaultModel(sim::FaultSpec::parse("tile@0:r99c0"), hw, 1),
+        InputError);
+    EXPECT_THROW(
+        sim::FaultModel(sim::FaultSpec::parse("dram@0:ch99"), hw, 1),
+        InputError);
+}
+
+TEST(FaultModelTest, CrossbarIgnoresLinkAndBypassFaults)
+{
+    auto hw = sim::AcceleratorConfig::defaults();
+    hw.noc.topology = noc::TopologyKind::Crossbar;
+    const auto spec =
+        sim::FaultSpec::parse("vlink@0:r1c2;bypass-open@0:c5");
+    const sim::FaultModel fm(spec, hw, 1);
+    EXPECT_FALSE(fm.at(0).anyNoc());
+    EXPECT_EQ(fm.linkFaults(), 0u);
+    EXPECT_EQ(fm.bypassFaults(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Algorithm-2 re-deal over survivors.
+// ---------------------------------------------------------------------
+
+TEST(RemapFailedParts, OrphansDealtByDescendingLoad)
+{
+    const std::vector<double> loads = {10.0, 8.0, 6.0, 4.0};
+    const std::vector<int> owners = {0, 0, 1, 2};
+    std::vector<bool> failed = {true, false, false};
+    const auto remapped =
+        workload::remapFailedParts(loads, owners, failed, 3);
+    // Orphans (v0: 10, v1: 8) deal round-robin over survivors {1, 2}.
+    EXPECT_EQ(remapped[0], 1);
+    EXPECT_EQ(remapped[1], 2);
+    // Survivor-owned vertices keep their assignment.
+    EXPECT_EQ(remapped[2], 1);
+    EXPECT_EQ(remapped[3], 2);
+}
+
+TEST(RemapFailedParts, AllPartsFailedThrows)
+{
+    const std::vector<double> loads = {1.0};
+    const std::vector<int> owners = {0};
+    std::vector<bool> failed = {true, true};
+    EXPECT_THROW(workload::remapFailedParts(loads, owners, failed, 2),
+                 InputError);
+}
+
+// ---------------------------------------------------------------------
+// NoC degradation: reroute around dead links, bounded retry backoff.
+// ---------------------------------------------------------------------
+
+TEST(NocFaultsTest, RingReroutesAroundDeadLink)
+{
+    noc::NocConfig config;
+    config.rows = 4;
+    config.cols = 4;
+    config.topology = noc::TopologyKind::Ring;
+
+    std::vector<noc::Message> msgs;
+    noc::Message m;
+    m.src = 0;      // (0, 0)
+    m.dst = 1;      // (0, 1): minimal route is the East link.
+    m.bytes = 256;
+    msgs.push_back(m);
+
+    const auto clean = noc::simulateTraffic(config, msgs);
+    EXPECT_EQ(clean.reroutedMessages, 0u);
+
+    noc::NocFaults faults;
+    faults.deadLinks = {noc::gridLinkId(0, noc::GridDir::East)};
+    std::sort(faults.deadLinks.begin(), faults.deadLinks.end());
+    const auto degraded = noc::simulateTraffic(config, msgs, &faults);
+    // The message must arrive the long way round the row ring.
+    EXPECT_EQ(degraded.numMessages, 1u);
+    EXPECT_EQ(degraded.reroutedMessages, 1u);
+    EXPECT_EQ(degraded.retriedMessages, 0u);
+    EXPECT_GT(degraded.totalHops, clean.totalHops);
+}
+
+TEST(NocFaultsTest, UnavoidableDeadLinkPaysBoundedBackoff)
+{
+    noc::NocConfig config;
+    config.rows = 4;
+    config.cols = 4;
+    config.topology = noc::TopologyKind::Ring;
+
+    std::vector<noc::Message> msgs;
+    noc::Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.bytes = 256;
+    msgs.push_back(m);
+
+    // Both row-ring directions out of the source row segment die:
+    // no fault-free path remains.
+    noc::NocFaults faults;
+    faults.deadLinks = {
+        noc::gridLinkId(0, noc::GridDir::East),
+        noc::gridLinkId(1, noc::GridDir::West),
+        noc::gridLinkId(0, noc::GridDir::West),
+        noc::gridLinkId(3, noc::GridDir::East),
+    };
+    std::sort(faults.deadLinks.begin(), faults.deadLinks.end());
+    faults.retryBackoffCycles = 64;
+    faults.maxRetries = 3;
+    const auto degraded = noc::simulateTraffic(config, msgs, &faults);
+    EXPECT_EQ(degraded.numMessages, 1u);
+    EXPECT_EQ(degraded.retriedMessages, 1u);
+    // Exponential bounded backoff: 64 + 128 + 256.
+    EXPECT_EQ(degraded.retryBackoffCycles, 448u);
+    const auto clean = noc::simulateTraffic(config, msgs);
+    EXPECT_GE(degraded.makespan, clean.makespan + 448);
+}
+
+TEST(NocFaultsTest, NullFaultsMatchesFaultFreePath)
+{
+    noc::NocConfig config;
+    config.rows = 8;
+    config.cols = 8;
+    config.topology = noc::TopologyKind::Reconfigurable;
+    std::vector<noc::Message> msgs;
+    for (TileId src = 0; src < 16; ++src) {
+        noc::Message m;
+        m.src = src;
+        m.dst = (src * 7 + 13) % 64;
+        m.bytes = 128 + src * 32;
+        msgs.push_back(m);
+    }
+    const noc::NocFaults empty_faults;
+    const auto without = noc::simulateTraffic(config, msgs);
+    const auto with = noc::simulateTraffic(config, msgs,
+                                           &empty_faults);
+    EXPECT_EQ(without.makespan, with.makespan);
+    EXPECT_EQ(without.totalHops, with.totalHops);
+    EXPECT_EQ(without.routerStops, with.routerStops);
+    EXPECT_EQ(without.hopBytes, with.hopBytes);
+}
+
+TEST(RelinkControllerTest, AllColumnsStuckOpenForcesSpanOne)
+{
+    noc::RelinkController controller(16);
+    // Long-haul profile that would normally engage a long bypass.
+    const std::vector<int> distances(64, 8);
+    const auto engaged = controller.decide(distances, 2, 0.0);
+    EXPECT_GT(engaged.span, 1);
+    // Every column stuck open: no span can save router stops, so the
+    // controller must not pay reconfiguration for span > 1.
+    noc::RelinkController stuck_controller(16);
+    const auto stuck = stuck_controller.decide(distances, 2, 1.0);
+    EXPECT_EQ(stuck.span, 1);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end degraded execution.
+// ---------------------------------------------------------------------
+
+TEST(ResilienceTest, EmptyScheduleIsBitIdenticalToNoFaultModel)
+{
+    const auto dg = faultWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    const auto plan = accel.plan(dg, mconfig);
+    EXPECT_TRUE(plan.faults.empty());
+    auto with_spec = plan;
+    with_spec.faults = sim::FaultSpec::parse("");
+    const auto a = sim::executePlan(dg, plan);
+    const auto b = sim::executePlan(dg, with_spec);
+    expectIdentical(a, b);
+    EXPECT_FALSE(a.resilience.enabled);
+    EXPECT_FALSE(b.resilience.enabled);
+    EXPECT_TRUE(b.resilience.events.empty());
+}
+
+TEST(ResilienceTest, TileLossTriggersRebalance)
+{
+    const auto dg = faultWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    auto plan = accel.plan(dg, mconfig);
+    const auto baseline = sim::executePlan(dg, plan);
+    plan.faults = sim::FaultSpec::parse("tile@1:r3c*");
+    const auto faulted = sim::executePlan(dg, plan);
+
+    const auto &rr = faulted.resilience;
+    EXPECT_TRUE(rr.enabled);
+    EXPECT_EQ(rr.injectedTileFaults, 16u);
+    EXPECT_GT(rr.remappedVertices, 0u);
+    EXPECT_GT(rr.degradedCapacityFraction, 0.0);
+    // The re-deal produced tile-remap recovery events from the onset
+    // snapshot on.
+    bool saw_remap = false;
+    for (const auto &e : rr.events) {
+        if (e.kind == "tile-remap") {
+            saw_remap = true;
+            EXPECT_GE(e.snapshot, 1);
+        }
+    }
+    EXPECT_TRUE(saw_remap);
+    // Work still completes: same ops, same DRAM demand.
+    EXPECT_EQ(faulted.ops.totalMacs(), baseline.ops.totalMacs());
+    EXPECT_EQ(faulted.dramTraffic.total(),
+              baseline.dramTraffic.total());
+}
+
+TEST(ResilienceTest, DramTransientAddsRetries)
+{
+    const auto dg = faultWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    auto plan = accel.plan(dg, mconfig);
+    const auto baseline = sim::executePlan(dg, plan);
+    plan.faults = sim::FaultSpec::parse("dram@2:ch*;seed=3");
+    const auto faulted = sim::executePlan(dg, plan);
+
+    const auto &rr = faulted.resilience;
+    EXPECT_TRUE(rr.enabled);
+    EXPECT_GT(rr.dramRetryRequests, 0u);
+    EXPECT_GT(rr.dramRetryBytes, 0u);
+    EXPECT_GT(faulted.offChipCycles, baseline.offChipCycles);
+    EXPECT_GT(faulted.energyEvents.dramBytes,
+              baseline.energyEvents.dramBytes);
+    bool saw_retry = false;
+    for (const auto &e : rr.events) {
+        if (e.kind == "dram-retry") {
+            saw_retry = true;
+            EXPECT_EQ(e.snapshot, 2);
+        }
+    }
+    EXPECT_TRUE(saw_retry);
+    // Same seed, same schedule => identical retry sampling.
+    const auto again = sim::executePlan(dg, plan);
+    EXPECT_EQ(again.resilience.dramRetryRequests,
+              rr.dramRetryRequests);
+    EXPECT_EQ(again.resilience.dramRetryBytes, rr.dramRetryBytes);
+    expectIdentical(faulted, again);
+}
+
+TEST(ResilienceTest, ResilienceStatsMergedIntoRunStats)
+{
+    const auto dg = faultWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    auto plan = accel.plan(dg, mconfig);
+    plan.faults = sim::FaultSpec::parse("tile@0:r0c*;dram@1:ch*");
+    const auto faulted = sim::executePlan(dg, plan);
+    EXPECT_EQ(faulted.stats.get("resilience.tile_faults"),
+              static_cast<double>(
+                  faulted.resilience.injectedTileFaults));
+    EXPECT_EQ(faulted.stats.get("resilience.dram_retry_requests"),
+              static_cast<double>(
+                  faulted.resilience.dramRetryRequests));
+}
+
+TEST(ResilienceTest, FaultedPlanReplaysFromJson)
+{
+    const auto dg = faultWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    auto plan = accel.plan(dg, mconfig);
+    plan.faults = sim::FaultSpec::parse(
+        "tile@1:r3c*;vlink@0:r1c2;bypass-open@1:c5;dram@2:ch*");
+    const auto direct = sim::executePlan(dg, plan);
+    const auto replayed = sim::executePlan(
+        dg, sim::ExecutionPlan::fromJson(plan.toJson()));
+    expectIdentical(direct, replayed);
+    EXPECT_EQ(direct.resilience.remappedVertices,
+              replayed.resilience.remappedVertices);
+    EXPECT_EQ(direct.resilience.dramRetryRequests,
+              replayed.resilience.dramRetryRequests);
+}
+
+} // namespace
+} // namespace ditile

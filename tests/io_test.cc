@@ -1,6 +1,9 @@
 /**
  * @file
- * Tests for edge-list and event-stream I/O.
+ * Tests for edge-list and event-stream I/O, including the rejection
+ * of malformed inputs: loaders throw a catchable InputError (so long
+ * sweeps can skip a bad point instead of dying) with a message that
+ * names the offending line.
  */
 
 #include <gtest/gtest.h>
@@ -9,10 +12,24 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/logging.hh"
 #include "graph/io.hh"
 
 namespace ditile::graph {
 namespace {
+
+/** Expect `expr` to throw InputError whose message contains `text`. */
+#define EXPECT_INPUT_ERROR(expr, text)                                 \
+    do {                                                               \
+        try {                                                          \
+            (void)(expr);                                              \
+            FAIL() << "expected InputError";                           \
+        } catch (const InputError &e) {                                \
+            EXPECT_NE(std::string(e.what()).find(text),                \
+                      std::string::npos)                               \
+                << "message was: " << e.what();                        \
+        }                                                              \
+    } while (0)
 
 TEST(ReadEdgeList, BasicParse)
 {
@@ -48,25 +65,44 @@ TEST(ReadEdgeList, EmptyInput)
     EXPECT_EQ(g.numEdges(), 0);
 }
 
-TEST(ReadEdgeList, MalformedLineIsFatal)
+TEST(ReadEdgeList, MalformedLineThrows)
 {
     std::istringstream in("0 x\n");
-    EXPECT_EXIT(readEdgeList(in), ::testing::ExitedWithCode(1),
-                "parse error");
+    EXPECT_INPUT_ERROR(readEdgeList(in), "parse error");
 }
 
-TEST(ReadEdgeList, OutOfUniverseIsFatal)
+TEST(ReadEdgeList, TruncatedLineThrows)
+{
+    // A line cut off mid-record (only one endpoint survives).
+    std::istringstream in("0 1\n2\n");
+    EXPECT_INPUT_ERROR(readEdgeList(in), "parse error");
+}
+
+TEST(ReadEdgeList, OutOfUniverseThrows)
 {
     std::istringstream in("0 9\n");
-    EXPECT_EXIT(readEdgeList(in, 5), ::testing::ExitedWithCode(1),
-                "outside the declared universe");
+    EXPECT_INPUT_ERROR(readEdgeList(in, 5),
+                       "outside the declared universe");
 }
 
-TEST(ReadEdgeList, NegativeIdIsFatal)
+TEST(ReadEdgeList, NegativeIdThrows)
 {
     std::istringstream in("-1 2\n");
-    EXPECT_EXIT(readEdgeList(in), ::testing::ExitedWithCode(1),
-                "negative vertex id");
+    EXPECT_INPUT_ERROR(readEdgeList(in), "negative vertex id");
+}
+
+TEST(ReadEdgeList, NegativeUniverseThrows)
+{
+    std::istringstream in("0 1\n");
+    EXPECT_INPUT_ERROR(readEdgeList(in, -5), "negative vertex count");
+}
+
+TEST(ReadEdgeList, ErrorIsCatchableAsRuntimeError)
+{
+    // InputError derives std::runtime_error so generic handlers
+    // (tools wrapping main) catch it too.
+    std::istringstream in("0 x\n");
+    EXPECT_THROW(readEdgeList(in), std::runtime_error);
 }
 
 TEST(WriteEdgeList, RoundTrips)
@@ -90,10 +126,10 @@ TEST(FileIo, WriteAndReadBack)
     std::remove(path.c_str());
 }
 
-TEST(FileIo, MissingFileIsFatal)
+TEST(FileIo, MissingFileThrows)
 {
-    EXPECT_EXIT(readEdgeListFile("/nonexistent/nowhere.el"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    EXPECT_INPUT_ERROR(readEdgeListFile("/nonexistent/nowhere.el"),
+                       "cannot open");
 }
 
 TEST(SnapshotFiles, LoadsDynamicGraph)
@@ -134,11 +170,45 @@ TEST(EventStream, ParsesOpsAndTimestamps)
     EXPECT_TRUE(dg.snapshot(3).hasEdge(2, 3));
 }
 
-TEST(EventStream, BadOpIsFatal)
+TEST(SnapshotFiles, EmptyPathListThrows)
+{
+    EXPECT_INPUT_ERROR(readSnapshotFiles("none", {}, 16),
+                       "at least one snapshot file");
+}
+
+TEST(SnapshotFiles, MalformedMemberThrows)
+{
+    const std::string good = ::testing::TempDir() +
+        "/ditile_snap_good.el";
+    const std::string bad = ::testing::TempDir() +
+        "/ditile_snap_bad.el";
+    { std::ofstream(good) << "0 1\n"; }
+    { std::ofstream(bad) << "0 1\n1 garbage\n"; }
+    EXPECT_INPUT_ERROR(readSnapshotFiles("disk", {good, bad}, 16),
+                       "parse error");
+    std::remove(good.c_str());
+    std::remove(bad.c_str());
+}
+
+TEST(EventStream, BadOpThrows)
 {
     std::istringstream in("* 1 2 0.5\n");
-    EXPECT_EXIT(readEventStream("bad", Csr(4), in),
-                ::testing::ExitedWithCode(1), "event parse error");
+    EXPECT_INPUT_ERROR(readEventStream("bad", Csr(4), in),
+                       "event parse error");
+}
+
+TEST(EventStream, NegativeIdThrows)
+{
+    std::istringstream in("+ -1 2 0.5\n");
+    EXPECT_INPUT_ERROR(readEventStream("bad", Csr(4), in),
+                       "negative vertex id");
+}
+
+TEST(EventStream, TruncatedRecordThrows)
+{
+    std::istringstream in("+ 1 2 0.5\n+ 1\n");
+    EXPECT_INPUT_ERROR(readEventStream("bad", Csr(4), in),
+                       "event parse error");
 }
 
 } // namespace

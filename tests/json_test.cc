@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "common/json.hh"
+#include "common/logging.hh"
 
 namespace ditile {
 namespace {
@@ -171,6 +172,16 @@ TEST(JsonParse, MalformedInputThrows)
         EXPECT_THROW(JsonValue::parse(bad), std::runtime_error)
             << "input: " << bad;
     }
+}
+
+TEST(JsonParse, ErrorsAreTypedInputErrors)
+{
+    // Parse and shape errors carry the recoverable taxonomy type so
+    // callers can distinguish bad input from programming errors.
+    EXPECT_THROW(JsonValue::parse("{"), InputError);
+    const auto v = JsonValue::parse("{\"a\": 1}");
+    EXPECT_THROW(v.at("missing"), InputError);
+    EXPECT_THROW(v.at("a").asString(), InputError);
 }
 
 TEST(JsonParse, KindMismatchThrows)

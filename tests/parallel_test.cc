@@ -282,5 +282,43 @@ TEST(PlanDeterminism, ExecutionOfOnePlanIdenticalAcrossThreadCounts)
     ThreadPool::setGlobalThreads(1);
 }
 
+TEST(PlanDeterminism, FaultedExecutionIdenticalAcrossThreadCounts)
+{
+    // Degraded-mode execution (tile re-deal, NoC reroutes, seeded
+    // DRAM retries) must stay bit-identical at any width: all fault
+    // state is pure per-snapshot data resolved before the parallel
+    // stages.
+    const auto dg = ctdgWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    ThreadPool::setGlobalThreads(1);
+    auto plan = accel.plan(dg, mconfig);
+    plan.faults = sim::FaultSpec::parse(
+        "tile@1:r3c*;tile@4:r7c2;hlink@0:r2c2;vlink@0:r1c2;"
+        "bypass-open@2:c5;dram@3:ch*;seed=5");
+    const auto serial = sim::executePlan(dg, plan);
+    EXPECT_TRUE(serial.resilience.enabled);
+    EXPECT_GT(serial.resilience.remappedVertices, 0u);
+    for (int threads : {2, 8}) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        ThreadPool::setGlobalThreads(threads);
+        const auto parallel = sim::executePlan(dg, plan);
+        expectIdentical(serial, parallel);
+        EXPECT_EQ(serial.resilience.remappedVertices,
+                  parallel.resilience.remappedVertices);
+        EXPECT_EQ(serial.resilience.reroutedMessages,
+                  parallel.resilience.reroutedMessages);
+        EXPECT_EQ(serial.resilience.retriedMessages,
+                  parallel.resilience.retriedMessages);
+        EXPECT_EQ(serial.resilience.dramRetryRequests,
+                  parallel.resilience.dramRetryRequests);
+        EXPECT_EQ(serial.resilience.dramRetryCycles,
+                  parallel.resilience.dramRetryCycles);
+        EXPECT_EQ(serial.resilience.degradedCapacityFraction,
+                  parallel.resilience.degradedCapacityFraction);
+    }
+    ThreadPool::setGlobalThreads(1);
+}
+
 } // namespace
 } // namespace ditile

@@ -137,6 +137,49 @@ TEST(PlanJson, DistinctVariantsHashDifferently)
               nora.plan(dg, mconfig).contentHash());
 }
 
+TEST(PlanJson, FaultedPlanRoundTripsAndHashesDifferently)
+{
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    auto plan = accel.plan(dg, mconfig);
+    const auto clean_hash = plan.contentHash();
+    plan.faults = sim::FaultSpec::parse(
+        "seed=9;dram-retry-fraction=0.25;"
+        "tile@1:r3c2;vlink@0:r1c2;bypass-open@1:c5;dram@2:ch*");
+    // The schedule is part of the canonical form: the hash must move.
+    EXPECT_NE(plan.contentHash(), clean_hash);
+    const std::string json = plan.toJson();
+    const auto parsed = sim::ExecutionPlan::fromJson(json);
+    EXPECT_EQ(parsed.toJson(), json);
+    EXPECT_EQ(parsed.contentHash(), plan.contentHash());
+    EXPECT_TRUE(parsed.faults == plan.faults);
+    // And the faulted plan replays identically from its JSON.
+    expectIdentical(sim::executePlan(dg, plan),
+                    sim::executePlan(dg, parsed));
+}
+
+TEST(PlanJson, DocumentsWithoutFaultsSectionLoadFaultFree)
+{
+    // Plans dumped before fault injection existed carry no "faults"
+    // member; they must load as fault-free rather than throw.
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    const auto plan = accel.plan(dg, mconfig);
+    std::string json = plan.toJson();
+    const std::string defaults =
+        "\"faults\":{\"seed\":1,\"dram_retry_fraction\":0.5,"
+        "\"noc_backoff\":64,\"noc_retries\":3,\"events\":[]},";
+    const auto pos = json.find(defaults);
+    ASSERT_NE(pos, std::string::npos);
+    json.erase(pos, defaults.size());
+    const auto parsed = sim::ExecutionPlan::fromJson(json);
+    EXPECT_TRUE(parsed.faults.empty());
+    expectIdentical(sim::executePlan(dg, plan),
+                    sim::executePlan(dg, parsed));
+}
+
 TEST(PlanJson, MalformedDocumentsThrow)
 {
     EXPECT_THROW(sim::ExecutionPlan::fromJson(""),

@@ -10,11 +10,15 @@
  *   ditile_inspect plan --diff a.json b.json
  *   ditile_inspect mapping --dataset=WD
  *   ditile_inspect program --dataset=WD [--verbose]
+ *   ditile_inspect resilience --faults=SPEC [--accel=ditile]
  *
  * `plan --dump` serializes the full ExecutionPlan (Figure-5 front-end
  * output) of the chosen accelerator to stdout or FILE; `plan --diff`
  * compares two dumped plans field by field and exits 1 if they
- * differ. Shared workload flags match ditile_run (--scale,
+ * differ. `resilience` injects the given fault schedule (grammar in
+ * sim/fault_model.hh), executes in degraded mode, and prints the
+ * resolved schedule, the recovery log, and the fault-free vs faulted
+ * headline numbers. Shared workload flags match ditile_run (--scale,
  * --snapshots, --seed, --vertices/--edges for synthetic graphs).
  */
 
@@ -33,6 +37,7 @@
 #include "model/incremental.hh"
 #include "sim/baselines.hh"
 #include "sim/execution_plan.hh"
+#include "sim/fault_model.hh"
 #include "sim/isa.hh"
 
 using namespace ditile;
@@ -333,6 +338,87 @@ inspectMapping(const graph::DynamicGraph &dg)
 }
 
 void
+inspectResilience(const graph::DynamicGraph &dg, const CliFlags &flags)
+{
+    const auto spec =
+        sim::FaultSpec::parse(flags.getString("faults", ""));
+    if (spec.empty()) {
+        DITILE_FATAL("resilience needs a non-empty --faults=SPEC "
+                     "(grammar in sim/fault_model.hh)");
+    }
+    const model::DgnnConfig mconfig;
+    auto accel = buildAccelerator(flags);
+
+    auto plan = accel->plan(dg, mconfig);
+    const auto baseline = accel->execute(dg, plan);
+    plan.faults = spec;
+    const auto faulted = accel->execute(dg, plan);
+    const auto &rr = faulted.resilience;
+
+    std::printf("fault schedule: %s\n", spec.toString().c_str());
+    std::printf("plan content hash: %016llx\n",
+                static_cast<unsigned long long>(plan.contentHash()));
+
+    Table table("resilience: " + faulted.acceleratorName + " on " +
+                dg.name());
+    table.setHeader({"Metric", "Fault-free", "Faulted"});
+    auto row = [&](const char *name, double a, double b) {
+        table.addRow({name, Table::sci(a), Table::sci(b)});
+    };
+    row("total cycles", static_cast<double>(baseline.totalCycles),
+        static_cast<double>(faulted.totalCycles));
+    row("on-chip comm cycles",
+        static_cast<double>(baseline.onChipCommCycles),
+        static_cast<double>(faulted.onChipCommCycles));
+    row("off-chip cycles", static_cast<double>(baseline.offChipCycles),
+        static_cast<double>(faulted.offChipCycles));
+    row("NoC bytes", static_cast<double>(baseline.nocBytes),
+        static_cast<double>(faulted.nocBytes));
+    row("energy (pJ)", baseline.energy.totalPj(),
+        faulted.energy.totalPj());
+    table.addRow({"PE utilization",
+                  Table::percent(baseline.peUtilization),
+                  Table::percent(faulted.peUtilization)});
+    table.print();
+
+    Table injected("injected faults and recovery totals");
+    injected.setHeader({"Metric", "Value"});
+    auto count = [&](const char *name, std::uint64_t v) {
+        injected.addRow({name,
+                         Table::integer(static_cast<long long>(v))});
+    };
+    count("tile faults", rr.injectedTileFaults);
+    count("link faults", rr.injectedLinkFaults);
+    count("bypass faults", rr.injectedBypassFaults);
+    count("DRAM faults", rr.injectedDramFaults);
+    count("degraded snapshots", rr.degradedSnapshots);
+    count("remapped vertices", rr.remappedVertices);
+    count("rerouted messages", rr.reroutedMessages);
+    count("retried messages", rr.retriedMessages);
+    count("NoC retry backoff cycles", rr.nocRetryBackoffCycles);
+    count("DRAM retry requests", rr.dramRetryRequests);
+    count("DRAM retry bytes", rr.dramRetryBytes);
+    count("DRAM retry cycles", rr.dramRetryCycles);
+    injected.addRow({"degraded capacity fraction",
+                     Table::percent(rr.degradedCapacityFraction)});
+    injected.print();
+
+    if (!rr.events.empty()) {
+        Table events("recovery log");
+        events.setHeader({"t", "Kind", "Detail"});
+        for (const auto &e : rr.events)
+            events.addRow({Table::integer(e.snapshot), e.kind,
+                           e.detail});
+        events.print();
+    }
+    const double slowdown = baseline.totalCycles > 0
+        ? static_cast<double>(faulted.totalCycles) /
+            static_cast<double>(baseline.totalCycles)
+        : 1.0;
+    std::printf("degraded-mode slowdown: %.3fx\n", slowdown);
+}
+
+void
 inspectProgram(const graph::DynamicGraph &dg, bool verbose)
 {
     const model::DgnnConfig mconfig;
@@ -370,15 +456,12 @@ inspectProgram(const graph::DynamicGraph &dg, bool verbose)
         std::fputs(sim::disassemble(program).c_str(), stdout);
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runTool(const CliFlags &flags)
 {
-    const CliFlags flags = CliFlags::parse(argc, argv);
     if (flags.positional().empty()) {
-        DITILE_FATAL("usage: ditile_inspect "
-                     "dataset|stats|plan|mapping|program [flags]");
+        DITILE_FATAL("usage: ditile_inspect dataset|stats|plan|"
+                     "mapping|program|resilience [flags]");
     }
     const auto &command = flags.positional().front();
     if (command == "plan" && flags.has("diff")) {
@@ -403,8 +486,23 @@ main(int argc, char **argv)
         inspectMapping(dg);
     } else if (command == "program") {
         inspectProgram(dg, flags.getBool("verbose", false));
+    } else if (command == "resilience") {
+        inspectResilience(dg, flags);
     } else {
         DITILE_FATAL("unknown command '", command, "'");
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags = CliFlags::parse(argc, argv);
+    try {
+        return runTool(flags);
+    } catch (const std::exception &e) {
+        DITILE_FATAL(e.what());
+    }
 }

@@ -24,6 +24,10 @@
  *                           executing; requires a single --accel)
  *   --plan-in=FILE         (skip planning: execute a previously
  *                           dumped plan against the same workload)
+ *   --faults=SPEC          (deterministic fault injection; see
+ *                           sim/fault_model.hh for the grammar, e.g.
+ *                           "tile@1:r3c2;vlink@0:r1c2;dram@2:ch*".
+ *                           Overrides the schedule in --plan-in)
  *   --json / --csv         (output format; default ASCII table)
  *   --trace                (per-snapshot timeline table)
  *   positional args: snapshot edge-list files (loads from disk)
@@ -46,6 +50,7 @@
 #include "sim/baselines.hh"
 #include "sim/engine.hh"
 #include "sim/execution_plan.hh"
+#include "sim/fault_model.hh"
 
 using namespace ditile;
 
@@ -161,16 +166,99 @@ resultToJson(const sim::RunResult &r, const graph::DynamicGraph &dg)
     obj.add("noc_bytes", static_cast<long long>(r.nocBytes));
     obj.add("energy_pj", r.energy.totalPj());
     obj.add("pe_utilization", r.peUtilization);
+    if (r.resilience.enabled) {
+        JsonObject res;
+        res.add("tile_faults", static_cast<long long>(
+                    r.resilience.injectedTileFaults));
+        res.add("link_faults", static_cast<long long>(
+                    r.resilience.injectedLinkFaults));
+        res.add("bypass_faults", static_cast<long long>(
+                    r.resilience.injectedBypassFaults));
+        res.add("dram_faults", static_cast<long long>(
+                    r.resilience.injectedDramFaults));
+        res.add("degraded_snapshots", static_cast<long long>(
+                    r.resilience.degradedSnapshots));
+        res.add("remapped_vertices", static_cast<long long>(
+                    r.resilience.remappedVertices));
+        res.add("rerouted_messages", static_cast<long long>(
+                    r.resilience.reroutedMessages));
+        res.add("retried_messages", static_cast<long long>(
+                    r.resilience.retriedMessages));
+        res.add("noc_retry_backoff_cycles", static_cast<long long>(
+                    r.resilience.nocRetryBackoffCycles));
+        res.add("dram_retry_requests", static_cast<long long>(
+                    r.resilience.dramRetryRequests));
+        res.add("dram_retry_bytes", static_cast<long long>(
+                    r.resilience.dramRetryBytes));
+        res.add("dram_retry_cycles", static_cast<long long>(
+                    r.resilience.dramRetryCycles));
+        res.add("degraded_capacity_fraction",
+                r.resilience.degradedCapacityFraction);
+        obj.addRaw("resilience", res.toString(1));
+    }
     obj.addStats("stats", r.stats);
     return obj.toString();
 }
 
-} // namespace
+void
+printResilience(const sim::RunResult &r)
+{
+    const auto &rr = r.resilience;
+    Table table(r.acceleratorName + ": resilience report");
+    table.setHeader({"Metric", "Value"});
+    table.addRow({"injected tile faults",
+                  Table::integer(static_cast<long long>(
+                      rr.injectedTileFaults))});
+    table.addRow({"injected link faults",
+                  Table::integer(static_cast<long long>(
+                      rr.injectedLinkFaults))});
+    table.addRow({"injected bypass faults",
+                  Table::integer(static_cast<long long>(
+                      rr.injectedBypassFaults))});
+    table.addRow({"injected DRAM faults",
+                  Table::integer(static_cast<long long>(
+                      rr.injectedDramFaults))});
+    table.addRow({"degraded snapshots",
+                  Table::integer(static_cast<long long>(
+                      rr.degradedSnapshots))});
+    table.addRow({"remapped vertices",
+                  Table::integer(static_cast<long long>(
+                      rr.remappedVertices))});
+    table.addRow({"rerouted messages",
+                  Table::integer(static_cast<long long>(
+                      rr.reroutedMessages))});
+    table.addRow({"retried messages",
+                  Table::integer(static_cast<long long>(
+                      rr.retriedMessages))});
+    table.addRow({"NoC retry backoff cycles",
+                  Table::integer(static_cast<long long>(
+                      rr.nocRetryBackoffCycles))});
+    table.addRow({"DRAM retry requests",
+                  Table::integer(static_cast<long long>(
+                      rr.dramRetryRequests))});
+    table.addRow({"DRAM retry bytes",
+                  Table::integer(static_cast<long long>(
+                      rr.dramRetryBytes))});
+    table.addRow({"DRAM retry cycles",
+                  Table::integer(static_cast<long long>(
+                      rr.dramRetryCycles))});
+    table.addRow({"degraded capacity fraction",
+                  Table::percent(rr.degradedCapacityFraction)});
+    table.print();
+    if (!rr.events.empty()) {
+        Table events(r.acceleratorName + ": recovery events");
+        events.setHeader({"t", "Kind", "Detail"});
+        for (const auto &e : rr.events) {
+            events.addRow({Table::integer(e.snapshot), e.kind,
+                           e.detail});
+        }
+        events.print();
+    }
+}
 
 int
-main(int argc, char **argv)
+runTool(const CliFlags &flags)
 {
-    const CliFlags flags = CliFlags::parse(argc, argv);
     ThreadPool::setGlobalThreads(
         static_cast<int>(flags.getInt("threads", 1)));
     const auto dg = buildWorkload(flags);
@@ -181,6 +269,9 @@ main(int argc, char **argv)
     const bool trace = flags.getBool("trace", false);
     const auto plan_in = flags.getString("plan-in", "");
     const auto plan_out = flags.getString("plan-out", "");
+    const bool have_faults = flags.has("faults");
+    const auto fault_spec =
+        sim::FaultSpec::parse(flags.getString("faults", ""));
 
     // Collect results first: either replay a dumped plan, or plan +
     // execute the selected accelerators (optionally dumping the plan).
@@ -192,8 +283,9 @@ main(int argc, char **argv)
         std::ostringstream buffer;
         buffer << in.rdbuf();
         try {
-            const auto plan =
-                sim::ExecutionPlan::fromJson(buffer.str());
+            auto plan = sim::ExecutionPlan::fromJson(buffer.str());
+            if (have_faults)
+                plan.faults = fault_spec;
             results.push_back(sim::executePlan(dg, plan));
         } catch (const std::runtime_error &e) {
             DITILE_FATAL("failed to load plan '", plan_in, "': ",
@@ -204,16 +296,20 @@ main(int argc, char **argv)
         if (!plan_out.empty() && accelerators.size() != 1)
             DITILE_FATAL("--plan-out requires a single --accel");
         for (auto &acc : accelerators) {
-            if (plan_out.empty()) {
+            if (plan_out.empty() && !have_faults) {
                 results.push_back(acc->run(dg, mconfig));
                 continue;
             }
-            const auto plan = acc->plan(dg, mconfig);
-            std::ofstream out(plan_out);
-            if (!out)
-                DITILE_FATAL("cannot write --plan-out '", plan_out,
-                             "'");
-            out << plan.toJson() << "\n";
+            auto plan = acc->plan(dg, mconfig);
+            if (have_faults)
+                plan.faults = fault_spec;
+            if (!plan_out.empty()) {
+                std::ofstream out(plan_out);
+                if (!out)
+                    DITILE_FATAL("cannot write --plan-out '", plan_out,
+                                 "'");
+                out << plan.toJson() << "\n";
+            }
             results.push_back(acc->execute(dg, plan));
         }
     }
@@ -223,6 +319,8 @@ main(int argc, char **argv)
                      "NoC bytes", "Energy (uJ)", "PE util"});
     bool first_json = true;
     for (const sim::RunResult &r : results) {
+        if (r.resilience.enabled && !json && !csv)
+            printResilience(r);
         if (trace && !json) {
             Table timeline(r.acceleratorName +
                            ": per-snapshot timeline");
@@ -277,4 +375,17 @@ main(int argc, char **argv)
         table.print();
     }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags = CliFlags::parse(argc, argv);
+    try {
+        return runTool(flags);
+    } catch (const std::exception &e) {
+        DITILE_FATAL(e.what());
+    }
 }

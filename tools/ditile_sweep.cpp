@@ -8,11 +8,16 @@
  *
  *   ditile_sweep --dataset=WD --dis=0.02,0.06,0.10,0.14 \
  *                --snapshots=4,8,16 [--all-accels] [--scale=F] \
- *                [--threads=N]
+ *                [--threads=N] [--faults=SPEC]
  *
  * Config points are independent, so with --threads=N they fan out
  * across the process-wide thread pool; rows are still emitted in
  * grid order and every number is bit-identical to --threads=1.
+ *
+ * A failing grid point (bad input, unsatisfiable fault schedule, ...)
+ * does not abort the sweep: the rows of every successful point are
+ * still flushed to stdout in grid order, the failing point and its
+ * error are reported on stderr, and the process exits nonzero.
  */
 
 #include <cstdio>
@@ -20,11 +25,13 @@
 #include <sstream>
 
 #include "common/cli.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "core/ditile_accelerator.hh"
 #include "graph/datasets.hh"
 #include "sim/baselines.hh"
+#include "sim/fault_model.hh"
 #include "sim/plan_cache.hh"
 
 using namespace ditile;
@@ -45,33 +52,35 @@ parseList(const std::string &csv, double fallback)
     return values;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runTool(const CliFlags &flags)
 {
-    const CliFlags flags = CliFlags::parse(argc, argv);
     const auto dataset = flags.getString("dataset", "WD");
     const auto dis_list = parseList(flags.getString("dis", ""), 0.10);
     const auto snap_list = parseList(flags.getString("snapshots", ""),
                                      8.0);
     const bool all_accels = flags.getBool("all-accels", false);
+    const bool have_faults = flags.has("faults");
+    const auto fault_spec =
+        sim::FaultSpec::parse(flags.getString("faults", ""));
     ThreadPool::setGlobalThreads(
         static_cast<int>(flags.getInt("threads", 1)));
 
     // One job per (dissimilarity, snapshot-count) grid point; each
     // job owns its dataset, accelerator fleet and row block, so jobs
-    // share nothing and merge back in grid order.
+    // share nothing and merge back in grid order. A job that throws
+    // records the error instead of its rows.
     struct Job
     {
         double dis = 0.0;
         double snaps = 0.0;
         std::vector<std::vector<std::string>> rows;
+        std::string error;
     };
     std::vector<Job> jobs;
     for (double dis : dis_list)
         for (double snaps : snap_list)
-            jobs.push_back({dis, snaps, {}});
+            jobs.push_back({dis, snaps, {}, {}});
 
     // One process-wide plan cache: accelerators sharing an update
     // algorithm on the same grid point (ReaDy and DGNN-Booster both
@@ -80,55 +89,95 @@ main(int argc, char **argv)
 
     parallelFor(jobs.size(), [&](std::size_t j) {
         Job &job = jobs[j];
-        graph::DatasetOptions options;
-        options.scale = flags.getDouble("scale", 0.0);
-        options.numSnapshots = static_cast<SnapshotId>(job.snaps);
-        options.dissimilarity = job.dis;
-        options.seed = static_cast<std::uint64_t>(
-            flags.getInt("seed", 0));
-        const auto dg = graph::makeDataset(dataset, options);
-        const model::DgnnConfig mconfig;
+        try {
+            graph::DatasetOptions options;
+            options.scale = flags.getDouble("scale", 0.0);
+            options.numSnapshots = static_cast<SnapshotId>(job.snaps);
+            options.dissimilarity = job.dis;
+            options.seed = static_cast<std::uint64_t>(
+                flags.getInt("seed", 0));
+            const auto dg = graph::makeDataset(dataset, options);
+            const model::DgnnConfig mconfig;
 
-        std::vector<std::unique_ptr<sim::Accelerator>> fleet;
-        if (all_accels) {
-            fleet.push_back(sim::makeReady());
-            fleet.push_back(sim::makeDgnnBooster());
-            fleet.push_back(sim::makeRace());
-            fleet.push_back(sim::makeMega());
-        }
-        fleet.push_back(std::make_unique<core::DiTileAccelerator>());
-        for (auto &accel : fleet) {
-            const auto r = accel->execute(
-                dg, accel->plan(dg, mconfig, &plan_cache));
-            job.rows.push_back({dataset, Table::num(job.dis, 3),
-                                Table::integer(static_cast<long long>(
-                                    job.snaps)),
-                                r.acceleratorName,
-                                Table::integer(static_cast<long long>(
-                                    r.totalCycles)),
-                                Table::integer(static_cast<long long>(
-                                    r.ops.totalArithmetic())),
-                                Table::integer(static_cast<long long>(
-                                    r.dramTraffic.total())),
-                                Table::integer(static_cast<long long>(
-                                    r.nocBytes)),
-                                Table::num(r.energy.totalPj(), 0),
-                                Table::num(r.peUtilization, 4)});
+            std::vector<std::unique_ptr<sim::Accelerator>> fleet;
+            if (all_accels) {
+                fleet.push_back(sim::makeReady());
+                fleet.push_back(sim::makeDgnnBooster());
+                fleet.push_back(sim::makeRace());
+                fleet.push_back(sim::makeMega());
+            }
+            fleet.push_back(
+                std::make_unique<core::DiTileAccelerator>());
+            for (auto &accel : fleet) {
+                auto plan = accel->plan(dg, mconfig, &plan_cache);
+                if (have_faults)
+                    plan.faults = fault_spec;
+                const auto r = accel->execute(dg, plan);
+                job.rows.push_back(
+                    {dataset, Table::num(job.dis, 3),
+                     Table::integer(static_cast<long long>(job.snaps)),
+                     r.acceleratorName,
+                     Table::integer(static_cast<long long>(
+                         r.totalCycles)),
+                     Table::integer(static_cast<long long>(
+                         r.ops.totalArithmetic())),
+                     Table::integer(static_cast<long long>(
+                         r.dramTraffic.total())),
+                     Table::integer(static_cast<long long>(
+                         r.nocBytes)),
+                     Table::num(r.energy.totalPj(), 0),
+                     Table::num(r.peUtilization, 4)});
+            }
+        } catch (const std::exception &e) {
+            job.rows.clear();
+            job.error = e.what();
         }
     });
 
+    // Flush every successful point in grid order even when some
+    // points failed, so a long sweep's partial CSV survives.
     Table table("sweep");
     table.setHeader({"dataset", "dissimilarity", "snapshots",
                      "accelerator", "cycles", "ops", "dram_bytes",
                      "noc_bytes", "energy_pj", "pe_utilization"});
+    int failed = 0;
     for (const auto &job : jobs)
         for (const auto &row : job.rows)
             table.addRow(row);
     std::fputs(table.toCsv().c_str(), stdout);
+    std::fflush(stdout);
     // Stderr so the CSV on stdout stays byte-identical to the
     // uncached runs.
+    for (const auto &job : jobs) {
+        if (job.error.empty())
+            continue;
+        ++failed;
+        std::fprintf(stderr,
+                     "sweep point failed: dataset=%s dis=%.3f "
+                     "snapshots=%d: %s\n",
+                     dataset.c_str(), job.dis,
+                     static_cast<int>(job.snaps), job.error.c_str());
+    }
     std::fprintf(stderr, "plan cache: %llu hits, %llu misses\n",
                  static_cast<unsigned long long>(plan_cache.hits()),
                  static_cast<unsigned long long>(plan_cache.misses()));
+    if (failed > 0) {
+        std::fprintf(stderr, "%d of %zu sweep point(s) failed\n",
+                     failed, jobs.size());
+        return 1;
+    }
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags = CliFlags::parse(argc, argv);
+    try {
+        return runTool(flags);
+    } catch (const std::exception &e) {
+        DITILE_FATAL(e.what());
+    }
 }

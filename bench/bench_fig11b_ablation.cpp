@@ -11,6 +11,7 @@
 #include "bench/bench_util.hh"
 #include "core/ditile_accelerator.hh"
 #include "sim/plan_cache.hh"
+#include "workload/digest.hh"
 
 using namespace ditile;
 
@@ -64,5 +65,13 @@ main(int argc, char **argv)
     std::fprintf(stderr, "plan cache: %llu hits, %llu misses\n",
                  static_cast<unsigned long long>(plan_cache.hits()),
                  static_cast<unsigned long long>(plan_cache.misses()));
+    const auto &digests = workload::DigestCache::global();
+    std::fprintf(stderr,
+                 "workload digest cache: %llu hits, %llu misses, "
+                 "%zu entries (digests %s)\n",
+                 static_cast<unsigned long long>(digests.hits()),
+                 static_cast<unsigned long long>(digests.misses()),
+                 digests.size(),
+                 workload::digestEnabled() ? "enabled" : "disabled");
     return 0;
 }

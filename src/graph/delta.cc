@@ -107,4 +107,46 @@ expandFrontier(const Csr &g, const std::vector<VertexId> &seeds, int hops)
     return out;
 }
 
+std::vector<std::vector<VertexId>>
+expandFrontierLevels(const Csr &g, const std::vector<VertexId> &seeds,
+                     int hops)
+{
+    std::vector<bool> visited(static_cast<std::size_t>(g.numVertices()),
+                              false);
+    std::vector<std::vector<VertexId>> levels;
+    levels.reserve(static_cast<std::size_t>(hops) + 1);
+
+    std::vector<VertexId> frontier;
+    frontier.reserve(seeds.size());
+    for (VertexId v : seeds) {
+        DITILE_ASSERT(v >= 0 && v < g.numVertices());
+        if (!visited[static_cast<std::size_t>(v)]) {
+            visited[static_cast<std::size_t>(v)] = true;
+            frontier.push_back(v);
+        }
+    }
+    std::sort(frontier.begin(), frontier.end());
+    levels.push_back(frontier);
+
+    for (int h = 0; h < hops; ++h) {
+        std::vector<VertexId> next;
+        for (VertexId v : levels.back()) {
+            for (VertexId w : g.neighbors(v)) {
+                if (!visited[static_cast<std::size_t>(w)]) {
+                    visited[static_cast<std::size_t>(w)] = true;
+                    next.push_back(w);
+                }
+            }
+        }
+        std::sort(next.begin(), next.end());
+        levels.push_back(std::move(next));
+        if (levels.back().empty())
+            break;
+    }
+    // Pad so callers can always index levels[0..hops].
+    while (levels.size() < static_cast<std::size_t>(hops) + 1)
+        levels.emplace_back();
+    return levels;
+}
+
 } // namespace ditile::graph

@@ -75,6 +75,19 @@ std::vector<VertexId> expandFrontier(const Csr &g,
                                      const std::vector<VertexId> &seeds,
                                      int hops);
 
+/**
+ * Per-level variant of expandFrontier for incremental re-evaluation.
+ *
+ * Returns hops+1 levels: levels[0] is the deduplicated seed set and
+ * levels[k] holds the vertices first reached at BFS distance k from a
+ * seed, each sorted ascending. The union of levels[0..h] is exactly
+ * the set whose h+1-hop walk counts can differ after the change that
+ * produced the seeds, which is what digest patching iterates.
+ */
+std::vector<std::vector<VertexId>>
+expandFrontierLevels(const Csr &g, const std::vector<VertexId> &seeds,
+                     int hops);
+
 } // namespace ditile::graph
 
 #endif // DITILE_GRAPH_DELTA_HH

@@ -26,6 +26,7 @@ DynamicGraph::DynamicGraph(std::string name, std::vector<Csr> snapshots,
     for (std::size_t t = 1; t < snapshots_.size(); ++t)
         deltas_.push_back(GraphDelta::diff(snapshots_[t - 1],
                                            snapshots_[t]));
+    structureHash_ = computeStructureHash();
 }
 
 DynamicGraph::DynamicGraph(std::string name, std::vector<Csr> snapshots,
@@ -37,6 +38,7 @@ DynamicGraph::DynamicGraph(std::string name, std::vector<Csr> snapshots,
     DITILE_ASSERT(featureDim_ > 0, "feature dim must be positive");
     DITILE_ASSERT(deltas_.size() + 1 == snapshots_.size(),
                   "need exactly T-1 deltas for T snapshots");
+    structureHash_ = computeStructureHash();
 }
 
 const Csr &
@@ -90,6 +92,33 @@ double
 DynamicGraph::dissimilarity(SnapshotId t) const
 {
     return delta(t).dissimilarity(numVertices());
+}
+
+std::uint64_t
+DynamicGraph::computeStructureHash() const
+{
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 1099511628211ull;
+    };
+    mix(static_cast<std::uint64_t>(numVertices()));
+    mix(static_cast<std::uint64_t>(featureDim()));
+    mix(static_cast<std::uint64_t>(numSnapshots()));
+    for (const Csr &g : snapshots_) {
+        mix(static_cast<std::uint64_t>(g.numEdges()));
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            mix(static_cast<std::uint64_t>(g.degree(v)));
+            for (VertexId u : g.neighbors(v))
+                mix(static_cast<std::uint64_t>(u));
+        }
+    }
+    return h;
+}
+
+std::uint64_t
+structureHash(const DynamicGraph &dg)
+{
+    return dg.structureHashValue();
 }
 
 } // namespace ditile::graph

@@ -81,12 +81,30 @@ class DynamicGraph
     /** Dissimilarity of the step into snapshot t (t in [1, T)). */
     double dissimilarity(SnapshotId t) const;
 
+    /** Cached structure hash (see structureHash() below). */
+    std::uint64_t structureHashValue() const { return structureHash_; }
+
   private:
+    /** FNV-1a walk over the full snapshot structure (ctor-time). */
+    std::uint64_t computeStructureHash() const;
+
     std::string name_;
     std::vector<Csr> snapshots_;
     std::vector<GraphDelta> deltas_;
     int featureDim_ = 0;
+    std::uint64_t structureHash_ = 0;
 };
+
+/**
+ * FNV-1a content hash of the graph structure: vertex universe,
+ * feature width, snapshot count and every adjacency list of every
+ * snapshot. Equal hashes identify structurally identical workloads
+ * across separately constructed DynamicGraph instances, which is what
+ * the plan cache and the workload-digest cache key on. Snapshots are
+ * immutable after construction, so the walk runs once in the ctor and
+ * this lookup is O(1) — it sits on every cache-key path.
+ */
+std::uint64_t structureHash(const DynamicGraph &dg);
 
 } // namespace ditile::graph
 

@@ -40,7 +40,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_map>
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
@@ -52,45 +51,105 @@
 #include "sim/fault_model.hh"
 #include "sim/tile_model.hh"
 #include "workload/balance.hh"
+#include "workload/digest.hh"
 
 namespace ditile::sim {
 
 namespace {
 
-/** Sparse (src,dst) -> bytes accumulator for message aggregation. */
-class TrafficMatrix
+/**
+ * Dense slot x slot -> bytes accumulator for message aggregation.
+ *
+ * Replaces the previous hash-map accumulator: the hot loops touch the
+ * same few slot pairs millions of times, so a flat array add is one
+ * indexed load/store instead of a hash probe. The drain order is a
+ * deterministic hash scatter of the (src, dst) tile pair: the greedy
+ * link scheduler in noc::simulateTraffic models simultaneous
+ * injection from all tiles, which an interleaved message sequence
+ * represents and a per-source burst (plain ascending order) does not.
+ * Unlike the old unordered_map drain, the permutation is pinned by
+ * mix64 rather than inherited from stdlib hash internals, so the
+ * sequence is reproducible across platforms and accumulation orders.
+ * Callers guard the diagonal where it is meaningless (same-slot
+ * gathers stay on-tile) and map slots to tile ids at emit time.
+ */
+class DenseTraffic
 {
   public:
-    void
-    add(TileId src, TileId dst, ByteCount bytes)
+    explicit DenseTraffic(int slots)
+        : slots_(slots),
+          bytes_(static_cast<std::size_t>(slots) *
+                     static_cast<std::size_t>(slots),
+                 0)
     {
-        if (src == dst || bytes == 0)
-            return;
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src))
-             << 32) |
-            static_cast<std::uint32_t>(dst);
-        bytes_[key] += bytes;
     }
 
-    /** Flush into a message list with the given class and inject time. */
+    void
+    add(int src, int dst, ByteCount bytes)
+    {
+        bytes_[static_cast<std::size_t>(src) *
+                   static_cast<std::size_t>(slots_) +
+               static_cast<std::size_t>(dst)] += bytes;
+    }
+
+    /** Nonzero cells, i.e. messages emit() will produce. */
+    std::size_t
+    nonzero() const
+    {
+        std::size_t n = 0;
+        for (const ByteCount b : bytes_)
+            n += b != 0 ? 1 : 0;
+        return n;
+    }
+
+    /**
+     * Flush nonzero cells in mix64(src tile, dst tile) order, mapping
+     * each endpoint through its own slot->tile function (the temporal
+     * boundary places src and dst in different tile columns).
+     */
+    template <typename SrcTile, typename DstTile>
     void
     emit(std::vector<noc::Message> &out, noc::TrafficClass cls,
-         Cycle inject) const
+         Cycle inject, SrcTile &&src_tile, DstTile &&dst_tile) const
     {
-        for (const auto &[key, bytes] : bytes_) {
-            noc::Message m;
-            m.src = static_cast<TileId>(key >> 32);
-            m.dst = static_cast<TileId>(key & 0xffffffffu);
-            m.bytes = bytes;
-            m.injectCycle = inject;
-            m.cls = cls;
-            out.push_back(m);
+        std::vector<std::pair<std::uint64_t, noc::Message>> cells;
+        cells.reserve(nonzero());
+        for (int s = 0; s < slots_; ++s) {
+            for (int d = 0; d < slots_; ++d) {
+                const ByteCount bytes =
+                    bytes_[static_cast<std::size_t>(s) *
+                               static_cast<std::size_t>(slots_) +
+                           static_cast<std::size_t>(d)];
+                if (bytes == 0)
+                    continue;
+                noc::Message m;
+                m.src = src_tile(s);
+                m.dst = dst_tile(d);
+                m.bytes = bytes;
+                m.injectCycle = inject;
+                m.cls = cls;
+                // mix64 is a bijection, so keys are unique and the
+                // sort needs no tie-break.
+                const std::uint64_t key = mix64(
+                    (static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(m.src))
+                     << 32) |
+                    static_cast<std::uint32_t>(m.dst));
+                cells.emplace_back(key, m);
+            }
         }
+        std::sort(cells.begin(), cells.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.first < b.first;
+                  });
+        out.reserve(out.size() + cells.size());
+        for (const auto &[key, m] : cells)
+            out.push_back(m);
     }
 
   private:
-    std::unordered_map<std::uint64_t, ByteCount> bytes_;
+    int slots_;
+    std::vector<ByteCount> bytes_;
 };
 
 /** Cycles to execute `macs` MACs on `units` MAC units. */
@@ -196,6 +255,31 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
     const bool adaptive_relink = plan.relink.adaptive &&
         hw.noc.topology == noc::TopologyKind::Reconfigurable;
 
+    // Resolve the planned vertex->slot assignment once per mapping:
+    // the hot loops below index a flat array instead of re-checking
+    // the mapping kind and remap state per vertex visit.
+    const int compute_slots = mapping.spatialOnly ? hw.totalTiles()
+                                                  : hw.tileRows;
+    std::vector<int> base_owner(static_cast<std::size_t>(num_vertices));
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        base_owner[static_cast<std::size_t>(v)] = mapping.spatialOnly
+            ? mapping.tilePartition.owner(v)
+            : mapping.rowPartition.owner(v);
+    }
+    const bool use_digest = workload::digestEnabled();
+
+    // Per-layer dimension sums for the digest fast paths.
+    OpCount sum_in_dims = 0;
+    OpCount sum_in_out_dims = 0;
+    for (int l = 0; l < model_config.numGcnLayers(); ++l) {
+        const auto in_dim = static_cast<OpCount>(
+            model_config.gcnInputDim(l, feature_dim));
+        const auto out_dim =
+            static_cast<OpCount>(model_config.gcnOutputDim(l));
+        sum_in_dims += in_dim;
+        sum_in_out_dims += in_dim * out_dim;
+    }
+
     ThreadPool &pool = ThreadPool::global();
     std::vector<SnapshotWork> work(
         static_cast<std::size_t>(num_snapshots));
@@ -221,14 +305,21 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
     if (fm) {
         warnOnce("fault injection active for '", dg.name(),
                  "': executing in degraded mode");
+        // The digest already holds every snapshot's Eq.-17 loads
+        // (bit-identical to computeSnapshotLoads), so the pre-pass
+        // shares the one construction with the balancer instead of
+        // re-walking L x E per degraded snapshot.
+        std::shared_ptr<const workload::LoadDigest> fault_loads;
+        if (use_digest) {
+            fault_loads = workload::DigestCache::global().loads(
+                dg, model_config.numGcnLayers());
+        }
         parallelFor(static_cast<std::size_t>(num_snapshots),
                     [&](std::size_t i) {
             const auto t = static_cast<SnapshotId>(i);
             const FaultSet &fs = fm->at(t);
             if (!fs.anyTile())
                 return;
-            const int compute_slots = mapping.spatialOnly
-                ? hw.totalTiles() : hw.tileRows;
             const int col = mapping.spatialOnly
                 ? 0 : mapping.snapshotColumn[i];
             std::vector<bool> failed(
@@ -246,24 +337,39 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
             if (dead == 0)
                 return;
             dead_slots[i] = dead;
-            const auto loads = workload::computeSnapshotLoads(
-                dg.snapshot(t), model_config.numGcnLayers());
-            std::vector<int> owners(
-                static_cast<std::size_t>(num_vertices));
-            for (VertexId v = 0; v < num_vertices; ++v) {
-                owners[static_cast<std::size_t>(v)] =
-                    mapping.spatialOnly
-                        ? mapping.tilePartition.owner(v)
-                        : mapping.rowPartition.owner(v);
+            std::vector<double> scratch_loads;
+            const std::vector<double> *loads;
+            if (fault_loads) {
+                loads = &fault_loads->snapshotLoads[i];
+            } else {
+                scratch_loads = workload::computeSnapshotLoads(
+                    dg.snapshot(t), model_config.numGcnLayers());
+                loads = &scratch_loads;
             }
             auto remapped = workload::remapFailedParts(
-                loads, owners, failed, compute_slots);
-            for (std::size_t v = 0; v < owners.size(); ++v) {
-                if (remapped[v] != owners[v])
+                *loads, base_owner, failed, compute_slots);
+            for (std::size_t v = 0; v < base_owner.size(); ++v) {
+                if (remapped[v] != base_owner[v])
                     ++remap_moved[i];
             }
             owner_remap[i] = std::move(remapped);
         }, &pool);
+    }
+
+    // Partition digest for the full-recompute fast paths below. It
+    // summarizes the *planned* assignment, so degraded snapshots whose
+    // owners were re-dealt take the scratch loops regardless.
+    std::shared_ptr<const workload::PartitionDigest> pdigest;
+    if (use_digest) {
+        for (const auto &sp : snapshot_plans) {
+            if (sp.fullRecompute ||
+                static_cast<VertexId>(sp.rnnVertices.size()) ==
+                    num_vertices) {
+                pdigest = workload::DigestCache::global().partition(
+                    dg, base_owner, compute_slots);
+                break;
+            }
+        }
     }
 
     // ---- Stage 1: parallel per-snapshot evaluation. ----
@@ -301,6 +407,8 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
             const auto chunks = static_cast<ByteCount>(clamp<ByteCount>(
                 bytes / 1024, 1, 4096));
             const ByteCount chunk = bytes / chunks;
+            w.requests.reserve(w.requests.size() +
+                               static_cast<std::size_t>(chunks));
             for (ByteCount k = 0; k < chunks; ++k) {
                 const std::uint64_t span =
                     region_bytes > chunk ? region_bytes - chunk : 1;
@@ -314,6 +422,7 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
         };
         const ByteCount intermediate_region =
             static_cast<ByteCount>(num_vertices) * z_bytes * 4;
+        w.requests.reserve(8);
         w.requests.push_back({weight_base,
                               scaled(w.dramTraffic.weightBytes), false,
                               0});
@@ -343,17 +452,11 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
         // ---- Compute distribution over tiles. ----
         // Under tile faults the pre-computed degraded-mode re-deal
         // replaces the planned assignment for this snapshot.
-        auto owner = [&](VertexId v) {
-            if (!owner_remap[i].empty())
-                return owner_remap[i][static_cast<std::size_t>(v)];
-            return mapping.spatialOnly
-                ? mapping.tilePartition.owner(v)
-                : mapping.rowPartition.owner(v);
-        };
+        const int *ovec = owner_remap[i].empty()
+            ? base_owner.data()
+            : owner_remap[i].data();
         const noc::NocFaults *noc_faults =
             fm && fm->at(t).anyNoc() ? &fm->at(t).noc : nullptr;
-        const int compute_slots = mapping.spatialOnly
-            ? hw.totalTiles() : hw.tileRows;
         std::vector<OpCount> slot_gnn(
             static_cast<std::size_t>(compute_slots), 0);
         std::vector<OpCount> slot_rnn(
@@ -363,7 +466,7 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
         if (options.detailedTileTiming)
             slot_tasks.resize(static_cast<std::size_t>(compute_slots));
 
-        TrafficMatrix spatial_traffic;
+        DenseTraffic spatial_traffic(compute_slots);
         const int col = mapping.spatialOnly
             ? 0 : mapping.snapshotColumn[i];
         auto tile_of_slot = [&](int slot) {
@@ -372,44 +475,88 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                 : static_cast<TileId>(slot * hw.tileCols + col);
         };
 
-        for (int l = 0; l < model_config.numGcnLayers(); ++l) {
-            const auto &lw = splan.gcn[static_cast<std::size_t>(l)];
-            const auto in_dim = static_cast<OpCount>(
-                model_config.gcnInputDim(l, feature_dim));
-            const auto out_dim =
-                static_cast<OpCount>(model_config.gcnOutputDim(l));
-            const ByteCount gather_bytes =
-                static_cast<ByteCount>(in_dim) * bpv;
-            for (VertexId v : lw.vertices) {
-                const int ov = owner(v);
-                const OpCount vertex_macs =
-                    (static_cast<OpCount>(g.degree(v)) + 1) * in_dim +
-                    in_dim * out_dim;
-                slot_gnn[static_cast<std::size_t>(ov)] += vertex_macs;
-                if (options.detailedTileTiming) {
-                    VertexTask task;
-                    task.vertex = v;
-                    task.macs = vertex_macs;
-                    task.postOps = out_dim;
-                    task.inputBytes =
-                        (static_cast<ByteCount>(g.degree(v)) + 1) *
-                        static_cast<ByteCount>(in_dim) * bpv;
-                    slot_tasks[static_cast<std::size_t>(ov)]
-                        .push_back(task);
+        // Digest fast paths cover snapshots that run on the planned
+        // assignment; a degraded re-deal falls back to the loops.
+        const bool digest_snapshot = pdigest && owner_remap[i].empty();
+        const bool rnn_all =
+            static_cast<VertexId>(splan.rnnVertices.size()) ==
+            num_vertices;
+
+        if (digest_snapshot && splan.fullRecompute &&
+            !options.detailedTileTiming) {
+            // Full recomputation touches every vertex in every layer,
+            // so the per-slot MAC totals and the cross-owner gather
+            // bytes collapse to closed forms over the digest counters.
+            // All integer arithmetic: bit-identical to the loops.
+            const auto &deg_sum = pdigest->slotDegreeSum[i];
+            const auto &cnt = pdigest->slotVertexCount;
+            const ByteCount gather_sum =
+                static_cast<ByteCount>(sum_in_dims) * bpv;
+            for (int s = 0; s < compute_slots; ++s) {
+                const auto si = static_cast<std::size_t>(s);
+                slot_gnn[si] = sum_in_dims * (deg_sum[si] + cnt[si]) +
+                    sum_in_out_dims * cnt[si];
+            }
+            for (int s = 0; s < compute_slots; ++s) {
+                for (int d = 0; d < compute_slots; ++d) {
+                    const std::uint64_t c = pdigest->cross(t, s, d);
+                    if (c != 0) {
+                        spatial_traffic.add(
+                            s, d, static_cast<ByteCount>(c) *
+                                gather_sum);
+                    }
                 }
-                for (VertexId u : g.neighbors(v)) {
-                    const int ou = owner(u);
-                    if (ou != ov) {
-                        spatial_traffic.add(tile_of_slot(ou),
-                                            tile_of_slot(ov),
-                                            gather_bytes);
+            }
+        } else {
+            for (int l = 0; l < model_config.numGcnLayers(); ++l) {
+                const auto &lw = splan.gcn[static_cast<std::size_t>(l)];
+                const auto in_dim = static_cast<OpCount>(
+                    model_config.gcnInputDim(l, feature_dim));
+                const auto out_dim =
+                    static_cast<OpCount>(model_config.gcnOutputDim(l));
+                const ByteCount gather_bytes =
+                    static_cast<ByteCount>(in_dim) * bpv;
+                for (VertexId v : lw.vertices) {
+                    const int ov = ovec[static_cast<std::size_t>(v)];
+                    const OpCount vertex_macs =
+                        (static_cast<OpCount>(g.degree(v)) + 1) *
+                            in_dim +
+                        in_dim * out_dim;
+                    slot_gnn[static_cast<std::size_t>(ov)] +=
+                        vertex_macs;
+                    if (options.detailedTileTiming) {
+                        VertexTask task;
+                        task.vertex = v;
+                        task.macs = vertex_macs;
+                        task.postOps = out_dim;
+                        task.inputBytes =
+                            (static_cast<ByteCount>(g.degree(v)) + 1) *
+                            static_cast<ByteCount>(in_dim) * bpv;
+                        slot_tasks[static_cast<std::size_t>(ov)]
+                            .push_back(task);
+                    }
+                    for (VertexId u : g.neighbors(v)) {
+                        const int ou =
+                            ovec[static_cast<std::size_t>(u)];
+                        if (ou != ov)
+                            spatial_traffic.add(ou, ov, gather_bytes);
                     }
                 }
             }
         }
-        for (VertexId v : splan.rnnVertices)
-            slot_rnn[static_cast<std::size_t>(owner(v))] +=
-                rnn_vertex_macs;
+        if (digest_snapshot && rnn_all) {
+            const auto &cnt = pdigest->slotVertexCount;
+            for (int s = 0; s < compute_slots; ++s) {
+                const auto si = static_cast<std::size_t>(s);
+                slot_rnn[si] = rnn_vertex_macs * cnt[si];
+            }
+        } else {
+            for (VertexId v : splan.rnnVertices) {
+                slot_rnn[static_cast<std::size_t>(
+                    ovec[static_cast<std::size_t>(v)])] +=
+                    rnn_vertex_macs;
+            }
+        }
 
         OpCount gnn_crit_macs = 0;
         OpCount rnn_crit_macs = 0;
@@ -457,7 +604,7 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
 
         // ---- NoC replay: GNN-phase spatial traffic. ----
         spatial_traffic.emit(w.spatialMsgs, noc::TrafficClass::Spatial,
-                             0);
+                             0, tile_of_slot, tile_of_slot);
         if (adaptive_relink) {
             // The Re-Link span depends on the controller's engaged
             // state, which chains across snapshots: record this
@@ -486,47 +633,92 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                 // Boundary endpoints honor the degraded-mode re-deal
                 // on *both* sides: the previous column's survivors may
                 // differ from this column's.
-                auto row_at = [&](VertexId v, std::size_t idx) {
-                    if (!owner_remap[idx].empty()) {
-                        return owner_remap[idx][
-                            static_cast<std::size_t>(v)];
-                    }
-                    return mapping.rowPartition.owner(v);
+                const int *prev_ovec = owner_remap[i - 1].empty()
+                    ? base_owner.data()
+                    : owner_remap[i - 1].data();
+                const bool boundary_digest =
+                    digest_snapshot && owner_remap[i - 1].empty();
+                auto src_tile = [&](int s) {
+                    return static_cast<TileId>(s * hw.tileCols +
+                                               prev_col);
                 };
-                TrafficMatrix boundary;
+                auto dst_tile = [&](int d) {
+                    return static_cast<TileId>(d * hw.tileCols + col);
+                };
+                DenseTraffic boundary(compute_slots);
                 // Temporal: every RNN-active vertex needs its previous
                 // hidden/cell state from the previous snapshot's column.
-                for (VertexId v : splan.rnnVertices) {
-                    const int rp = row_at(v, i - 1);
-                    const int rc = row_at(v, i);
-                    boundary.add(
-                        static_cast<TileId>(rp * hw.tileCols + prev_col),
-                        static_cast<TileId>(rc * hw.tileCols + col),
-                        2 * h_bytes);
+                if (boundary_digest && rnn_all) {
+                    // Both columns run the planned assignment, so every
+                    // vertex stays in its own row: the boundary is
+                    // purely diagonal with per-slot vertex counts.
+                    const auto &cnt = pdigest->slotVertexCount;
+                    for (int s = 0; s < compute_slots; ++s) {
+                        boundary.add(
+                            s, s,
+                            2 * h_bytes *
+                                static_cast<ByteCount>(
+                                    cnt[static_cast<std::size_t>(s)]));
+                    }
+                } else {
+                    for (VertexId v : splan.rnnVertices) {
+                        boundary.add(
+                            prev_ovec[static_cast<std::size_t>(v)],
+                            ovec[static_cast<std::size_t>(v)],
+                            2 * h_bytes);
+                    }
                 }
                 // Reuse: incremental algorithms forward the unchanged
                 // vertices' outputs instead of recomputing them.
                 std::vector<noc::Message> msgs;
-                boundary.emit(msgs, noc::TrafficClass::Temporal, 0);
+                boundary.emit(msgs, noc::TrafficClass::Temporal, 0,
+                              src_tile, dst_tile);
                 if (!splan.fullRecompute) {
-                    TrafficMatrix reuse;
-                    std::vector<bool> changed(
-                        static_cast<std::size_t>(num_vertices), false);
-                    for (VertexId v : splan.gcn.back().vertices)
-                        changed[static_cast<std::size_t>(v)] = true;
-                    for (VertexId v = 0; v < num_vertices; ++v) {
-                        if (changed[static_cast<std::size_t>(v)])
-                            continue;
-                        const int rp = row_at(v, i - 1);
-                        const int rc = row_at(v, i);
-                        reuse.add(
-                            static_cast<TileId>(rp * hw.tileCols +
-                                                prev_col),
-                            static_cast<TileId>(rc * hw.tileCols + col),
-                            z_bytes + h_bytes);
-                        w.reuseTotal += z_bytes + h_bytes;
+                    DenseTraffic reuse(compute_slots);
+                    if (boundary_digest) {
+                        // Same diagonal argument; the unchanged count
+                        // per slot is the slot population minus its
+                        // changed (last-layer) vertices.
+                        std::vector<std::uint64_t> changed_cnt(
+                            static_cast<std::size_t>(compute_slots),
+                            0);
+                        for (VertexId v : splan.gcn.back().vertices) {
+                            ++changed_cnt[static_cast<std::size_t>(
+                                ovec[static_cast<std::size_t>(v)])];
+                        }
+                        for (int s = 0; s < compute_slots; ++s) {
+                            const auto si =
+                                static_cast<std::size_t>(s);
+                            const std::uint64_t unchanged =
+                                pdigest->slotVertexCount[si] -
+                                changed_cnt[si];
+                            if (unchanged == 0)
+                                continue;
+                            reuse.add(s, s,
+                                      (z_bytes + h_bytes) *
+                                          static_cast<ByteCount>(
+                                              unchanged));
+                            w.reuseTotal += (z_bytes + h_bytes) *
+                                static_cast<ByteCount>(unchanged);
+                        }
+                    } else {
+                        std::vector<bool> changed(
+                            static_cast<std::size_t>(num_vertices),
+                            false);
+                        for (VertexId v : splan.gcn.back().vertices)
+                            changed[static_cast<std::size_t>(v)] = true;
+                        for (VertexId v = 0; v < num_vertices; ++v) {
+                            if (changed[static_cast<std::size_t>(v)])
+                                continue;
+                            reuse.add(
+                                prev_ovec[static_cast<std::size_t>(v)],
+                                ovec[static_cast<std::size_t>(v)],
+                                z_bytes + h_bytes);
+                            w.reuseTotal += z_bytes + h_bytes;
+                        }
                     }
-                    reuse.emit(msgs, noc::TrafficClass::Reuse, 0);
+                    reuse.emit(msgs, noc::TrafficClass::Reuse, 0,
+                               src_tile, dst_tile);
                 }
                 w.temporal = noc::simulateTraffic(hw.noc,
                                                   std::move(msgs),

@@ -18,6 +18,7 @@
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "sim/plan_cache.hh"
+#include "workload/digest.hh"
 
 namespace ditile::sim {
 
@@ -290,6 +291,7 @@ ExecutionPlan::toJson() const
     e.kv("plan_format", 1ll);
     e.kv("accelerator", acceleratorName);
     e.kv("workload", workloadName);
+    e.kvU("workload_digest", workloadDigest);
 
     // ---- Hardware. ----
     e.open("hw");
@@ -501,6 +503,9 @@ ExecutionPlan::fromJson(const std::string &text)
     ExecutionPlan plan;
     plan.acceleratorName = doc.at("accelerator").asString();
     plan.workloadName = doc.at("workload").asString();
+    // Documents predating the digest field load with key 0.
+    if (const JsonValue *digest = doc.find("workload_digest"))
+        plan.workloadDigest = digest->asUint();
 
     const JsonValue &hw = doc.at("hw");
     plan.hw.tileRows = static_cast<int>(hw.at("tile_rows").asInt());
@@ -721,6 +726,10 @@ buildEnginePlan(const graph::DynamicGraph &dg,
     ExecutionPlan plan;
     plan.acceleratorName = accelerator_name;
     plan.workloadName = dg.name();
+    // Pure content key (independent of whether digests are enabled),
+    // so plan JSON is identical with and without the digest layer.
+    plan.workloadDigest =
+        workload::loadDigestKey(dg, model_config.numGcnLayers());
     plan.hw = hw;
     plan.modelConfig = model_config;
     plan.mapping = mapping;

@@ -68,6 +68,15 @@ struct ExecutionPlan
     /** Workload the plan was derived for (provenance only). */
     std::string workloadName;
 
+    /**
+     * Content key of the workload-digest inputs the plan was derived
+     * from (graph structure + GCN depth, see workload::loadDigestKey).
+     * Ties a serialized plan to the digest entries it can reuse and
+     * participates in the content hash; 0 in documents predating the
+     * field.
+     */
+    std::uint64_t workloadDigest = 0;
+
     /** Resolved hardware instance, NoC topology included. */
     AcceleratorConfig hw;
 

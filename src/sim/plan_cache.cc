@@ -49,18 +49,9 @@ PlanCache::planKey(const graph::DynamicGraph &dg,
     hasher.mix(static_cast<std::uint64_t>(config.precision));
     for (int d : config.gcnDims)
         hasher.mix(static_cast<std::uint64_t>(d));
-    hasher.mix(static_cast<std::uint64_t>(dg.numVertices()));
-    hasher.mix(static_cast<std::uint64_t>(dg.featureDim()));
-    hasher.mix(static_cast<std::uint64_t>(dg.numSnapshots()));
-    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
-        const graph::Csr &g = dg.snapshot(t);
-        hasher.mix(static_cast<std::uint64_t>(g.numEdges()));
-        for (VertexId v = 0; v < g.numVertices(); ++v) {
-            hasher.mix(static_cast<std::uint64_t>(g.degree(v)));
-            for (VertexId u : g.neighbors(v))
-                hasher.mix(static_cast<std::uint64_t>(u));
-        }
-    }
+    // Structure walk shared with the workload-digest keys so both
+    // caches agree on what "the same graph" means.
+    hasher.mix(graph::structureHash(dg));
     return hasher.h;
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
+#include "workload/digest.hh"
 
 namespace ditile::workload {
 
@@ -45,6 +46,11 @@ computeSnapshotLoads(const graph::Csr &g, int gcn_layers)
 std::vector<double>
 computeVertexLoads(const graph::DynamicGraph &dg, int gcn_layers)
 {
+    // The digest holds the same ascending-t accumulation, built once
+    // per (graph, layers) and shared across every accelerator variant.
+    if (digestEnabled())
+        return DigestCache::global().loads(dg, gcn_layers)->totalLoads;
+
     std::vector<double> vload(
         static_cast<std::size_t>(dg.numVertices()), 0.0);
     for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {

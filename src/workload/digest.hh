@@ -1,0 +1,172 @@
+/**
+ * @file
+ * SnapshotDigest layer: delta-incremental per-snapshot workload
+ * summaries, content-addressed and shared across consumers.
+ *
+ * Three places used to walk every GCN layer x vertex x neighbor from
+ * scratch for every snapshot — the Algorithm-2 balancer
+ * (workload::computeVertexLoads, once per ablation variant), the
+ * engine's Stage-1 full-recompute evaluation, and the fault-injection
+ * pre-pass — O(L*E*T) work each, repeated per accelerator. Yet
+ * consecutive snapshots differ only by a GraphDelta, so everything
+ * those passes derive can be patched from snapshot t-1's summary in
+ * O(L*Delta) and shared through a content-addressed cache:
+ *
+ *   - LoadDigest: per-snapshot Eq.-17 per-vertex MAC loads (and their
+ *     over-snapshots total), bit-identical to
+ *     workload::computeSnapshotLoads on every snapshot;
+ *   - PartitionDigest: per-slot vertex counts and degree sums, the
+ *     dense slot x slot cross-owner adjacency matrix behind the
+ *     spatial gather traffic, and per-snapshot vertical-distance
+ *     histograms for the Re-Link controller's input profile.
+ *
+ * Both digests are exact — integer counters patch exactly, and the
+ * float walk arrays are re-summed per changed vertex in the same CSR
+ * order the scratch pass uses — so consumers produce byte-identical
+ * results whether the digest or the scratch path computed the data
+ * (the DITILE_NO_DIGEST=1 escape hatch flips between them).
+ */
+
+#ifndef DITILE_WORKLOAD_DIGEST_HH
+#define DITILE_WORKLOAD_DIGEST_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/dynamic_graph.hh"
+
+namespace ditile::workload {
+
+/**
+ * Global digest gate. Initialized once from the DITILE_NO_DIGEST
+ * environment variable (any non-empty value other than "0" disables
+ * digests); tests flip it programmatically to compare both paths.
+ */
+bool digestEnabled();
+void setDigestEnabled(bool enabled);
+
+/**
+ * Per-snapshot Eq.-17 workload loads for a whole dynamic graph.
+ * snapshotLoads[t] is bit-identical to
+ * computeSnapshotLoads(dg.snapshot(t), gcnLayers); totalLoads is their
+ * ascending-t sum (bit-identical to computeVertexLoads).
+ */
+struct LoadDigest
+{
+    int gcnLayers = 0;
+    std::vector<std::vector<double>> snapshotLoads; ///< [T][V]
+    std::vector<double> totalLoads;                 ///< [V]
+
+    /** Construction accounting: how each snapshot was produced. */
+    std::uint64_t incrementalSnapshots = 0;
+    std::uint64_t scratchSnapshots = 0;
+};
+
+/**
+ * Per-snapshot, per-partition summary of the quantities the engine's
+ * full-recompute fast path needs. All counters are integers, patched
+ * exactly from the GraphDelta edge lists.
+ */
+struct PartitionDigest
+{
+    int slots = 0;
+
+    /** Vertices owned by each slot (static across snapshots). */
+    std::vector<std::uint64_t> slotVertexCount; ///< [S]
+
+    /** Sum of snapshot-t degrees over each slot's vertices. */
+    std::vector<std::vector<std::uint64_t>> slotDegreeSum; ///< [T][S]
+
+    /**
+     * Directed cross-owner adjacency counts: crossCount[t][s*S+d] is
+     * the number of adjacency entries (center v, neighbor u) of
+     * snapshot t with owner(u)=s, owner(v)=d, s != d — i.e. the
+     * gather-message multiplicity from slot s to slot d.
+     */
+    std::vector<std::vector<std::uint64_t>> crossCount; ///< [T][S*S]
+
+    /**
+     * Ring-minimal vertical-distance histogram over the nonzero
+     * cross-owner slot pairs of each snapshot (slots interpreted as a
+     * ring of S rows): the shape of the distance profile the Re-Link
+     * controller scores.
+     */
+    std::vector<std::vector<std::uint64_t>> verticalDistanceHist;
+
+    std::uint64_t incrementalSnapshots = 0;
+    std::uint64_t scratchSnapshots = 0;
+
+    std::uint64_t
+    cross(SnapshotId t, int src, int dst) const
+    {
+        return crossCount[static_cast<std::size_t>(t)]
+                         [static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(slots) +
+                          static_cast<std::size_t>(dst)];
+    }
+};
+
+/** Build a LoadDigest, patching snapshot t from t-1 where profitable. */
+LoadDigest buildLoadDigest(const graph::DynamicGraph &dg,
+                           int gcn_layers);
+
+/**
+ * Build a PartitionDigest for a vertex->slot assignment. owners must
+ * assign every vertex to [0, slots).
+ */
+PartitionDigest buildPartitionDigest(const graph::DynamicGraph &dg,
+                                     const std::vector<int> &owners,
+                                     int slots);
+
+/** Content key of a LoadDigest: graph structure + layer count. */
+std::uint64_t loadDigestKey(const graph::DynamicGraph &dg,
+                            int gcn_layers);
+
+/** Content key of a PartitionDigest: graph structure + assignment. */
+std::uint64_t partitionDigestKey(const graph::DynamicGraph &dg,
+                                 const std::vector<int> &owners,
+                                 int slots);
+
+/**
+ * Content-addressed digest cache, the workload-layer sibling of
+ * sim::PlanCache: sweep variants, the balancer and the engine share
+ * one digest per (graph, layers) / (graph, partition) input set.
+ *
+ * Thread-safe with the PlanCache discipline: lookups lock, misses
+ * build outside the lock, the first finished writer wins.
+ */
+class DigestCache
+{
+  public:
+    std::shared_ptr<const LoadDigest>
+    loads(const graph::DynamicGraph &dg, int gcn_layers);
+
+    std::shared_ptr<const PartitionDigest>
+    partition(const graph::DynamicGraph &dg,
+              const std::vector<int> &owners, int slots);
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::size_t size() const;
+    void clear();
+
+    /** Process-wide instance shared by balancer, engine and tools. */
+    static DigestCache &global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const LoadDigest>> loads_;
+    std::unordered_map<std::uint64_t,
+                       std::shared_ptr<const PartitionDigest>>
+        partitions_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace ditile::workload
+
+#endif // DITILE_WORKLOAD_DIGEST_HH

@@ -1,0 +1,360 @@
+/**
+ * @file
+ * Tests for the SnapshotDigest layer: delta-incremental construction
+ * must be bit-identical to the scratch passes, digest-backed engine
+ * runs must reproduce the non-digest path byte-for-byte across the
+ * whole fleet and thread widths, and the content-addressed cache must
+ * share one construction across variants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "core/ditile_accelerator.hh"
+#include "graph/generator.hh"
+#include "sim/baselines.hh"
+#include "sim/execution_plan.hh"
+#include "workload/balance.hh"
+#include "workload/digest.hh"
+
+namespace ditile {
+namespace {
+
+graph::DynamicGraph
+digestWorkload(double dissimilarity = 0.08, std::uint64_t seed = 13)
+{
+    graph::EvolutionConfig config;
+    config.name = "digest-ctdg";
+    config.numVertices = 600;
+    config.numEdges = 4200;
+    config.numSnapshots = 6;
+    config.dissimilarity = dissimilarity;
+    config.featureDim = 48;
+    config.seed = seed;
+    return graph::generateDynamicGraph(config);
+}
+
+/** RAII: force the digest gate for a scope, restore enabled after. */
+class DigestGate
+{
+  public:
+    explicit DigestGate(bool enabled)
+    {
+        workload::setDigestEnabled(enabled);
+    }
+    ~DigestGate() { workload::setDigestEnabled(true); }
+};
+
+/** Field-by-field equality of two runs, with readable failures. */
+void
+expectIdentical(const sim::RunResult &a, const sim::RunResult &b)
+{
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.computeCycles, b.computeCycles);
+    EXPECT_EQ(a.onChipCommCycles, b.onChipCommCycles);
+    EXPECT_EQ(a.offChipCycles, b.offChipCycles);
+    EXPECT_EQ(a.configCycles, b.configCycles);
+    EXPECT_EQ(a.ops.totalMacs(), b.ops.totalMacs());
+    EXPECT_EQ(a.ops.totalArithmetic(), b.ops.totalArithmetic());
+    EXPECT_EQ(a.dramTraffic.total(), b.dramTraffic.total());
+    EXPECT_EQ(a.nocBytes, b.nocBytes);
+    EXPECT_EQ(a.nocBytesSpatial, b.nocBytesSpatial);
+    EXPECT_EQ(a.nocBytesTemporal, b.nocBytesTemporal);
+    EXPECT_EQ(a.nocBytesReuse, b.nocBytesReuse);
+    EXPECT_EQ(a.peUtilization, b.peUtilization);
+    EXPECT_EQ(a.energy.totalPj(), b.energy.totalPj());
+    EXPECT_EQ(a.energyEvents.dramBytes, b.energyEvents.dramBytes);
+    EXPECT_EQ(a.energyEvents.localBufferBytes,
+              b.energyEvents.localBufferBytes);
+    EXPECT_EQ(a.energyEvents.reconfigEvents,
+              b.energyEvents.reconfigEvents);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+        const auto &ta = a.trace[i];
+        const auto &tb = b.trace[i];
+        EXPECT_EQ(ta.dramDone, tb.dramDone) << "snapshot " << i;
+        EXPECT_EQ(ta.gnnComputeCycles, tb.gnnComputeCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.rnnComputeCycles, tb.rnnComputeCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.spatialCommCycles, tb.spatialCommCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.temporalCommCycles, tb.temporalCommCycles)
+            << "snapshot " << i;
+        EXPECT_EQ(ta.gnnDone, tb.gnnDone) << "snapshot " << i;
+        EXPECT_EQ(ta.rnnDone, tb.rnnDone) << "snapshot " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental construction == scratch construction.
+// ---------------------------------------------------------------------
+
+TEST(LoadDigest, IncrementalMatchesScratchBitwise)
+{
+    for (const double dis : {0.04, 0.35}) {
+        SCOPED_TRACE(dis);
+        const auto dg = digestWorkload(dis);
+        // The generated CTDG must exercise both edge additions and
+        // removals, or the incremental patch is only half-tested.
+        std::size_t added = 0;
+        std::size_t removed = 0;
+        for (SnapshotId t = 1; t < dg.numSnapshots(); ++t) {
+            added += dg.delta(t).addedEdges().size();
+            removed += dg.delta(t).removedEdges().size();
+        }
+        EXPECT_GT(added, 0u);
+        EXPECT_GT(removed, 0u);
+
+        for (const int layers : {2, 3}) {
+            SCOPED_TRACE(layers);
+            const auto digest =
+                workload::buildLoadDigest(dg, layers);
+            EXPECT_EQ(digest.incrementalSnapshots +
+                          digest.scratchSnapshots,
+                      static_cast<std::uint64_t>(dg.numSnapshots()));
+            std::vector<double> total(
+                static_cast<std::size_t>(dg.numVertices()), 0.0);
+            for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
+                const auto scratch = workload::computeSnapshotLoads(
+                    dg.snapshot(t), layers);
+                const auto &snap = digest.snapshotLoads[
+                    static_cast<std::size_t>(t)];
+                ASSERT_EQ(snap.size(), scratch.size());
+                for (std::size_t v = 0; v < scratch.size(); ++v) {
+                    ASSERT_EQ(snap[v], scratch[v])
+                        << "snapshot " << t << " vertex " << v;
+                }
+                for (std::size_t v = 0; v < scratch.size(); ++v)
+                    total[v] += scratch[v];
+            }
+            for (std::size_t v = 0; v < total.size(); ++v)
+                ASSERT_EQ(digest.totalLoads[v], total[v]);
+        }
+    }
+}
+
+TEST(LoadDigest, SmallDeltasTakeTheIncrementalPath)
+{
+    const auto dg = digestWorkload(0.03);
+    const auto digest = workload::buildLoadDigest(dg, 2);
+    // Snapshot 0 is always scratch; small deltas should patch.
+    EXPECT_GT(digest.incrementalSnapshots, 0u);
+}
+
+TEST(PartitionDigest, MatchesBruteForceCounts)
+{
+    const auto dg = digestWorkload(0.06, 29);
+    const int slots = 16;
+    std::vector<double> loads(
+        static_cast<std::size_t>(dg.numVertices()), 0.0);
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
+        const auto snap =
+            workload::computeSnapshotLoads(dg.snapshot(t), 2);
+        for (std::size_t v = 0; v < loads.size(); ++v)
+            loads[v] += snap[v];
+    }
+    const auto partition = workload::balancedPartition(loads, slots);
+    std::vector<int> owners(
+        static_cast<std::size_t>(dg.numVertices()));
+    for (VertexId v = 0; v < dg.numVertices(); ++v)
+        owners[static_cast<std::size_t>(v)] = partition.owner(v);
+
+    const auto digest =
+        workload::buildPartitionDigest(dg, owners, slots);
+    EXPECT_GT(digest.incrementalSnapshots, 0u);
+    EXPECT_EQ(digest.incrementalSnapshots + digest.scratchSnapshots,
+              static_cast<std::uint64_t>(dg.numSnapshots()));
+
+    std::vector<std::uint64_t> count(
+        static_cast<std::size_t>(slots), 0);
+    for (const int o : owners)
+        ++count[static_cast<std::size_t>(o)];
+    ASSERT_EQ(digest.slotVertexCount, count);
+
+    const auto s_slots = static_cast<std::size_t>(slots);
+    for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
+        SCOPED_TRACE(t);
+        const graph::Csr &g = dg.snapshot(t);
+        std::vector<std::uint64_t> deg_sum(s_slots, 0);
+        std::vector<std::uint64_t> cross(s_slots * s_slots, 0);
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            const auto ov = static_cast<std::size_t>(
+                owners[static_cast<std::size_t>(v)]);
+            deg_sum[ov] += static_cast<std::uint64_t>(g.degree(v));
+            for (VertexId u : g.neighbors(v)) {
+                const auto ou = static_cast<std::size_t>(
+                    owners[static_cast<std::size_t>(u)]);
+                if (ou != ov)
+                    ++cross[ou * s_slots + ov];
+            }
+        }
+        const auto i = static_cast<std::size_t>(t);
+        ASSERT_EQ(digest.slotDegreeSum[i], deg_sum);
+        ASSERT_EQ(digest.crossCount[i], cross);
+
+        std::vector<std::uint64_t> hist(s_slots / 2 + 1, 0);
+        for (int src = 0; src < slots; ++src) {
+            for (int dst = 0; dst < slots; ++dst) {
+                if (src == dst ||
+                    cross[static_cast<std::size_t>(src) * s_slots +
+                          static_cast<std::size_t>(dst)] == 0) {
+                    continue;
+                }
+                const int fwd = (dst - src + slots) % slots;
+                ++hist[static_cast<std::size_t>(
+                    std::min(fwd, slots - fwd))];
+            }
+        }
+        ASSERT_EQ(digest.verticalDistanceHist[i], hist);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Digest-backed runs == scratch-path runs, fleet-wide.
+// ---------------------------------------------------------------------
+
+sim::RunResult
+runVariant(const std::string &which, const graph::DynamicGraph &dg,
+           const model::DgnnConfig &mconfig)
+{
+    if (which == "ReaDy")
+        return sim::makeReady()->run(dg, mconfig);
+    if (which == "DGNN-Booster")
+        return sim::makeDgnnBooster()->run(dg, mconfig);
+    if (which == "RACE")
+        return sim::makeRace()->run(dg, mconfig);
+    if (which == "MEGA")
+        return sim::makeMega()->run(dg, mconfig);
+    if (which == "DiTile")
+        return core::DiTileAccelerator().run(dg, mconfig);
+    core::DiTileAccelerator ablated(
+        sim::AcceleratorConfig::defaults(),
+        core::DiTileOptions::fromVariant(which));
+    return ablated.run(dg, mconfig);
+}
+
+TEST(DigestIdentity, FleetByteIdenticalAcrossThreadWidths)
+{
+    const auto dg = digestWorkload();
+    const model::DgnnConfig mconfig;
+    const std::vector<std::string> variants = {
+        "ReaDy", "DGNN-Booster", "RACE",    "MEGA",    "DiTile",
+        "NoPs",  "NoWos",        "NoRa",    "OnlyPs",  "OnlyWos",
+        "OnlyRa"};
+    for (const int threads : {1, 4}) {
+        SCOPED_TRACE(threads);
+        ThreadPool::setGlobalThreads(threads);
+        for (const auto &variant : variants) {
+            SCOPED_TRACE(variant);
+            sim::RunResult off;
+            {
+                DigestGate gate(false);
+                off = runVariant(variant, dg, mconfig);
+            }
+            workload::DigestCache::global().clear();
+            const auto on = runVariant(variant, dg, mconfig);
+            expectIdentical(off, on);
+        }
+    }
+    ThreadPool::setGlobalThreads(1);
+}
+
+TEST(DigestIdentity, FaultedRunsMatchScratchPath)
+{
+    // The fault pre-pass re-deals vertices off dead slots using the
+    // digest's per-snapshot loads; the degraded run must match the
+    // scratch path bit-for-bit.
+    const auto dg = digestWorkload(0.1, 17);
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    auto plan = accel.plan(dg, mconfig);
+    plan.faults = sim::FaultSpec::parse("tile@1:r3c*;tile@2:r5c1");
+    sim::RunResult off;
+    {
+        DigestGate gate(false);
+        off = sim::executePlan(dg, plan);
+    }
+    workload::DigestCache::global().clear();
+    const auto on = sim::executePlan(dg, plan);
+    expectIdentical(off, on);
+    EXPECT_GT(on.resilience.remappedVertices, 0u);
+}
+
+TEST(DigestIdentity, PlanJsonUnaffectedByDigestGate)
+{
+    const auto dg = digestWorkload();
+    const model::DgnnConfig mconfig;
+    std::string with_digest;
+    std::string without_digest;
+    {
+        DigestGate gate(true);
+        with_digest =
+            core::DiTileAccelerator().plan(dg, mconfig).toJson();
+    }
+    {
+        DigestGate gate(false);
+        without_digest =
+            core::DiTileAccelerator().plan(dg, mconfig).toJson();
+    }
+    EXPECT_EQ(with_digest, without_digest);
+    // The digest key is present and populated either way.
+    EXPECT_NE(with_digest.find("workload_digest"), std::string::npos);
+    const auto parsed = sim::ExecutionPlan::fromJson(with_digest);
+    EXPECT_EQ(parsed.workloadDigest,
+              workload::loadDigestKey(dg, mconfig.numGcnLayers()));
+}
+
+// ---------------------------------------------------------------------
+// Cache accounting.
+// ---------------------------------------------------------------------
+
+TEST(DigestCacheTest, VariantsShareOneConstruction)
+{
+    DigestGate gate(true);
+    auto &cache = workload::DigestCache::global();
+    cache.clear();
+    const auto dg = digestWorkload();
+    const model::DgnnConfig mconfig;
+
+    runVariant("DiTile", dg, mconfig);
+    const auto first_misses = cache.misses();
+    EXPECT_GT(first_misses, 0u);
+    EXPECT_EQ(cache.size(), first_misses);
+
+    // NoRa shares both the load digest and the balanced partition;
+    // NoWos shares the loads but maps contiguously, so only the
+    // partition digest may miss again.
+    runVariant("NoRa", dg, mconfig);
+    const auto after_nora = cache.hits();
+    EXPECT_GT(after_nora, 0u);
+    EXPECT_EQ(cache.misses(), first_misses);
+
+    runVariant("NoWos", dg, mconfig);
+    EXPECT_GT(cache.hits(), after_nora);
+    EXPECT_LE(cache.misses(), first_misses + 1);
+    EXPECT_EQ(cache.size(), cache.misses());
+}
+
+TEST(DigestCacheTest, KeysSeparateGraphsAndShapes)
+{
+    const auto a = digestWorkload(0.08, 13);
+    const auto b = digestWorkload(0.08, 14);
+    EXPECT_NE(graph::structureHash(a), graph::structureHash(b));
+    EXPECT_NE(workload::loadDigestKey(a, 2),
+              workload::loadDigestKey(a, 3));
+    EXPECT_NE(workload::loadDigestKey(a, 2),
+              workload::loadDigestKey(b, 2));
+    const std::vector<int> owners(
+        static_cast<std::size_t>(a.numVertices()), 0);
+    EXPECT_NE(workload::partitionDigestKey(a, owners, 1),
+              workload::partitionDigestKey(b, owners, 1));
+}
+
+} // namespace
+} // namespace ditile

@@ -5,12 +5,34 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 
 #include "model/matrix.hh"
 
 namespace ditile::model {
 namespace {
+
+/**
+ * Naive r-k-c product with the same zero skip and ascending-k
+ * accumulation the production kernel guarantees: the blocked kernel
+ * must reproduce it bit-for-bit.
+ */
+Matrix
+naiveMatmul(const Matrix &a, const Matrix &b)
+{
+    Matrix out(a.rows(), b.cols());
+    for (int r = 0; r < a.rows(); ++r) {
+        for (int k = 0; k < a.cols(); ++k) {
+            const float x = a.at(r, k);
+            if (x == 0.0f)
+                continue;
+            for (int c = 0; c < b.cols(); ++c)
+                out.at(r, c) += x * b.at(k, c);
+        }
+    }
+    return out;
+}
 
 TEST(Matrix, ConstructionAndFill)
 {
@@ -54,6 +76,43 @@ TEST(Matrix, MatmulRectangular)
     EXPECT_EQ(c.cols(), 2);
     EXPECT_FLOAT_EQ(c.at(0, 0), 3);
     EXPECT_FLOAT_EQ(c.at(0, 1), 6);
+}
+
+TEST(Matrix, MatmulBitIdenticalToNaiveReference)
+{
+    // Shapes chosen to cross the 256-column block boundary and leave a
+    // non-multiple-of-4 tail for the unrolled inner loop; zeroing a
+    // quarter of the left operand exercises the sparsity skip.
+    Rng rng(11);
+    Matrix a = Matrix::random(37, 53, rng);
+    a.apply([](float v) { return v > 0.05f ? 0.0f : v; });
+    const Matrix b = Matrix::random(53, 301, rng);
+    const Matrix got = a.matmul(b);
+    const Matrix want = naiveMatmul(a, b);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(got.cols(), want.cols());
+    EXPECT_FLOAT_EQ(got.maxAbsDiff(want), 0.0f);
+    for (std::size_t i = 0; i < got.data().size(); ++i)
+        ASSERT_EQ(got.data()[i], want.data()[i]) << "element " << i;
+}
+
+TEST(Matrix, MatmulTimingSmoke)
+{
+    Rng rng(5);
+    const Matrix a = Matrix::random(256, 256, rng);
+    const Matrix b = Matrix::random(256, 256, rng);
+    const auto start = std::chrono::steady_clock::now();
+    const Matrix c = a.matmul(b);
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    // ~16.7M MACs: generous bound that only trips if the kernel falls
+    // off a performance cliff (or goes accidentally quadratic in the
+    // blocking bookkeeping).
+    EXPECT_LT(seconds, 5.0);
+    EXPECT_EQ(c.rows(), 256);
+    EXPECT_EQ(c.cols(), 256);
 }
 
 TEST(Matrix, AddAndHadamard)

@@ -8,7 +8,7 @@
  *
  *   ditile_sweep --dataset=WD --dis=0.02,0.06,0.10,0.14 \
  *                --snapshots=4,8,16 [--all-accels] [--scale=F] \
- *                [--threads=N] [--faults=SPEC]
+ *                [--threads=N] [--faults=SPEC] [--digest-stats]
  *
  * Config points are independent, so with --threads=N they fan out
  * across the process-wide thread pool; rows are still emitted in
@@ -33,6 +33,7 @@
 #include "sim/baselines.hh"
 #include "sim/fault_model.hh"
 #include "sim/plan_cache.hh"
+#include "workload/digest.hh"
 
 using namespace ditile;
 
@@ -161,6 +162,17 @@ runTool(const CliFlags &flags)
     std::fprintf(stderr, "plan cache: %llu hits, %llu misses\n",
                  static_cast<unsigned long long>(plan_cache.hits()),
                  static_cast<unsigned long long>(plan_cache.misses()));
+    if (flags.getBool("digest-stats", false)) {
+        const auto &digests = workload::DigestCache::global();
+        std::fprintf(
+            stderr,
+            "workload digest cache: %llu hits, %llu misses, "
+            "%zu entries (digests %s)\n",
+            static_cast<unsigned long long>(digests.hits()),
+            static_cast<unsigned long long>(digests.misses()),
+            digests.size(),
+            workload::digestEnabled() ? "enabled" : "disabled");
+    }
     if (failed > 0) {
         std::fprintf(stderr, "%d of %zu sweep point(s) failed\n",
                      failed, jobs.size());

@@ -12,18 +12,24 @@
  *                  results are bit-identical at any width)
  *   --smoke        reduced-size run for CI crash checks (tiny scale,
  *                  2 snapshots unless overridden)
+ *   --trace=FILE   write a structured Chrome trace of all runs the
+ *                  bench performs (written at process exit)
+ *   --metrics      dump the hierarchical metrics registry to stderr
+ *                  at process exit
  */
 
 #ifndef DITILE_BENCH_BENCH_UTIL_HH
 #define DITILE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "common/trace.hh"
 #include "graph/datasets.hh"
 #include "model/dgnn_config.hh"
 
@@ -41,6 +47,33 @@ struct BenchOptions
     bool csv = false;
     bool smoke = false;
     int threads = 1;
+    std::string traceFile;
+    bool metrics = false;
+
+    /** --trace=FILE target for the atexit writer (one per process). */
+    static std::string &
+    traceFileSlot()
+    {
+        static std::string slot;
+        return slot;
+    }
+
+    static void
+    writeObservabilityAtExit()
+    {
+        Tracer &tracer = Tracer::global();
+        const std::string &path = traceFileSlot();
+        if (!path.empty() && tracer.traceEnabled()) {
+            tracer.writeChromeJson(path);
+            std::fprintf(stderr, "wrote Chrome trace to %s\n",
+                         path.c_str());
+        }
+        if (tracer.metricsEnabled()) {
+            for (const auto &[name, value] : tracer.metrics())
+                std::fprintf(stderr, "metric %s = %lld\n", name.c_str(),
+                             value);
+        }
+    }
 
     static BenchOptions
     parse(int argc, char **argv)
@@ -55,6 +88,17 @@ struct BenchOptions
         o.csv = flags.getBool("csv", false);
         o.threads = static_cast<int>(flags.getInt("threads", 1));
         ThreadPool::setGlobalThreads(o.threads);
+        const auto trace_arg = flags.getString("trace", "");
+        o.traceFile = trace_arg == "1" ? "" : trace_arg;
+        o.metrics = flags.getBool("metrics", false);
+        if (!o.traceFile.empty() || o.metrics) {
+            Tracer &tracer = Tracer::global();
+            tracer.reset();
+            tracer.enable(!o.traceFile.empty(), o.metrics);
+            traceFileSlot() = o.traceFile;
+            // Benches exit from many places; flush on the way out.
+            std::atexit(&writeObservabilityAtExit);
+        }
         std::string list = flags.getString(
             "datasets", "PM,RD,MB,TW,WD,FK");
         std::size_t pos = 0;

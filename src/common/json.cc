@@ -44,8 +44,12 @@ namespace {
 std::string
 numberToJson(double value)
 {
+    // JSON has no NaN/Inf tokens; emitting "null" here used to
+    // silently corrupt downstream consumers expecting a number.
+    // Producers must guard their divisions (and all in-tree ones do);
+    // a non-finite value reaching the writer is malformed input.
     if (!std::isfinite(value))
-        return "null";
+        DITILE_THROW("cannot serialize non-finite value as JSON");
     char buf[64];
     // Round-trippable doubles without trailing noise for integers.
     if (value == static_cast<double>(static_cast<long long>(value)) &&

@@ -48,7 +48,16 @@ namespace detail {
 [[noreturn]] void fatalImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 void warnImpl(const std::string &msg);
-void warnOnceImpl(const std::string &msg);
+
+/** Max distinct warnOnce sites remembered. Beyond the cap, novel
+ *  warnings are suppressed behind one meta-warning so the dedup table
+ *  stays bounded over arbitrarily long sweeps. */
+inline constexpr std::size_t kWarnOnceCap = 256;
+
+/** Returns true when the message was actually printed. */
+bool warnOnceImpl(const std::string &site_key, const std::string &msg);
+std::size_t warnOnceTableSize();
+void warnOnceResetForTest();
 
 template <typename... Args>
 std::string
@@ -100,15 +109,21 @@ warn(Args &&...args)
 }
 
 /**
- * Warning printed at most once per distinct message per process.
- * Thread-safe; later identical messages are silently dropped, so
- * per-snapshot degradation notices cannot flood stderr.
+ * Warning printed at most once per *format site* per process. The
+ * first argument is the dedup key and must be the stable site prefix
+ * ("fault injection active"); later arguments may embed per-point
+ * values (dataset names, coordinates) without growing the dedup table,
+ * which previously expanded unboundedly across long sweeps. The table
+ * itself is capped at detail::kWarnOnceCap distinct sites. Thread-safe;
+ * returns true when the message was printed.
  */
-template <typename... Args>
-void
-warnOnce(Args &&...args)
+template <typename Site, typename... Args>
+bool
+warnOnce(const Site &site, Args &&...args)
 {
-    detail::warnOnceImpl(detail::format(std::forward<Args>(args)...));
+    return detail::warnOnceImpl(
+        detail::format(site),
+        detail::format(site, std::forward<Args>(args)...));
 }
 
 } // namespace ditile

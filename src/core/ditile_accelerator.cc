@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "sim/engine.hh"
 
 namespace ditile::core {
@@ -66,20 +67,76 @@ DiTileAccelerator::prepare(const graph::DynamicGraph &dg,
                            sim::MappingSpec &mapping,
                            sim::EngineOptions &engine_options)
 {
+    Tracer &tracer = Tracer::global();
+    const bool obs_trace = tracer.traceEnabled();
+    const std::uint64_t plan_track =
+        Tracer::trackBase() + Tracer::kPlanTrack;
+    // Plan-stage spans live on a step clock (one step per sub-stage);
+    // prepare() is serial per run, so the order is deterministic.
+    auto planSpan = [&](const std::string &nm, TraceEvent ev) {
+        if (!obs_trace)
+            return;
+        ev.cat = "plan";
+        ev.name = nm;
+        ev.track = plan_track;
+        ev.ts = tracer.nextStep(plan_track);
+        ev.dur = 1;
+        tracer.record(std::move(ev));
+    };
+
     // Step (2): per-vertex workload labels.
     const auto loads = workloadUnit_.computeLoads(dg, model_config);
+    {
+        TraceEvent ev;
+        ev.addArg("vertices", static_cast<long long>(dg.numVertices()))
+            .addArg("snapshots",
+                    static_cast<long long>(dg.numSnapshots()));
+        planSpan("workload-loads", std::move(ev));
+    }
 
     // Step (3): Algorithm 1 — tiling factor + parallel factors.
     lastPlan_ = strategyAdjuster_.adjust(dg, model_config, hw_,
                                          options_.parallelismStrategy);
+    {
+        TraceEvent ev;
+        ev.addArg("tiling_factor", static_cast<long long>(
+                      lastPlan_.tiling.tilingFactor))
+            .addArg("snapshot_groups", static_cast<long long>(
+                        lastPlan_.parallelism.snapshotGroups))
+            .addArg("vertex_parts", static_cast<long long>(
+                        lastPlan_.parallelism.vertexParts));
+        planSpan("alg1-tiling", std::move(ev));
+    }
 
     // Steps (4)-(6): Algorithm 2 — the BDW mapping.
     lastMapping_ = workloadGenerator_.generate(
         dg, loads, lastPlan_, hw_, options_.workloadBalance);
+    {
+        TraceEvent ev;
+        ev.addArg("groups", static_cast<long long>(
+                      lastMapping_.groups.size()))
+            .addArg("imbalance_permille", static_cast<long long>(
+                        lastMapping_.imbalance * 1000.0));
+        planSpan("alg2-bdw", std::move(ev));
+    }
 
     // Steps (8)-(9): interconnect mode.
     const auto reconfig =
         reconfigurationUnit_.configure(options_.reconfigurableNoc);
+    {
+        TraceEvent ev;
+        ev.addArg("topology",
+                  std::string(noc::topologyKindName(reconfig.topology)))
+            .addArg("reconfig_events_per_snapshot",
+                    static_cast<long long>(
+                        reconfig.reconfigEventsPerSnapshot));
+        planSpan("relink-config", std::move(ev));
+    }
+    if (tracer.metricsEnabled()) {
+        tracer.addMetric("plan.prepares", 1);
+        tracer.addMetric("plan.tiling_factor_sum",
+                         lastPlan_.tiling.tilingFactor);
+    }
     hw = hw_;
     hw.noc.topology = reconfig.topology;
 

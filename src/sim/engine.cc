@@ -45,6 +45,7 @@
 #include "common/math_util.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
+#include "common/trace.hh"
 #include "noc/network.hh"
 #include "noc/relink_controller.hh"
 #include "sim/execution_plan.hh"
@@ -283,6 +284,17 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
     ThreadPool &pool = ThreadPool::global();
     std::vector<SnapshotWork> work(
         static_cast<std::size_t>(num_snapshots));
+
+    // Observability gates, read once: a disabled tracer costs two
+    // relaxed loads per run and leaves every output byte-identical.
+    // Everything recorded below is emitted from *serial* sections out
+    // of per-snapshot slots, so traces and extended stats are
+    // bit-identical at any thread width (see common/trace.hh).
+    Tracer &tracer = Tracer::global();
+    const bool obs_trace = tracer.traceEnabled();
+    const bool obs_metrics = tracer.metricsEnabled();
+    const bool obs = obs_trace || obs_metrics;
+    const std::uint64_t track_base = Tracer::trackBase();
 
     // ---- Fault resolution + degraded-mode BDW re-deal. ----
     // A non-empty fault schedule resolves into per-snapshot fault
@@ -744,13 +756,38 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
         static_cast<std::size_t>(num_snapshots), 0);
     std::vector<Cycle> dram_retry_cycles(
         static_cast<std::size_t>(num_snapshots), 0);
+    // Per-snapshot DRAM observability slots, filled in the serial
+    // replay so the trace can attribute row behavior per stream.
+    struct DramObs
+    {
+        Cycle begin = 0;
+        std::uint64_t requests = 0;
+        std::uint64_t rowHits = 0;
+        std::uint64_t rowMisses = 0;
+        std::uint64_t rowConflicts = 0;
+        ByteCount readBytes = 0;
+        ByteCount writeBytes = 0;
+    };
+    std::vector<DramObs> dram_obs(
+        obs ? static_cast<std::size_t>(num_snapshots) : 0);
     Cycle dram_cursor = 0;
     for (SnapshotId t = 0; t < num_snapshots; ++t) {
         const auto i = static_cast<std::size_t>(t);
         SnapshotWork &w = work[i];
         for (auto &request : w.requests)
             request.issueCycle = dram_cursor;
+        const Cycle stream_begin = dram_cursor;
         const auto dram_res = dram_model.service(w.requests);
+        if (obs) {
+            DramObs &d = dram_obs[i];
+            d.begin = stream_begin;
+            d.requests = w.requests.size();
+            d.rowHits = dram_res.rowHits;
+            d.rowMisses = dram_res.rowMisses;
+            d.rowConflicts = dram_res.rowConflicts;
+            d.readBytes = dram_res.readBytes;
+            d.writeBytes = dram_res.writeBytes;
+        }
         dram_cursor = std::max(dram_cursor, dram_res.completionCycle);
         result.energyEvents.dramBytes += dram_res.totalBytes();
         result.energyEvents.dramActivates +=
@@ -781,6 +818,15 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                 for (auto &request : retries)
                     request.issueCycle = dram_cursor;
                 const auto retry_res = dram_model.service(retries);
+                if (obs) {
+                    DramObs &d = dram_obs[i];
+                    d.requests += retries.size();
+                    d.rowHits += retry_res.rowHits;
+                    d.rowMisses += retry_res.rowMisses;
+                    d.rowConflicts += retry_res.rowConflicts;
+                    d.readBytes += retry_res.readBytes;
+                    d.writeBytes += retry_res.writeBytes;
+                }
                 dram_retry_requests[i] = retries.size();
                 dram_retry_bytes[i] = retry_res.totalBytes();
                 dram_retry_cycles[i] =
@@ -1075,6 +1121,306 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
     result.stats.merge(result.energy.toStats());
     if (fm)
         result.stats.merge(result.resilience.toStats());
+
+    // ---- Observability: extended stats, metrics, trace spans. ----
+    // Everything here is re-derived from per-snapshot slots that the
+    // ordered reduction already pinned, so the emission is a pure
+    // serial walk: bit-identical at any thread width.
+    if (obs) {
+        std::uint64_t digest_full_fastpath = 0;
+        std::uint64_t digest_rnn_fastpath = 0;
+        std::uint64_t scratch_snapshots = 0;
+        std::uint64_t noc_messages = 0;
+        std::uint64_t dram_requests = 0;
+        std::uint64_t row_hits = 0;
+        std::uint64_t row_misses = 0;
+        std::uint64_t row_conflicts = 0;
+        ByteCount dram_read = 0;
+        ByteCount dram_write = 0;
+        std::uint64_t relink_engaged = 0;
+        for (SnapshotId t = 0; t < num_snapshots; ++t) {
+            const auto i = static_cast<std::size_t>(t);
+            const model::SnapshotPlan &splan = snapshot_plans[i];
+            const bool digest_snapshot =
+                pdigest && owner_remap[i].empty();
+            const bool full_fp = digest_snapshot &&
+                splan.fullRecompute && !options.detailedTileTiming;
+            digest_full_fastpath += full_fp ? 1 : 0;
+            digest_rnn_fastpath += digest_snapshot &&
+                    static_cast<VertexId>(splan.rnnVertices.size()) ==
+                        num_vertices
+                ? 1 : 0;
+            scratch_snapshots += full_fp ? 0 : 1;
+            noc_messages += work[i].spatial.numMessages +
+                work[i].temporal.numMessages;
+            const DramObs &d = dram_obs[i];
+            dram_requests += d.requests;
+            row_hits += d.rowHits;
+            row_misses += d.rowMisses;
+            row_conflicts += d.rowConflicts;
+            dram_read += d.readBytes;
+            dram_write += d.writeBytes;
+            if (adaptive_relink && relink_span[i] > 1)
+                ++relink_engaged;
+        }
+        if (obs_metrics) {
+            // Per-run extended stats (appended, so the stats JSON with
+            // metrics off keeps today's exact field sequence).
+            result.stats.set("noc.spatial_bytes",
+                             static_cast<double>(result.nocBytesSpatial));
+            result.stats.set("noc.temporal_bytes",
+                             static_cast<double>(result.nocBytesTemporal));
+            result.stats.set("noc.reuse_bytes",
+                             static_cast<double>(result.nocBytesReuse));
+            result.stats.set("noc.messages",
+                             static_cast<double>(noc_messages));
+            result.stats.set("dram.requests",
+                             static_cast<double>(dram_requests));
+            result.stats.set("dram.row_hits",
+                             static_cast<double>(row_hits));
+            result.stats.set("dram.row_misses",
+                             static_cast<double>(row_misses));
+            result.stats.set("dram.row_conflicts",
+                             static_cast<double>(row_conflicts));
+            result.stats.set("dram.read_bytes",
+                             static_cast<double>(dram_read));
+            result.stats.set("dram.write_bytes",
+                             static_cast<double>(dram_write));
+            result.stats.set("engine.digest_full_fastpath",
+                             static_cast<double>(digest_full_fastpath));
+            result.stats.set("engine.digest_rnn_fastpath",
+                             static_cast<double>(digest_rnn_fastpath));
+            result.stats.set("engine.scratch_snapshots",
+                             static_cast<double>(scratch_snapshots));
+            result.stats.set("relink.engaged_snapshots",
+                             static_cast<double>(relink_engaged));
+            // Process-wide registry totals across runs.
+            tracer.addMetric("engine.runs", 1);
+            tracer.addMetric("engine.snapshots", num_snapshots);
+            tracer.addMetric("engine.digest_full_fastpath",
+                             static_cast<long long>(digest_full_fastpath));
+            tracer.addMetric("engine.digest_rnn_fastpath",
+                             static_cast<long long>(digest_rnn_fastpath));
+            tracer.addMetric("engine.scratch_snapshots",
+                             static_cast<long long>(scratch_snapshots));
+            tracer.addMetric("noc.spatial_bytes",
+                             static_cast<long long>(result.nocBytesSpatial));
+            tracer.addMetric("noc.temporal_bytes",
+                             static_cast<long long>(
+                                 result.nocBytesTemporal));
+            tracer.addMetric("noc.reuse_bytes",
+                             static_cast<long long>(result.nocBytesReuse));
+            tracer.addMetric("dram.row_hits",
+                             static_cast<long long>(row_hits));
+            tracer.addMetric("dram.row_misses",
+                             static_cast<long long>(row_misses));
+            tracer.addMetric("dram.row_conflicts",
+                             static_cast<long long>(row_conflicts));
+            tracer.addMetric("relink.engaged_snapshots",
+                             static_cast<long long>(relink_engaged));
+            if (fm) {
+                tracer.addMetric("fault.recovery_events",
+                                 static_cast<long long>(
+                                     result.resilience.events.size()));
+            }
+        }
+        if (obs_trace) {
+            const std::string &an = plan.acceleratorName;
+            tracer.nameTrack(track_base + Tracer::kDramTrack,
+                             an + ": dram");
+            tracer.nameTrack(track_base + Tracer::kNocTrack,
+                             an + ": noc");
+            tracer.nameTrack(track_base + Tracer::kCacheTrack,
+                             an + ": cache");
+            if (fm) {
+                tracer.nameTrack(track_base + Tracer::kFaultTrack,
+                                 an + ": faults");
+            }
+            auto column_track = [&](int col) {
+                const auto off = std::min<std::uint64_t>(
+                    static_cast<std::uint64_t>(col),
+                    Tracer::kTracksPerRun - Tracer::kColumnTrackBase -
+                        1);
+                return track_base + Tracer::kColumnTrackBase + off;
+            };
+            std::vector<bool> col_named(
+                static_cast<std::size_t>(std::max(1, hw.tileCols)),
+                false);
+            for (SnapshotId t = 0; t < num_snapshots; ++t) {
+                const auto i = static_cast<std::size_t>(t);
+                const SnapshotWork &w = work[i];
+                const auto &row = result.trace[i];
+                const std::uint64_t ct = column_track(row.column);
+                if (!col_named[static_cast<std::size_t>(row.column)]) {
+                    col_named[static_cast<std::size_t>(row.column)] =
+                        true;
+                    tracer.nameTrack(
+                        ct, mapping.spatialOnly
+                            ? an + ": grid"
+                            : an + ": col " +
+                                std::to_string(row.column));
+                }
+                // Span geometry is reconstructed backwards from the
+                // modeled completion cycles the timeline assembly
+                // pinned, so timestamps are virtual by construction.
+                const Cycle on_chip = std::max(w.gnnCompute,
+                                               w.spatial.makespan);
+                const Cycle gnn_start = row.gnnDone - on_chip;
+                const Cycle rnn_start = row.rnnDone - w.rnnCompute;
+                const Cycle rnn_comm_start =
+                    rnn_start - w.temporal.makespan;
+                const Cycle begin = std::min(gnn_start, rnn_comm_start);
+
+                TraceEvent snap;
+                snap.cat = "engine";
+                snap.name = "snapshot " + std::to_string(t);
+                snap.track = ct;
+                snap.ts = begin;
+                snap.dur = row.rnnDone - begin;
+                snap.ord = t;
+                snap.addArg("snapshot", t).addArg("column", row.column);
+                tracer.record(std::move(snap));
+                if (w.gnnCompute > 0) {
+                    TraceEvent e;
+                    e.cat = "engine";
+                    e.name = "gnn-compute";
+                    e.track = ct;
+                    e.ts = row.gnnDone - w.gnnCompute;
+                    e.dur = w.gnnCompute;
+                    e.ord = t;
+                    tracer.record(std::move(e));
+                }
+                if (w.spatial.makespan > 0 || w.spatial.totalBytes > 0) {
+                    TraceEvent e;
+                    e.cat = "noc";
+                    e.name = "spatial-comm";
+                    e.track = ct;
+                    e.ts = row.gnnDone - w.spatial.makespan;
+                    e.dur = w.spatial.makespan;
+                    e.ord = t;
+                    e.addArg("bytes", static_cast<long long>(
+                                 w.spatial.totalBytes))
+                        .addArg("messages", static_cast<long long>(
+                                    w.spatial.numMessages));
+                    tracer.record(std::move(e));
+                }
+                if (w.rnnCompute > 0) {
+                    TraceEvent e;
+                    e.cat = "engine";
+                    e.name = "rnn-compute";
+                    e.track = ct;
+                    e.ts = rnn_start;
+                    e.dur = w.rnnCompute;
+                    e.ord = t;
+                    tracer.record(std::move(e));
+                }
+                if (w.hasTemporal && (w.temporal.makespan > 0 ||
+                                      w.temporal.totalBytes > 0)) {
+                    TraceEvent e;
+                    e.cat = "noc";
+                    e.name = "temporal-comm";
+                    e.track = ct;
+                    e.ts = rnn_comm_start;
+                    e.dur = w.temporal.makespan;
+                    e.ord = t;
+                    e.addArg("temporal_bytes", static_cast<long long>(
+                                 w.temporal.bytesByClass[
+                                     static_cast<int>(
+                                         noc::TrafficClass::Temporal)]))
+                        .addArg("reuse_bytes", static_cast<long long>(
+                                    w.temporal.bytesByClass[
+                                        static_cast<int>(
+                                            noc::TrafficClass::Reuse)]));
+                    tracer.record(std::move(e));
+                }
+                // Per-class traffic samples render as counter series.
+                TraceEvent cls;
+                cls.phase = 'C';
+                cls.cat = "noc";
+                cls.name = "noc-bytes";
+                cls.track = track_base + Tracer::kNocTrack;
+                cls.ts = row.gnnDone;
+                cls.ord = t;
+                cls.addArg("spatial", static_cast<long long>(
+                               w.spatial.totalBytes))
+                    .addArg("temporal", static_cast<long long>(
+                                w.temporal.bytesByClass[
+                                    static_cast<int>(
+                                        noc::TrafficClass::Temporal)]))
+                    .addArg("reuse", static_cast<long long>(
+                                w.temporal.bytesByClass[
+                                    static_cast<int>(
+                                        noc::TrafficClass::Reuse)]));
+                tracer.record(std::move(cls));
+                if (adaptive_relink) {
+                    TraceEvent e;
+                    e.phase = 'i';
+                    e.cat = "noc";
+                    e.name = "relink-span";
+                    e.track = track_base + Tracer::kNocTrack;
+                    e.ts = gnn_start;
+                    e.ord = t;
+                    e.addArg("span", relink_span[i]);
+                    tracer.record(std::move(e));
+                }
+                const DramObs &d = dram_obs[i];
+                TraceEvent stream;
+                stream.cat = "dram";
+                stream.name = "dram-stream";
+                stream.track = track_base + Tracer::kDramTrack;
+                stream.ts = d.begin;
+                stream.dur = row.dramDone - d.begin;
+                stream.ord = t;
+                stream.addArg("snapshot", t)
+                    .addArg("requests",
+                            static_cast<long long>(d.requests))
+                    .addArg("row_hits",
+                            static_cast<long long>(d.rowHits))
+                    .addArg("row_misses",
+                            static_cast<long long>(d.rowMisses))
+                    .addArg("row_conflicts",
+                            static_cast<long long>(d.rowConflicts))
+                    .addArg("read_bytes",
+                            static_cast<long long>(d.readBytes))
+                    .addArg("write_bytes",
+                            static_cast<long long>(d.writeBytes));
+                tracer.record(std::move(stream));
+                if (dram_retry_requests[i] > 0) {
+                    TraceEvent e;
+                    e.phase = 'i';
+                    e.cat = "dram";
+                    e.name = "dram-retry";
+                    e.track = track_base + Tracer::kDramTrack;
+                    e.ts = row.dramDone;
+                    e.ord = t;
+                    e.addArg("requests", static_cast<long long>(
+                                 dram_retry_requests[i]))
+                        .addArg("bytes", static_cast<long long>(
+                                    dram_retry_bytes[i]))
+                        .addArg("cycles", static_cast<long long>(
+                                    dram_retry_cycles[i]));
+                    tracer.record(std::move(e));
+                }
+            }
+            if (fm) {
+                std::uint64_t k = 0;
+                for (const auto &ev : result.resilience.events) {
+                    TraceEvent e;
+                    e.phase = 'i';
+                    e.cat = "fault";
+                    e.name = ev.kind;
+                    e.track = track_base + Tracer::kFaultTrack;
+                    e.ts = result.trace[static_cast<std::size_t>(
+                                            ev.snapshot)]
+                               .rnnDone;
+                    e.ord = k++;
+                    e.addArg("snapshot", ev.snapshot)
+                        .addArg("detail", ev.detail);
+                    tracer.record(std::move(e));
+                }
+            }
+        }
+    }
     return result;
 }
 

@@ -17,6 +17,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/trace.hh"
 #include "sim/plan_cache.hh"
 #include "workload/digest.hh"
 
@@ -723,6 +724,21 @@ buildEnginePlan(const graph::DynamicGraph &dg,
                 const EngineOptions &options,
                 const std::string &accelerator_name, PlanCache *cache)
 {
+    Tracer &tracer = Tracer::global();
+    const bool obs_trace = tracer.traceEnabled();
+    const std::uint64_t plan_track =
+        Tracer::trackBase() + Tracer::kPlanTrack;
+    auto planSpan = [&](const std::string &nm, TraceEvent ev) {
+        if (!obs_trace)
+            return;
+        ev.cat = "plan";
+        ev.name = nm;
+        ev.track = plan_track;
+        ev.ts = tracer.nextStep(plan_track);
+        ev.dur = 1;
+        tracer.record(std::move(ev));
+    };
+
     ExecutionPlan plan;
     plan.acceleratorName = accelerator_name;
     plan.workloadName = dg.name();
@@ -730,6 +746,15 @@ buildEnginePlan(const graph::DynamicGraph &dg,
     // so plan JSON is identical with and without the digest layer.
     plan.workloadDigest =
         workload::loadDigestKey(dg, model_config.numGcnLayers());
+    {
+        char key[24];
+        std::snprintf(key, sizeof(key), "%016llx",
+                      static_cast<unsigned long long>(
+                          plan.workloadDigest));
+        TraceEvent ev;
+        ev.addArg("key", std::string(key));
+        planSpan("workload-digest-key", std::move(ev));
+    }
     plan.hw = hw;
     plan.modelConfig = model_config;
     plan.mapping = mapping;
@@ -741,6 +766,16 @@ buildEnginePlan(const graph::DynamicGraph &dg,
         ? cache->obtain(dg, model_config, options.algo)
         : PlanCache::buildSnapshotPlans(dg, model_config,
                                         options.algo);
+    if (obs_trace) {
+        tracer.nameTrack(plan_track, accelerator_name + ": plan");
+        TraceEvent ev;
+        ev.addArg("snapshots", static_cast<long long>(
+                      plan.snapshots ? plan.snapshots->size() : 0))
+            .addArg("cached", std::string(cache ? "yes" : "no"));
+        planSpan("snapshot-planning", std::move(ev));
+    }
+    if (tracer.metricsEnabled())
+        tracer.addMetric("plan.builds", 1);
     return plan;
 }
 

@@ -345,10 +345,14 @@ FaultModel::FaultModel(const FaultSpec &spec,
                 if (!permanent_active)
                     break;
                 if (!grid_links) {
-                    warnOnce("ignoring ", faultKindToken(e.kind),
-                             " fault: topology '",
+                    // Site key embeds the kind (bounded set), not the
+                    // topology name: one warning per kind per process.
+                    warnOnce(std::string("ignoring ") +
+                                 faultKindToken(e.kind) +
+                                 " fault: no grid links",
+                             "; topology '",
                              noc::topologyKindName(hw.noc.topology),
-                             "' has no grid links");
+                             "' has none");
                     break;
                 }
                 forCoord(e.row, rows, [&](int r) {
@@ -381,10 +385,12 @@ FaultModel::FaultModel(const FaultSpec &spec,
                 if (!permanent_active)
                     break;
                 if (!has_bypass) {
-                    warnOnce("ignoring ", faultKindToken(e.kind),
-                             " fault: topology '",
+                    warnOnce(std::string("ignoring ") +
+                                 faultKindToken(e.kind) +
+                                 " fault: no bypass switches",
+                             "; topology '",
                              noc::topologyKindName(hw.noc.topology),
-                             "' has no bypass switches");
+                             "' has none");
                     break;
                 }
                 forCoord(e.col, cols, [&](int c) {

@@ -5,7 +5,32 @@
 
 #include "sim/plan_cache.hh"
 
+#include <cstdio>
+
+#include "common/trace.hh"
+
 namespace ditile::sim {
+
+namespace {
+
+/** Emit a cache hit/miss instant on the caller's cache track. */
+void
+cacheInstant(const char *name, std::uint64_t key)
+{
+    Tracer &tracer = Tracer::global();
+    if (!tracer.traceEnabled())
+        return;
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key));
+    TraceEvent ev;
+    ev.addArg("key", std::string(hex));
+    tracer.instant("cache", name,
+                   Tracer::trackBase() + Tracer::kCacheTrack,
+                   std::move(ev));
+}
+
+} // namespace
 
 namespace {
 
@@ -60,14 +85,24 @@ PlanCache::obtain(const graph::DynamicGraph &dg,
                   const model::DgnnConfig &config, model::AlgoKind algo)
 {
     const std::uint64_t key = planKey(dg, config, algo);
+    std::shared_ptr<const SnapshotPlans> cached;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = entries_.find(key);
         if (it != entries_.end()) {
             ++hits_;
-            return it->second;
+            cached = it->second;
         }
     }
+    // Observability events fire outside the critical section; lookups
+    // happen at serial points of a run, so traces stay deterministic.
+    if (cached) {
+        cacheInstant("plan-cache hit", key);
+        Tracer::global().addMetric("cache.plan.hits", 1);
+        return cached;
+    }
+    cacheInstant("plan-cache miss", key);
+    Tracer::global().addMetric("cache.plan.misses", 1);
     // Plan outside the lock so concurrent misses on different keys
     // proceed in parallel.
     auto plans = buildSnapshotPlans(dg, config, algo);

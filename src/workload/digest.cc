@@ -29,9 +29,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace ditile::workload {
 
@@ -313,18 +315,48 @@ partitionDigestKey(const graph::DynamicGraph &dg,
     return hasher.h;
 }
 
+namespace {
+
+/** Emit a digest-cache hit/miss instant on the caller's cache track. */
+void
+digestInstant(const char *name, std::uint64_t key)
+{
+    ditile::Tracer &tracer = ditile::Tracer::global();
+    if (!tracer.traceEnabled())
+        return;
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key));
+    ditile::TraceEvent ev;
+    ev.addArg("key", std::string(hex));
+    tracer.instant("cache", name,
+                   ditile::Tracer::trackBase() +
+                       ditile::Tracer::kCacheTrack,
+                   std::move(ev));
+}
+
+} // namespace
+
 std::shared_ptr<const LoadDigest>
 DigestCache::loads(const graph::DynamicGraph &dg, int gcn_layers)
 {
     const std::uint64_t key = loadDigestKey(dg, gcn_layers);
+    std::shared_ptr<const LoadDigest> cached;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = loads_.find(key);
         if (it != loads_.end()) {
             ++hits_;
-            return it->second;
+            cached = it->second;
         }
     }
+    if (cached) {
+        digestInstant("digest-loads hit", key);
+        Tracer::global().addMetric("cache.digest_loads.hits", 1);
+        return cached;
+    }
+    digestInstant("digest-loads miss", key);
+    Tracer::global().addMetric("cache.digest_loads.misses", 1);
     // Build outside the lock; the first finished writer wins.
     auto digest = std::make_shared<const LoadDigest>(
         buildLoadDigest(dg, gcn_layers));
@@ -339,14 +371,22 @@ DigestCache::partition(const graph::DynamicGraph &dg,
                        const std::vector<int> &owners, int slots)
 {
     const std::uint64_t key = partitionDigestKey(dg, owners, slots);
+    std::shared_ptr<const PartitionDigest> cached;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = partitions_.find(key);
         if (it != partitions_.end()) {
             ++hits_;
-            return it->second;
+            cached = it->second;
         }
     }
+    if (cached) {
+        digestInstant("digest-partition hit", key);
+        Tracer::global().addMetric("cache.digest_partition.hits", 1);
+        return cached;
+    }
+    digestInstant("digest-partition miss", key);
+    Tracer::global().addMetric("cache.digest_partition.misses", 1);
     auto digest = std::make_shared<const PartitionDigest>(
         buildPartitionDigest(dg, owners, slots));
     std::lock_guard<std::mutex> lock(mutex_);

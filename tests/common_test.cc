@@ -7,8 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "common/cli.hh"
+#include "common/logging.hh"
 #include "common/math_util.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
@@ -354,6 +356,54 @@ TEST_P(RngUniformity, BucketsAreBalanced)
 INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformity,
                          ::testing::Values(1u, 2u, 3u, 1234567u,
                                            0xdeadbeefu));
+
+// ---------------------------------------------------------------------
+// warnOnce dedup semantics.
+// ---------------------------------------------------------------------
+
+TEST(WarnOnce, DedupsOnSiteKeyNotFullMessage)
+{
+    detail::warnOnceResetForTest();
+    // Same site prefix with varying per-point detail: one entry, one
+    // print. The old behavior keyed on the full message, so every
+    // distinct detail grew the table and re-printed.
+    EXPECT_TRUE(warnOnce("site A", ": detail ", 1));
+    EXPECT_FALSE(warnOnce("site A", ": detail ", 2));
+    EXPECT_FALSE(warnOnce("site A", ": detail ", 3));
+    EXPECT_EQ(detail::warnOnceTableSize(), 1u);
+    // A different site still prints.
+    EXPECT_TRUE(warnOnce("site B"));
+    EXPECT_EQ(detail::warnOnceTableSize(), 2u);
+    detail::warnOnceResetForTest();
+}
+
+TEST(WarnOnce, TableIsCappedAndSaturationIsQuiet)
+{
+    detail::warnOnceResetForTest();
+    for (std::size_t i = 0; i < detail::kWarnOnceCap; ++i)
+        EXPECT_TRUE(warnOnce(std::string("cap site ") +
+                             std::to_string(i)));
+    EXPECT_EQ(detail::warnOnceTableSize(), detail::kWarnOnceCap);
+    // Past the cap nothing new is remembered or printed, and the
+    // table stays bounded.
+    EXPECT_FALSE(warnOnce("one past the cap"));
+    EXPECT_FALSE(warnOnce("two past the cap"));
+    EXPECT_EQ(detail::warnOnceTableSize(), detail::kWarnOnceCap);
+    // Known sites are still recognized as seen.
+    EXPECT_FALSE(warnOnce("cap site 0"));
+    detail::warnOnceResetForTest();
+}
+
+TEST(WarnOnce, ResetHookClearsTableAndSaturation)
+{
+    detail::warnOnceResetForTest();
+    EXPECT_TRUE(warnOnce("reset probe"));
+    EXPECT_FALSE(warnOnce("reset probe"));
+    detail::warnOnceResetForTest();
+    EXPECT_EQ(detail::warnOnceTableSize(), 0u);
+    EXPECT_TRUE(warnOnce("reset probe"));
+    detail::warnOnceResetForTest();
+}
 
 } // namespace
 } // namespace ditile

@@ -48,11 +48,27 @@ TEST(JsonObject, IntegerValuedDoublesStayIntegers)
     EXPECT_NE(obj.toString().find("\"count\": 42"), std::string::npos);
 }
 
-TEST(JsonObject, NonFiniteBecomesNull)
+TEST(JsonObject, NonFiniteThrowsInputError)
+{
+    // JSON has no NaN/Inf tokens; the old "null" fallback silently
+    // corrupted numeric fields for downstream consumers.
+    JsonObject nan_obj;
+    EXPECT_THROW(nan_obj.add("bad", std::nan("")), InputError);
+    JsonObject inf_obj;
+    EXPECT_THROW(inf_obj.add("bad", HUGE_VAL), InputError);
+    JsonObject neg_inf_obj;
+    EXPECT_THROW(neg_inf_obj.add("bad", -HUGE_VAL), InputError);
+}
+
+TEST(JsonObject, FiniteExtremesStillSerialize)
 {
     JsonObject obj;
-    obj.add("bad", std::nan(""));
-    EXPECT_NE(obj.toString().find("\"bad\": null"), std::string::npos);
+    obj.add("max", 1.7976931348623157e308);
+    obj.add("tiny", 5e-324);
+    obj.add("zero", 0.0);
+    const std::string out = obj.toString();
+    EXPECT_EQ(out.find("null"), std::string::npos);
+    EXPECT_NE(out.find("\"zero\": 0"), std::string::npos);
 }
 
 TEST(JsonObject, PreservesInsertionOrder)

@@ -11,12 +11,17 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.hh"
+#include "common/trace.hh"
 #include "core/ditile_accelerator.hh"
 #include "graph/generator.hh"
 #include "sim/baselines.hh"
+#include "sim/plan_cache.hh"
+#include "workload/digest.hh"
 
 namespace ditile {
 namespace {
@@ -318,6 +323,79 @@ TEST(PlanDeterminism, FaultedExecutionIdenticalAcrossThreadCounts)
                   parallel.resilience.degradedCapacityFraction);
     }
     ThreadPool::setGlobalThreads(1);
+}
+
+// ---------------------------------------------------------------------
+// Cache stat accessors under concurrent traffic, and structured-trace
+// determinism across thread widths.
+// ---------------------------------------------------------------------
+
+TEST(PlanCache, StatsAccessorsSafeUnderConcurrentObtain)
+{
+    // Hammer obtain() from the pool while another thread polls the
+    // hit/miss/size accessors; under TSan this pins the lock coverage
+    // of both sides (the counters and the entry map share one mutex).
+    const auto dg = ctdgWorkload();
+    const model::DgnnConfig mconfig;
+    sim::PlanCache cache;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> polled{0};
+    std::thread poller([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+            polled.fetch_add(cache.hits() + cache.misses() +
+                             cache.size());
+        }
+    });
+    ThreadPool::setGlobalThreads(8);
+    parallelFor(64, [&](std::size_t i) {
+        const auto algo = i % 2 ? model::AlgoKind::DiTileAlg
+                                : model::AlgoKind::ReAlg;
+        auto plans = cache.obtain(dg, mconfig, algo);
+        EXPECT_NE(plans, nullptr);
+        EXPECT_EQ(plans->size(),
+                  static_cast<std::size_t>(dg.numSnapshots()));
+    });
+    stop.store(true);
+    poller.join();
+    ThreadPool::setGlobalThreads(1);
+    // Every obtain() counted exactly once; racing first builds may
+    // each count a miss, but the same key never misses after its
+    // entry landed, so at most one extra build per algo survives.
+    EXPECT_EQ(cache.hits() + cache.misses(), 64u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_GE(cache.misses(), 2u);
+}
+
+TEST(EngineDeterminism, ChromeTraceIdenticalAcrossThreadCounts)
+{
+    const auto dg = ctdgWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    auto capture = [&](int threads) {
+        // The process-wide digest cache outlives runs; clear it so
+        // every capture sees the same hit/miss sequence.
+        workload::DigestCache::global().clear();
+        sim::Tracer &tracer = sim::Tracer::global();
+        tracer.reset();
+        tracer.enable(true, true);
+        sim::Tracer::setTrackBase(0);
+        ThreadPool::setGlobalThreads(threads);
+        accel.run(dg, mconfig);
+        ThreadPool::setGlobalThreads(1);
+        std::string out = tracer.toChromeJson();
+        out += "\n-- metrics --\n";
+        for (const auto &[name, value] : tracer.metrics())
+            out += name + "=" + std::to_string(value) + "\n";
+        tracer.reset();
+        return out;
+    };
+    const std::string serial = capture(1);
+    EXPECT_NE(serial.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(serial.find("engine.runs=1"), std::string::npos);
+    for (int threads : {2, 8}) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        EXPECT_EQ(capture(threads), serial);
+    }
 }
 
 } // namespace

@@ -11,6 +11,11 @@
  *   ditile_inspect mapping --dataset=WD
  *   ditile_inspect program --dataset=WD [--verbose]
  *   ditile_inspect resilience --faults=SPEC [--accel=ditile]
+ *   ditile_inspect trace out.json
+ *
+ * `trace FILE` loads a Chrome trace written by ditile_run/ditile_sweep
+ * --trace=FILE and prints the per-stage rollup (count, total span
+ * duration, first/last virtual timestamp per category+name).
  *
  * `plan --dump` serializes the full ExecutionPlan (Figure-5 front-end
  * output) of the chosen accelerator to stdout or FILE; `plan --diff`
@@ -30,6 +35,7 @@
 #include "common/cli.hh"
 #include "common/json.hh"
 #include "common/table.hh"
+#include "common/trace.hh"
 #include "core/ditile_accelerator.hh"
 #include "graph/datasets.hh"
 #include "graph/generator.hh"
@@ -457,13 +463,50 @@ inspectProgram(const graph::DynamicGraph &dg, bool verbose)
 }
 
 int
+inspectTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        DITILE_FATAL("cannot open trace '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::vector<TraceEvent> events;
+    try {
+        events = Tracer::parseChromeJson(buffer.str());
+    } catch (const std::runtime_error &e) {
+        DITILE_FATAL("failed to parse trace '", path, "': ", e.what());
+    }
+    Table table("trace rollup: " + path);
+    table.setHeader({"Category", "Name", "Count", "Total dur",
+                     "First ts", "Last end"});
+    for (const auto &row : Tracer::rollupEvents(events)) {
+        table.addRow({row.cat, row.name,
+                      Table::integer(static_cast<long long>(row.count)),
+                      Table::integer(static_cast<long long>(
+                          row.totalDur)),
+                      Table::integer(static_cast<long long>(
+                          row.firstTs)),
+                      Table::integer(static_cast<long long>(
+                          row.lastEnd))});
+    }
+    table.print();
+    std::printf("%zu events\n", events.size());
+    return 0;
+}
+
+int
 runTool(const CliFlags &flags)
 {
     if (flags.positional().empty()) {
         DITILE_FATAL("usage: ditile_inspect dataset|stats|plan|"
-                     "mapping|program|resilience [flags]");
+                     "mapping|program|resilience|trace [flags]");
     }
     const auto &command = flags.positional().front();
+    if (command == "trace") {
+        if (flags.positional().size() != 2)
+            DITILE_FATAL("usage: ditile_inspect trace FILE");
+        return inspectTrace(flags.positional()[1]);
+    }
     if (command == "plan" && flags.has("diff")) {
         if (flags.positional().size() != 3) {
             DITILE_FATAL("usage: ditile_inspect plan --diff "

@@ -30,6 +30,12 @@
  *                           Overrides the schedule in --plan-in)
  *   --json / --csv         (output format; default ASCII table)
  *   --trace                (per-snapshot timeline table)
+ *   --trace=FILE           (structured Chrome trace_event JSON; open
+ *                           in chrome://tracing or Perfetto. Output is
+ *                           byte-identical at any --threads width)
+ *   --metrics              (hierarchical counter registry + extended
+ *                           per-run stats; table mode prints to
+ *                           stdout, --json/--csv modes to stderr)
  *   positional args: snapshot edge-list files (loads from disk)
  */
 
@@ -43,6 +49,7 @@
 #include "common/json.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "common/trace.hh"
 #include "core/ditile_accelerator.hh"
 #include "graph/datasets.hh"
 #include "graph/generator.hh"
@@ -266,7 +273,17 @@ runTool(const CliFlags &flags)
 
     const bool json = flags.getBool("json", false);
     const bool csv = flags.getBool("csv", false);
-    const bool trace = flags.getBool("trace", false);
+    // Bare --trace keeps the legacy timeline table; --trace=FILE
+    // additionally captures the structured Chrome trace.
+    const auto trace_arg = flags.getString("trace", "");
+    const bool trace = trace_arg == "1";
+    const std::string trace_file = trace ? "" : trace_arg;
+    const bool metrics = flags.getBool("metrics", false);
+    Tracer &tracer = Tracer::global();
+    if (!trace_file.empty() || metrics) {
+        tracer.reset();
+        tracer.enable(!trace_file.empty(), metrics);
+    }
     const auto plan_in = flags.getString("plan-in", "");
     const auto plan_out = flags.getString("plan-out", "");
     const bool have_faults = flags.has("faults");
@@ -295,7 +312,10 @@ runTool(const CliFlags &flags)
         auto accelerators = buildAccelerators(flags);
         if (!plan_out.empty() && accelerators.size() != 1)
             DITILE_FATAL("--plan-out requires a single --accel");
+        std::uint64_t run_idx = 0;
         for (auto &acc : accelerators) {
+            // Disjoint track group per accelerator run.
+            Tracer::setTrackBase(run_idx++ * Tracer::kTracksPerRun);
             if (plan_out.empty() && !have_faults) {
                 results.push_back(acc->run(dg, mconfig));
                 continue;
@@ -373,6 +393,30 @@ runTool(const CliFlags &flags)
         std::fputs(table.toCsv().c_str(), stdout);
     } else {
         table.print();
+    }
+    if (!trace_file.empty()) {
+        tracer.writeChromeJson(trace_file);
+        std::fprintf(stderr, "wrote Chrome trace to %s\n",
+                     trace_file.c_str());
+        Table rollup("trace rollup by stage");
+        rollup.setHeader({"Category", "Name", "Count", "Total dur"});
+        for (const auto &row : tracer.rollup()) {
+            rollup.addRow({row.cat, row.name,
+                           Table::integer(static_cast<long long>(
+                               row.count)),
+                           Table::integer(static_cast<long long>(
+                               row.totalDur))});
+        }
+        std::fputs(rollup.toString().c_str(),
+                   (json || csv) ? stderr : stdout);
+    }
+    if (metrics) {
+        Table registry("metrics registry");
+        registry.setHeader({"Metric", "Value"});
+        for (const auto &[path, value] : tracer.metrics())
+            registry.addRow({path, Table::integer(value)});
+        std::fputs(registry.toString().c_str(),
+                   (json || csv) ? stderr : stdout);
     }
     return 0;
 }

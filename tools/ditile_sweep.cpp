@@ -8,7 +8,17 @@
  *
  *   ditile_sweep --dataset=WD --dis=0.02,0.06,0.10,0.14 \
  *                --snapshots=4,8,16 [--all-accels] [--scale=F] \
- *                [--threads=N] [--faults=SPEC] [--digest-stats]
+ *                [--threads=N] [--faults=SPEC] [--digest-stats] \
+ *                [--trace=FILE] [--metrics=FILE]
+ *
+ * --trace=FILE captures a structured Chrome trace across the whole
+ * sweep (each grid point on its own track group); --metrics=FILE
+ * writes a per-point rollup CSV sidecar with the extended per-run
+ * observability stats. The sweep CSV and the metrics sidecar are
+ * bit-identical at any --threads width; in the trace, only the
+ * shared-cache hit/miss instants can shift with thread contention
+ * (which racing grid point pays the miss), every modeled span is
+ * width-independent.
  *
  * Config points are independent, so with --threads=N they fan out
  * across the process-wide thread pool; rows are still emitted in
@@ -28,6 +38,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "common/trace.hh"
 #include "core/ditile_accelerator.hh"
 #include "graph/datasets.hh"
 #include "sim/baselines.hh"
@@ -66,6 +77,15 @@ runTool(const CliFlags &flags)
         sim::FaultSpec::parse(flags.getString("faults", ""));
     ThreadPool::setGlobalThreads(
         static_cast<int>(flags.getInt("threads", 1)));
+    const auto trace_file = flags.getString("trace", "");
+    const auto metrics_file = flags.getString("metrics", "");
+    if (trace_file == "1" || metrics_file == "1")
+        DITILE_FATAL("--trace and --metrics need =FILE in ditile_sweep");
+    Tracer &tracer = Tracer::global();
+    if (!trace_file.empty() || !metrics_file.empty()) {
+        tracer.reset();
+        tracer.enable(!trace_file.empty(), !metrics_file.empty());
+    }
 
     // One job per (dissimilarity, snapshot-count) grid point; each
     // job owns its dataset, accelerator fleet and row block, so jobs
@@ -76,12 +96,13 @@ runTool(const CliFlags &flags)
         double dis = 0.0;
         double snaps = 0.0;
         std::vector<std::vector<std::string>> rows;
+        std::vector<std::vector<std::string>> metricRows;
         std::string error;
     };
     std::vector<Job> jobs;
     for (double dis : dis_list)
         for (double snaps : snap_list)
-            jobs.push_back({dis, snaps, {}, {}});
+            jobs.push_back({dis, snaps, {}, {}, {}});
 
     // One process-wide plan cache: accelerators sharing an update
     // algorithm on the same grid point (ReaDy and DGNN-Booster both
@@ -109,7 +130,13 @@ runTool(const CliFlags &flags)
             }
             fleet.push_back(
                 std::make_unique<core::DiTileAccelerator>());
+            std::uint64_t accel_idx = 0;
             for (auto &accel : fleet) {
+                // Disjoint track group per (grid point, accelerator)
+                // so concurrent jobs never share a trace track.
+                Tracer::setTrackBase(
+                    (static_cast<std::uint64_t>(j) * fleet.size() +
+                     accel_idx++) * Tracer::kTracksPerRun);
                 auto plan = accel->plan(dg, mconfig, &plan_cache);
                 if (have_faults)
                     plan.faults = fault_spec;
@@ -128,9 +155,31 @@ runTool(const CliFlags &flags)
                          r.nocBytes)),
                      Table::num(r.energy.totalPj(), 0),
                      Table::num(r.peUtilization, 4)});
+                if (!metrics_file.empty()) {
+                    auto stat = [&](const char *name) {
+                        return Table::integer(static_cast<long long>(
+                            r.stats.get(name)));
+                    };
+                    job.metricRows.push_back(
+                        {dataset, Table::num(job.dis, 3),
+                         Table::integer(static_cast<long long>(
+                             job.snaps)),
+                         r.acceleratorName,
+                         stat("noc.spatial_bytes"),
+                         stat("noc.temporal_bytes"),
+                         stat("noc.reuse_bytes"),
+                         stat("dram.requests"),
+                         stat("dram.row_hits"),
+                         stat("dram.row_misses"),
+                         stat("dram.row_conflicts"),
+                         stat("engine.digest_full_fastpath"),
+                         stat("engine.digest_rnn_fastpath"),
+                         stat("relink.engaged_snapshots")});
+                }
             }
         } catch (const std::exception &e) {
             job.rows.clear();
+            job.metricRows.clear();
             job.error = e.what();
         }
     });
@@ -158,6 +207,32 @@ runTool(const CliFlags &flags)
                      "snapshots=%d: %s\n",
                      dataset.c_str(), job.dis,
                      static_cast<int>(job.snaps), job.error.c_str());
+    }
+    if (!metrics_file.empty()) {
+        Table sidecar("sweep metrics");
+        sidecar.setHeader({"dataset", "dissimilarity", "snapshots",
+                           "accelerator", "noc_spatial_bytes",
+                           "noc_temporal_bytes", "noc_reuse_bytes",
+                           "dram_requests", "dram_row_hits",
+                           "dram_row_misses", "dram_row_conflicts",
+                           "digest_full_fastpath",
+                           "digest_rnn_fastpath",
+                           "relink_engaged_snapshots"});
+        for (const auto &job : jobs)
+            for (const auto &row : job.metricRows)
+                sidecar.addRow(row);
+        std::FILE *out = std::fopen(metrics_file.c_str(), "w");
+        if (!out)
+            DITILE_FATAL("cannot write --metrics '", metrics_file, "'");
+        std::fputs(sidecar.toCsv().c_str(), out);
+        std::fclose(out);
+        std::fprintf(stderr, "wrote metrics sidecar to %s\n",
+                     metrics_file.c_str());
+    }
+    if (!trace_file.empty()) {
+        tracer.writeChromeJson(trace_file);
+        std::fprintf(stderr, "wrote Chrome trace to %s\n",
+                     trace_file.c_str());
     }
     std::fprintf(stderr, "plan cache: %llu hits, %llu misses\n",
                  static_cast<unsigned long long>(plan_cache.hits()),

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bounded FIFO with explicit admission control.
+ *
+ * The serving tier never blocks producers and never grows without
+ * bound: a request either fits under the configured capacity or is
+ * rejected with a typed error at admission time. tryPush() is the
+ * whole admission decision — there is no blocking push — so a full
+ * queue degrades into rejections instead of latency collapse or OOM.
+ *
+ * The container itself is deliberately not synchronized. The serve
+ * loop performs all admissions and removals from its single control
+ * thread (parallelism lives inside batch *execution*, not queue
+ * access), which is also what keeps rejection decisions deterministic:
+ * occupancy at any admission point is a pure function of the arrival
+ * schedule and modeled service times. Wrap it in a mutex if a future
+ * caller ever needs cross-thread access.
+ */
+
+#ifndef DITILE_COMMON_BOUNDED_QUEUE_HH
+#define DITILE_COMMON_BOUNDED_QUEUE_HH
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+namespace ditile {
+
+/**
+ * FIFO with a hard capacity; push fails instead of growing past it.
+ */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** @param capacity Maximum queued items; clamped to >= 1. */
+    explicit BoundedQueue(std::size_t capacity)
+        : capacity_(capacity < 1 ? 1 : capacity)
+    {
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return items_.size(); }
+    bool empty() const { return items_.empty(); }
+    bool full() const { return items_.size() >= capacity_; }
+
+    /** Admit one item; false (and no state change) when full. */
+    bool
+    tryPush(T item)
+    {
+        if (full())
+            return false;
+        items_.push_back(std::move(item));
+        return true;
+    }
+
+    /** Remove the oldest item into `out`; false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    const T &front() const { return items_.front(); }
+
+    void clear() { items_.clear(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+};
+
+} // namespace ditile
+
+#endif // DITILE_COMMON_BOUNDED_QUEUE_HH

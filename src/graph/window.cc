@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SnapshotWindow implementation.
+ */
+
+#include "graph/window.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace ditile::graph {
+
+namespace {
+
+std::uint64_t
+packedEdgeKey(VertexId u, VertexId v)
+{
+    if (u > v)
+        std::swap(u, v);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u))
+            << 32) |
+        static_cast<std::uint32_t>(v);
+}
+
+} // namespace
+
+SnapshotWindow::SnapshotWindow(std::string name, Csr initial,
+                               SnapshotId capacity, int feature_dim)
+    : name_(std::move(name)), numVertices_(initial.numVertices()),
+      capacity_(capacity < 1 ? 1 : capacity), featureDim_(feature_dim)
+{
+    live_ = initial.edgeList();
+    keys_.reserve(live_.size() * 2);
+    for (auto [u, v] : live_)
+        keys_.insert(packedEdgeKey(u, v));
+    ring_.push_back(std::move(initial));
+}
+
+void
+SnapshotWindow::apply(const GraphEvent &event)
+{
+    if (event.u < 0 || event.u >= numVertices_ || event.v < 0 ||
+        event.v >= numVertices_) {
+        DITILE_THROW("event endpoint (", event.u, ",", event.v,
+                     ") outside tenant '", name_, "' universe [0,",
+                     numVertices_, ")");
+    }
+    const auto key = packedEdgeKey(event.u, event.v);
+    if (event.kind == GraphEvent::Kind::AddEdge) {
+        if (event.u == event.v || !keys_.insert(key).second) {
+            ++noopEvents_;
+            return;
+        }
+        live_.emplace_back(std::min(event.u, event.v),
+                           std::max(event.u, event.v));
+    } else {
+        if (!keys_.erase(key)) {
+            ++noopEvents_;
+            return;
+        }
+        const Edge victim{std::min(event.u, event.v),
+                          std::max(event.u, event.v)};
+        auto it = std::find(live_.begin(), live_.end(), victim);
+        DITILE_ASSERT(it != live_.end(),
+                      "live set and key set out of sync");
+        *it = live_.back();
+        live_.pop_back();
+    }
+    ++appliedEvents_;
+    ++sinceRoll_;
+}
+
+void
+SnapshotWindow::roll()
+{
+    ring_.push_back(Csr::fromEdges(numVertices_, live_));
+    while (static_cast<SnapshotId>(ring_.size()) > capacity_)
+        ring_.pop_front();
+    ++rolls_;
+    sinceRoll_ = 0;
+    cacheValid_ = false;
+}
+
+const DynamicGraph &
+SnapshotWindow::graph() const
+{
+    if (!cacheValid_) {
+        std::vector<Csr> snapshots(ring_.begin(), ring_.end());
+        cached_ = DynamicGraph(name_, std::move(snapshots), featureDim_);
+        cacheValid_ = true;
+    }
+    return cached_;
+}
+
+} // namespace ditile::graph

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Live snapshot windows over a continuous event stream (serving tier).
+ *
+ * ContinuousDynamicGraph::discretize() replays the whole <G, O> stream
+ * from scratch — the right tool for offline Eq.-1 sampling, and the
+ * wrong one for a long-lived service where each tenant's stream grows
+ * forever. SnapshotWindow is the incremental counterpart: it holds the
+ * *live* edge set of one tenant, patches it in O(1) per event, and
+ * materializes snapshots on demand into a bounded ring of the W most
+ * recent ones. The window's DynamicGraph view is cached and only
+ * rebuilt after a roll, so back-to-back queries on a quiet tenant see
+ * the same graph object — same structure hash — and ride the
+ * PlanCache/DigestCache instead of replanning.
+ */
+
+#ifndef DITILE_GRAPH_WINDOW_HH
+#define DITILE_GRAPH_WINDOW_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/ctdg.hh"
+#include "graph/dynamic_graph.hh"
+
+namespace ditile::graph {
+
+/**
+ * Bounded window of snapshots over a mutating live edge set.
+ *
+ * Not thread-safe: callers (the serve control loop) apply events and
+ * roll snapshots from one thread; the DynamicGraph returned by graph()
+ * may be read concurrently, but only between mutations.
+ */
+class SnapshotWindow
+{
+  public:
+    /**
+     * @param name Workload name stamped on materialized graphs.
+     * @param initial Snapshot 0; defines the fixed vertex universe.
+     * @param capacity Max snapshots retained (>= 1); older snapshots
+     *        fall out of the window as new ones roll in.
+     * @param feature_dim Vertex feature width of the served model.
+     */
+    SnapshotWindow(std::string name, Csr initial, SnapshotId capacity,
+                   int feature_dim);
+
+    /**
+     * Apply one structural event to the live edge set. Out-of-universe
+     * endpoints throw InputError; no-op events (adding an existing
+     * edge, removing a missing one, self loops) are counted and
+     * skipped, mirroring ContinuousDynamicGraph replay semantics.
+     */
+    void apply(const GraphEvent &event);
+
+    /**
+     * Materialize the live edge set as the newest snapshot. Evicts the
+     * oldest snapshot when the ring is at capacity and invalidates the
+     * cached window graph.
+     */
+    void roll();
+
+    /**
+     * The current window as a DynamicGraph (size = min(rolls + 1,
+     * capacity)). Cached between rolls, so repeated calls return the
+     * identical object and downstream content-hash caches hit.
+     */
+    const DynamicGraph &graph() const;
+
+    const std::string &name() const { return name_; }
+    VertexId numVertices() const { return numVertices_; }
+    SnapshotId capacity() const { return capacity_; }
+
+    /** Snapshots currently in the window. */
+    SnapshotId
+    windowSize() const
+    {
+        return static_cast<SnapshotId>(ring_.size());
+    }
+
+    /** Live (undirected) edge count, including unrolled mutations. */
+    EdgeId liveEdges() const
+    {
+        return static_cast<EdgeId>(live_.size());
+    }
+
+    std::uint64_t appliedEvents() const { return appliedEvents_; }
+    std::uint64_t noopEvents() const { return noopEvents_; }
+    std::uint64_t rolls() const { return rolls_; }
+
+    /** Events applied since the last roll(). */
+    std::uint64_t eventsSinceRoll() const { return sinceRoll_; }
+
+  private:
+    std::string name_;
+    VertexId numVertices_ = 0;
+    SnapshotId capacity_ = 1;
+    int featureDim_ = 0;
+
+    std::vector<Edge> live_;               ///< Canonical u <= v.
+    std::unordered_set<std::uint64_t> keys_; ///< Packed edge keys.
+    std::deque<Csr> ring_;                 ///< Oldest -> newest.
+
+    std::uint64_t appliedEvents_ = 0;
+    std::uint64_t noopEvents_ = 0;
+    std::uint64_t rolls_ = 0;
+    std::uint64_t sinceRoll_ = 0;
+
+    mutable DynamicGraph cached_;
+    mutable bool cacheValid_ = false;
+};
+
+} // namespace ditile::graph
+
+#endif // DITILE_GRAPH_WINDOW_HH

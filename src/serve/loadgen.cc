@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Load-generator implementation.
+ */
+
+#include "serve/loadgen.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace ditile::serve {
+
+LoadGen::LoadGen(LoadGenConfig config) : config_(std::move(config))
+{
+    if (config_.tenants < 1)
+        config_.tenants = 1;
+    if (config_.meanGapUs < 1)
+        config_.meanGapUs = 1;
+    if (config_.burstSpeedup < 1)
+        config_.burstSpeedup = 1;
+    if (config_.eventFraction < 0.0 || config_.eventFraction > 1.0 ||
+        config_.rollFraction < 0.0 ||
+        config_.eventFraction + config_.rollFraction > 1.0) {
+        DITILE_THROW("loadgen event/roll fractions must be in [0, 1] "
+                     "and sum to at most 1");
+    }
+}
+
+std::vector<Request>
+LoadGen::schedule() const
+{
+    std::vector<Request> out;
+    out.reserve(config_.tenants + config_.requests);
+    Rng rng(mix64(config_.seed ^ 0x5e7e5e7e5e7e5e7eULL));
+
+    // Provisioning prologue: every tenant exists before traffic.
+    for (std::size_t i = 0; i < config_.tenants; ++i) {
+        Request req;
+        req.kind = Request::Kind::CreateTenant;
+        req.tenant = "t";
+        req.tenant += std::to_string(i);
+        req.spec.name = req.tenant;
+        req.spec.vertices = config_.vertices;
+        req.spec.edges = config_.edges;
+        req.spec.seed = config_.seed + i;
+        req.spec.window = config_.window;
+        req.spec.features = config_.features;
+        req.spec.rollEvery = config_.rollEvery;
+        req.id = out.size();
+        req.arrivalUs = 0;
+        out.push_back(std::move(req));
+    }
+
+    bool bursting = false;
+    std::uint64_t now_us = 1;
+    for (std::size_t i = 0; i < config_.requests; ++i) {
+        if (rng.bernoulli(config_.burstToggleProb))
+            bursting = !bursting;
+        const std::uint64_t mean = bursting
+            ? std::max<std::uint64_t>(1, config_.meanGapUs /
+                                             config_.burstSpeedup)
+            : config_.meanGapUs;
+        now_us += static_cast<std::uint64_t>(
+            rng.uniformInt(1, static_cast<std::int64_t>(2 * mean)));
+
+        Request req;
+        const auto pick = static_cast<std::size_t>(rng.zipf(
+            static_cast<std::int64_t>(config_.tenants),
+            config_.zipfExponent));
+        req.tenant = "t";
+        req.tenant += std::to_string(pick);
+
+        const double mix = rng.uniformReal();
+        if (mix < config_.eventFraction) {
+            req.kind = Request::Kind::Event;
+            req.event.kind = rng.bernoulli(0.8)
+                ? graph::GraphEvent::Kind::AddEdge
+                : graph::GraphEvent::Kind::RemoveEdge;
+            req.event.u = static_cast<VertexId>(rng.uniformInt(
+                0, static_cast<std::int64_t>(config_.vertices) - 1));
+            req.event.v = static_cast<VertexId>(rng.uniformInt(
+                0, static_cast<std::int64_t>(config_.vertices) - 1));
+        } else if (mix <
+                   config_.eventFraction + config_.rollFraction) {
+            req.kind = Request::Kind::Roll;
+        } else {
+            req.kind = Request::Kind::Query;
+        }
+        req.id = out.size();
+        req.arrivalUs = now_us;
+        out.push_back(std::move(req));
+    }
+    return out;
+}
+
+} // namespace ditile::serve

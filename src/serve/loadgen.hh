@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic load generator for the streaming inference service.
+ *
+ * LoadGen synthesizes a timestamped request schedule for
+ * Server::replay(): a provisioning prologue (one `tenant` request per
+ * tenant at t=0) followed by a seeded open-loop arrival process.
+ * Tenant selection is Zipf-distributed — a few hot tenants absorb
+ * most traffic, exercising the plan-cache hit path — and arrivals are
+ * bursty via a two-state Markov gap process: a toggle coin flips the
+ * generator between a calm regime and a burst regime whose
+ * inter-arrival gaps are `burstSpeedup`x shorter, which is what
+ * drives the bounded queue into admission rejections.
+ *
+ * The schedule is a pure function of the config (fixed seed, no wall
+ * clock), so any two runs over it — at any thread count — see the
+ * same arrivals, the same queue occupancy, and the same rejections.
+ */
+
+#ifndef DITILE_SERVE_LOADGEN_HH
+#define DITILE_SERVE_LOADGEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "serve/protocol.hh"
+
+namespace ditile::serve {
+
+/**
+ * Load-generation knobs. Defaults provision ten small tenants and
+ * drive a mixed event/query stream at them.
+ */
+struct LoadGenConfig
+{
+    /** Tenants provisioned at t=0 (named t0, t1, ...). */
+    std::size_t tenants = 10;
+
+    /** Scheduled requests after the provisioning prologue. */
+    std::size_t requests = 10000;
+
+    /** Zipf exponent for tenant selection (larger = more skewed). */
+    double zipfExponent = 1.1;
+
+    std::uint64_t seed = 42;
+
+    /** Fraction of requests that are edge events. */
+    double eventFraction = 0.35;
+
+    /** Fraction of requests that are explicit window rolls. */
+    double rollFraction = 0.02;
+
+    /** Mean inter-arrival gap in the calm regime (virtual us). */
+    std::uint64_t meanGapUs = 50;
+
+    /** Per-arrival probability of toggling the burst regime. */
+    double burstToggleProb = 0.04;
+
+    /** Gap divisor while bursting. */
+    std::uint64_t burstSpeedup = 8;
+
+    // Per-tenant sizing (tenant i gets seed `seed + i`).
+    VertexId vertices = 160;
+    EdgeId edges = 640;
+    SnapshotId window = 3;
+    int features = 8;
+    std::uint64_t rollEvery = 64;
+};
+
+/**
+ * Seeded schedule synthesizer; see file comment.
+ */
+class LoadGen
+{
+  public:
+    explicit LoadGen(LoadGenConfig config);
+
+    /**
+     * Build the full request schedule (provisioning prologue plus
+     * `requests` arrivals), with ids and arrival timestamps filled
+     * in. Deterministic for a given config.
+     */
+    std::vector<Request> schedule() const;
+
+  private:
+    LoadGenConfig config_;
+};
+
+} // namespace ditile::serve
+
+#endif // DITILE_SERVE_LOADGEN_HH

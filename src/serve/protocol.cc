@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Protocol parser implementation.
+ */
+
+#include "serve/protocol.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace ditile::serve {
+
+namespace {
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream stream(line);
+    std::string token;
+    while (stream >> token)
+        tokens.push_back(token);
+    return tokens;
+}
+
+/** Parse a non-negative integer token; throws InputError otherwise. */
+long long
+parseNumber(const std::string &token, const char *what)
+{
+    char *end = nullptr;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || value < 0)
+        DITILE_THROW("bad ", what, " '", token, "'");
+    return value;
+}
+
+/**
+ * Apply one "key=value" option token to a TenantSpec.
+ */
+void
+applyTenantOption(TenantSpec &spec, const std::string &token)
+{
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 ||
+        eq + 1 >= token.size()) {
+        DITILE_THROW("bad tenant option '", token,
+                     "' (expected key=value)");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "vertices") {
+        spec.vertices =
+            static_cast<VertexId>(parseNumber(value, "vertices"));
+        if (spec.vertices < 2)
+            DITILE_THROW("tenant needs at least 2 vertices");
+    } else if (key == "edges") {
+        spec.edges = parseNumber(value, "edges");
+    } else if (key == "seed") {
+        spec.seed =
+            static_cast<std::uint64_t>(parseNumber(value, "seed"));
+    } else if (key == "window") {
+        spec.window =
+            static_cast<SnapshotId>(parseNumber(value, "window"));
+        if (spec.window < 1)
+            DITILE_THROW("tenant window must be >= 1");
+    } else if (key == "features") {
+        spec.features =
+            static_cast<int>(parseNumber(value, "features"));
+        if (spec.features < 1)
+            DITILE_THROW("tenant features must be >= 1");
+    } else if (key == "roll-every") {
+        spec.rollEvery =
+            static_cast<std::uint64_t>(parseNumber(value, "roll-every"));
+    } else {
+        DITILE_THROW("unknown tenant option '", key, "'");
+    }
+}
+
+} // namespace
+
+Request
+parseRequest(const std::string &line)
+{
+    Request request;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#')
+        return request; // Nop
+    const auto tokens = tokenize(line);
+    const std::string &verb = tokens.front();
+
+    if (verb == "tenant") {
+        if (tokens.size() < 2)
+            DITILE_THROW("tenant needs a name");
+        request.kind = Request::Kind::CreateTenant;
+        request.tenant = tokens[1];
+        request.spec.name = tokens[1];
+        for (std::size_t i = 2; i < tokens.size(); ++i)
+            applyTenantOption(request.spec, tokens[i]);
+        return request;
+    }
+    if (verb == "event") {
+        if (tokens.size() != 5)
+            DITILE_THROW("event needs: event <tenant> add|del <u> <v>");
+        request.kind = Request::Kind::Event;
+        request.tenant = tokens[1];
+        if (tokens[2] == "add")
+            request.event.kind = graph::GraphEvent::Kind::AddEdge;
+        else if (tokens[2] == "del")
+            request.event.kind = graph::GraphEvent::Kind::RemoveEdge;
+        else
+            DITILE_THROW("bad event kind '", tokens[2],
+                         "' (expected add or del)");
+        request.event.u =
+            static_cast<VertexId>(parseNumber(tokens[3], "vertex"));
+        request.event.v =
+            static_cast<VertexId>(parseNumber(tokens[4], "vertex"));
+        return request;
+    }
+    if (verb == "roll" || verb == "query") {
+        if (tokens.size() != 2)
+            DITILE_THROW(verb, " needs: ", verb, " <tenant>");
+        request.kind = verb == "roll" ? Request::Kind::Roll
+                                      : Request::Kind::Query;
+        request.tenant = tokens[1];
+        return request;
+    }
+    if (verb == "stats") {
+        if (tokens.size() != 1)
+            DITILE_THROW("stats takes no arguments");
+        request.kind = Request::Kind::Stats;
+        return request;
+    }
+    if (verb == "quit") {
+        if (tokens.size() != 1)
+            DITILE_THROW("quit takes no arguments");
+        request.kind = Request::Kind::Quit;
+        return request;
+    }
+    DITILE_THROW("unknown request '", verb, "'");
+}
+
+std::string
+errorResponse(const std::string &code, const std::string &message)
+{
+    return "err " + code + ": " + message;
+}
+
+} // namespace ditile::serve

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Line protocol of the streaming inference service.
+ *
+ * ditile_serve speaks a line-delimited text protocol over stdin (or a
+ * replayed script file): one request per line, one response line per
+ * request. The shape mirrors the paper's §2.1 continuous-time model —
+ * a tenant is a <G, O> pair (initial graph plus an open-ended event
+ * stream), and queries ask for the inference cost of the tenant's
+ * current snapshot window.
+ *
+ *   tenant <name> [vertices=N] [edges=M] [seed=S] [window=W]
+ *                 [features=F] [roll-every=K]
+ *   event <name> add <u> <v>
+ *   event <name> del <u> <v>
+ *   roll <name>
+ *   query <name>
+ *   stats
+ *   quit
+ *
+ * Empty lines and lines starting with '#' are ignored. Responses are
+ *   ok <verb> <fields...>      on success
+ *   err <code>: <message>      on failure
+ * where <code> is a stable machine-readable category (parse,
+ * unknown-tenant, tenant-exists, queue-full, bad-event). Malformed
+ * input raises InputError — typed, recoverable, never an abort — and
+ * the server turns it into an `err parse:` response without dropping
+ * the connection.
+ *
+ * Query responses carry integer-valued modeled costs only (cycles,
+ * ops, traffic bytes), so golden-file diffs of a canned session are
+ * stable across compilers and platforms.
+ */
+
+#ifndef DITILE_SERVE_PROTOCOL_HH
+#define DITILE_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "graph/ctdg.hh"
+
+namespace ditile::serve {
+
+/**
+ * Tenant provisioning parameters (the `tenant` request body).
+ */
+struct TenantSpec
+{
+    std::string name;
+    VertexId vertices = 192;
+    EdgeId edges = 768;
+    std::uint64_t seed = 1;
+    SnapshotId window = 4;   ///< Snapshot-window capacity.
+    int features = 16;       ///< Vertex feature width.
+    std::uint64_t rollEvery = 48; ///< Auto-roll after K applied
+                                  ///< events; 0 = manual `roll` only.
+};
+
+/**
+ * One parsed protocol request.
+ */
+struct Request
+{
+    enum class Kind {
+        Nop,          ///< Blank or comment line.
+        CreateTenant, ///< `tenant`
+        Event,        ///< `event ... add|del`
+        Roll,         ///< `roll`
+        Query,        ///< `query`
+        Stats,        ///< `stats`
+        Quit          ///< `quit`
+    };
+
+    Kind kind = Kind::Nop;
+    std::string tenant;
+    TenantSpec spec;          ///< CreateTenant only.
+    graph::GraphEvent event;  ///< Event only.
+
+    /** Assigned by the server / load generator, not parsed. */
+    std::uint64_t id = 0;
+    std::uint64_t arrivalUs = 0;
+};
+
+/**
+ * Parse one protocol line. Throws InputError (with a message suitable
+ * for an `err parse:` response) on malformed input; never aborts.
+ */
+Request parseRequest(const std::string &line);
+
+/** Format an error response: "err <code>: <message>". */
+std::string errorResponse(const std::string &code,
+                          const std::string &message);
+
+} // namespace ditile::serve
+
+#endif // DITILE_SERVE_PROTOCOL_HH

@@ -1,0 +1,567 @@
+/**
+ * @file
+ * Streaming inference server implementation.
+ */
+
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "common/bounded_queue.hh"
+#include "common/logging.hh"
+#include "common/shutdown.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "common/trace.hh"
+#include "graph/generator.hh"
+
+namespace ditile::serve {
+
+namespace {
+
+/** Bump a serve.* metric (no-op unless --metrics is on). */
+void
+metric(const char *path)
+{
+    Tracer::global().addMetric(path, 1);
+}
+
+std::uint64_t
+percentile(const std::vector<std::uint64_t> &sorted, unsigned pct)
+{
+    if (sorted.empty())
+        return 0;
+    const std::size_t idx = (sorted.size() - 1) * pct / 100;
+    return sorted[idx];
+}
+
+} // namespace
+
+/**
+ * One live tenant: provisioning spec plus the snapshot window its
+ * event stream mutates.
+ */
+struct Server::Tenant
+{
+    TenantSpec spec;
+    graph::SnapshotWindow window;
+    std::uint64_t lastUse = 0;
+
+    Tenant(TenantSpec s, graph::Csr initial)
+        : spec(s),
+          window(s.name, std::move(initial), s.window, s.features)
+    {
+    }
+};
+
+/**
+ * One admitted query moving through a batch.
+ */
+struct Server::PendingQuery
+{
+    const Request *request = nullptr;
+    std::size_t scheduleIndex = 0;
+    Tenant *tenant = nullptr;
+    const graph::DynamicGraph *dg = nullptr;
+    bool planHit = false;
+    bool groupRep = false;
+    sim::RunResult result;
+    std::uint64_t serviceUs = 0;
+    std::string response;
+};
+
+Server::Server(ServerOptions options, sim::AcceleratorFactory factory)
+    : options_(std::move(options)), runner_(std::move(factory))
+{
+    if (options_.queueCapacity < 1)
+        options_.queueCapacity = 1;
+    if (options_.batchMax < 1)
+        options_.batchMax = 1;
+    if (options_.maxTenants < 1)
+        options_.maxTenants = 1;
+    if (options_.serviceCyclesPerUs < 1)
+        options_.serviceCyclesPerUs = 1;
+}
+
+Server::~Server() = default;
+
+Server::Tenant *
+Server::findTenant(const std::string &name)
+{
+    const auto it = tenants_.find(name);
+    return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+void
+Server::touch(Tenant &tenant)
+{
+    tenant.lastUse = ++useSeq_;
+}
+
+void
+Server::evictForCapacity()
+{
+    while (tenants_.size() >= options_.maxTenants) {
+        // Least-recently-used; the name-ordered map breaks lastUse
+        // ties deterministically.
+        auto victim = tenants_.begin();
+        for (auto it = tenants_.begin(); it != tenants_.end(); ++it)
+            if (it->second->lastUse < victim->second->lastUse)
+                victim = it;
+        tenants_.erase(victim);
+        ++counters_.evictions;
+        metric("serve.evictions");
+    }
+}
+
+std::string
+Server::createTenant(const Request &request)
+{
+    if (findTenant(request.tenant)) {
+        ++counters_.errors;
+        metric("serve.errors");
+        return errorResponse("tenant-exists",
+                             "tenant '" + request.tenant +
+                                 "' already provisioned");
+    }
+    const std::size_t before = counters_.evictions;
+    evictForCapacity();
+    const bool evicted = counters_.evictions != before;
+    Rng rng(request.spec.seed);
+    auto initial = graph::generateRmat(request.spec.vertices,
+                                       request.spec.edges, {}, rng);
+    const EdgeId edges = initial.numEdges();
+    auto tenant = std::make_unique<Tenant>(request.spec,
+                                           std::move(initial));
+    touch(*tenant);
+    tenants_.emplace(request.tenant, std::move(tenant));
+    metric("serve.tenants_created");
+    std::string response = "ok tenant " + request.tenant +
+        " vertices=" + std::to_string(request.spec.vertices) +
+        " edges=" + std::to_string(edges) +
+        " window=" + std::to_string(request.spec.window);
+    if (evicted)
+        response += " evicted=1";
+    return response;
+}
+
+void
+Server::maybeAutoRoll(Tenant &tenant)
+{
+    if (tenant.spec.rollEvery == 0 ||
+        tenant.window.eventsSinceRoll() < tenant.spec.rollEvery)
+        return;
+    tenant.window.roll();
+    ++counters_.rolls;
+    metric("serve.rolls");
+}
+
+std::string
+Server::applyEvent(const Request &request)
+{
+    Tenant *tenant = findTenant(request.tenant);
+    if (!tenant) {
+        ++counters_.errors;
+        metric("serve.errors");
+        return errorResponse("unknown-tenant",
+                             "no tenant '" + request.tenant + "'");
+    }
+    touch(*tenant);
+    const std::uint64_t noops_before = tenant->window.noopEvents();
+    try {
+        tenant->window.apply(request.event);
+    } catch (const InputError &e) {
+        ++counters_.errors;
+        metric("serve.errors");
+        return errorResponse("bad-event", e.what());
+    }
+    ++counters_.events;
+    metric("serve.events");
+    if (tenant->window.noopEvents() != noops_before) {
+        ++counters_.noopEvents;
+        metric("serve.noop_events");
+    }
+    const std::uint64_t rolls_before = counters_.rolls;
+    maybeAutoRoll(*tenant);
+    std::string response = "ok event " + request.tenant +
+        " live=" + std::to_string(tenant->window.liveEdges());
+    if (counters_.rolls != rolls_before)
+        response += " rolled=1";
+    return response;
+}
+
+std::string
+Server::rollTenant(const Request &request)
+{
+    Tenant *tenant = findTenant(request.tenant);
+    if (!tenant) {
+        ++counters_.errors;
+        metric("serve.errors");
+        return errorResponse("unknown-tenant",
+                             "no tenant '" + request.tenant + "'");
+    }
+    touch(*tenant);
+    tenant->window.roll();
+    ++counters_.rolls;
+    metric("serve.rolls");
+    return "ok roll " + request.tenant +
+        " window=" + std::to_string(tenant->window.windowSize()) +
+        " live=" + std::to_string(tenant->window.liveEdges());
+}
+
+std::string
+Server::statsResponse() const
+{
+    return "ok stats tenants=" + std::to_string(tenants_.size()) +
+        " requests=" + std::to_string(counters_.requests) +
+        " queries=" + std::to_string(counters_.queries) +
+        " events=" + std::to_string(counters_.events) +
+        " rejected=" + std::to_string(counters_.rejected) +
+        " errors=" + std::to_string(counters_.errors);
+}
+
+std::string
+Server::dispatchControl(const Request &request)
+{
+    switch (request.kind) {
+    case Request::Kind::CreateTenant:
+        return createTenant(request);
+    case Request::Kind::Event:
+        return applyEvent(request);
+    case Request::Kind::Roll:
+        return rollTenant(request);
+    case Request::Kind::Stats:
+        return statsResponse();
+    default:
+        DITILE_PANIC("not a control request");
+    }
+}
+
+std::uint64_t
+Server::executeBatch(std::vector<PendingQuery> &batch,
+                     std::uint64_t start_us)
+{
+    // Serial admission-to-execution step: resolve tenants, pin the
+    // window graphs, predict cache hits, and group by structure hash
+    // so no two concurrent members can race one plan-cache key.
+    std::map<std::uint64_t, std::size_t> groups;
+    std::vector<std::size_t> reps;
+    std::vector<std::size_t> followers;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        PendingQuery &pq = batch[i];
+        pq.tenant = findTenant(pq.request->tenant);
+        if (!pq.tenant) {
+            ++counters_.errors;
+            metric("serve.errors");
+            pq.response = errorResponse(
+                "unknown-tenant",
+                "no tenant '" + pq.request->tenant + "'");
+            continue;
+        }
+        touch(*pq.tenant);
+        pq.dg = &pq.tenant->window.graph();
+        pq.planHit = runner_.planned(*pq.dg, options_.model);
+        if (pq.planHit) {
+            ++counters_.planHits;
+            metric("serve.plan_hits");
+        } else {
+            ++counters_.planMisses;
+            metric("serve.plan_misses");
+        }
+        const auto [it, inserted] =
+            groups.emplace(pq.dg->structureHashValue(), i);
+        pq.groupRep = inserted;
+        (inserted ? reps : followers).push_back(i);
+    }
+
+    const auto wall_start = std::chrono::steady_clock::now();
+    auto runOne = [&](std::size_t i) {
+        PendingQuery &pq = batch[i];
+        // Disjoint trace-track group per request, so concurrent
+        // inferences never interleave on one track.
+        Tracer::setTrackBase((1 + pq.request->id) *
+                             Tracer::kTracksPerRun);
+        pq.result = runner_.infer(*pq.dg, options_.model);
+        pq.serviceUs = std::max<std::uint64_t>(
+            1,
+            pq.result.totalCycles / options_.serviceCyclesPerUs);
+    };
+    // Phase A: one representative per distinct graph structure plans
+    // (and publishes) first; phase B members then execute as
+    // guaranteed plan-cache hits. See the class comment on
+    // shared-cache determinism.
+    parallelFor(reps.size(),
+                [&](std::size_t k) { runOne(reps[k]); });
+    parallelFor(followers.size(),
+                [&](std::size_t k) { runOne(followers[k]); });
+
+    std::uint64_t dur_us = options_.batchOverheadUs;
+    if (options_.wallClock) {
+        const auto elapsed =
+            std::chrono::steady_clock::now() - wall_start;
+        dur_us += std::max<std::uint64_t>(
+            1,
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    elapsed)
+                    .count()));
+    } else {
+        for (const PendingQuery &pq : batch)
+            if (pq.tenant)
+                dur_us = std::max(dur_us,
+                                  options_.batchOverheadUs +
+                                      pq.serviceUs);
+    }
+    const std::uint64_t end_us = start_us + dur_us;
+
+    // Serial merge: responses and request spans in batch order.
+    Tracer &tracer = Tracer::global();
+    for (PendingQuery &pq : batch) {
+        if (!pq.tenant)
+            continue;
+        pq.response = "ok query " + pq.request->tenant +
+            " cycles=" + std::to_string(pq.result.totalCycles) +
+            " ops=" +
+            std::to_string(pq.result.ops.totalArithmetic()) +
+            " dram_bytes=" +
+            std::to_string(pq.result.dramTraffic.total()) +
+            " noc_bytes=" + std::to_string(pq.result.nocBytes) +
+            " window=" +
+            std::to_string(pq.tenant->window.windowSize()) +
+            " live=" +
+            std::to_string(pq.tenant->window.liveEdges()) +
+            " plan=" + (pq.planHit ? "hit" : "miss");
+        if (tracer.traceEnabled()) {
+            TraceEvent ev;
+            ev.phase = 'X';
+            ev.cat = "serve";
+            ev.name = "query " + pq.request->tenant;
+            ev.track = 0;
+            ev.ts = pq.request->arrivalUs;
+            ev.dur = end_us - pq.request->arrivalUs;
+            ev.ord = pq.request->id;
+            ev.addArg("cycles", static_cast<long long>(
+                                    pq.result.totalCycles));
+            ev.addArg("plan", pq.planHit ? "hit" : "miss");
+            tracer.record(std::move(ev));
+        }
+    }
+    return end_us;
+}
+
+void
+Server::recordLatency(std::uint64_t latency_us,
+                      std::uint64_t completion_us)
+{
+    latencies_.push_back(latency_us);
+    counters_.maxUs = std::max(counters_.maxUs, latency_us);
+    counters_.lastCompletionUs =
+        std::max(counters_.lastCompletionUs, completion_us);
+}
+
+std::string
+Server::handle(const std::string &line)
+{
+    Request request;
+    try {
+        request = parseRequest(line);
+    } catch (const InputError &e) {
+        ++counters_.errors;
+        metric("serve.errors");
+        return errorResponse("parse", e.what());
+    }
+    if (request.kind == Request::Kind::Nop)
+        return "";
+    request.id = nextRequestId_++;
+    request.arrivalUs = clock_.nowMicros();
+    ++counters_.requests;
+    metric("serve.requests");
+    if (!sawArrival_) {
+        counters_.firstArrivalUs = request.arrivalUs;
+        sawArrival_ = true;
+    }
+    if (request.kind == Request::Kind::Quit) {
+        stopped_ = true;
+        return "ok quit";
+    }
+    if (request.kind != Request::Kind::Query)
+        return dispatchControl(request);
+
+    ++counters_.queries;
+    metric("serve.queries");
+    std::vector<PendingQuery> batch(1);
+    batch[0].request = &request;
+    const std::uint64_t end = executeBatch(batch, request.arrivalUs);
+    ++counters_.batches;
+    metric("serve.batches");
+    clock_.advanceTo(end);
+    if (batch[0].tenant) {
+        recordLatency(end - request.arrivalUs, end);
+        ++counters_.completed;
+    }
+    return batch[0].response;
+}
+
+void
+Server::replay(const std::vector<Request> &schedule,
+               std::vector<std::string> *responses)
+{
+    if (responses)
+        responses->assign(schedule.size(), std::string());
+    auto respond = [&](std::size_t idx, std::string text) {
+        if (responses)
+            (*responses)[idx] = std::move(text);
+    };
+
+    BoundedQueue<std::size_t> queue(options_.queueCapacity);
+    std::size_t next = 0;
+    std::uint64_t next_free_us = 0;
+
+    // Requests keep their schedule ids/arrivals; the server only
+    // assigns ids in handle() mode.
+    auto processArrival = [&](std::size_t idx) {
+        const Request &request = schedule[idx];
+        clock_.advanceTo(request.arrivalUs);
+        if (request.kind == Request::Kind::Nop)
+            return;
+        ++counters_.requests;
+        metric("serve.requests");
+        if (!sawArrival_) {
+            counters_.firstArrivalUs = request.arrivalUs;
+            sawArrival_ = true;
+        }
+        switch (request.kind) {
+        case Request::Kind::Query:
+            ++counters_.queries;
+            metric("serve.queries");
+            if (!queue.tryPush(idx)) {
+                ++counters_.rejected;
+                metric("serve.rejected");
+                respond(idx,
+                        errorResponse(
+                            "queue-full",
+                            "queue at capacity (" +
+                                std::to_string(queue.capacity()) +
+                                "); retry later"));
+            }
+            return;
+        case Request::Kind::Quit:
+            stopped_ = true;
+            respond(idx, "ok quit");
+            return;
+        default:
+            respond(idx, dispatchControl(request));
+            return;
+        }
+    };
+
+    while ((next < schedule.size() || !queue.empty()) && !stopped_) {
+        if (shutdownRequested())
+            break; // Flush what we have; summary() stays valid.
+        if (queue.empty()) {
+            processArrival(next++);
+            continue;
+        }
+        // The batch starts when the server frees up or the head
+        // query arrives, whichever is later. Everything arriving up
+        // to that instant is admitted first.
+        const std::uint64_t head_arrival =
+            schedule[queue.front()].arrivalUs;
+        const std::uint64_t start_us =
+            std::max(next_free_us, head_arrival);
+        while (next < schedule.size() && !stopped_ &&
+               schedule[next].arrivalUs <= start_us)
+            processArrival(next++);
+        if (stopped_)
+            break;
+
+        std::vector<PendingQuery> batch;
+        std::size_t idx = 0;
+        while (batch.size() < options_.batchMax &&
+               queue.tryPop(idx)) {
+            PendingQuery pq;
+            pq.request = &schedule[idx];
+            pq.scheduleIndex = idx;
+            batch.push_back(std::move(pq));
+        }
+        const std::uint64_t end_us = executeBatch(batch, start_us);
+        ++counters_.batches;
+        metric("serve.batches");
+        next_free_us = end_us;
+        clock_.advanceTo(end_us);
+        for (PendingQuery &pq : batch) {
+            if (pq.tenant) {
+                recordLatency(end_us - pq.request->arrivalUs, end_us);
+                ++counters_.completed;
+                metric("serve.completed");
+            }
+            respond(pq.scheduleIndex, std::move(pq.response));
+        }
+        // Requests that arrived while the batch was in service.
+        while (next < schedule.size() && !stopped_ &&
+               schedule[next].arrivalUs <= end_us)
+            processArrival(next++);
+    }
+}
+
+ServeSummary
+Server::summary() const
+{
+    ServeSummary s = counters_;
+    s.tenants = tenants_.size();
+    std::vector<std::uint64_t> sorted = latencies_;
+    std::sort(sorted.begin(), sorted.end());
+    s.p50Us = percentile(sorted, 50);
+    s.p99Us = percentile(sorted, 99);
+    if (!sorted.empty()) {
+        std::uint64_t total = 0;
+        for (std::uint64_t v : sorted)
+            total += v;
+        s.meanUs = total / sorted.size();
+    }
+    if (s.completed > 0 &&
+        s.lastCompletionUs > s.firstArrivalUs) {
+        s.qps = static_cast<double>(s.completed) * 1e6 /
+            static_cast<double>(s.lastCompletionUs -
+                                s.firstArrivalUs);
+    }
+    return s;
+}
+
+std::string
+ServeSummary::toTable() const
+{
+    Table table("serve summary");
+    table.setHeader({"Metric", "Value"});
+    auto row = [&](const char *name, std::uint64_t value) {
+        table.addRow({name,
+                      Table::integer(static_cast<long long>(value))});
+    };
+    row("requests", requests);
+    row("queries", queries);
+    row("events", events);
+    row("noop events", noopEvents);
+    row("rolls", rolls);
+    row("rejected (queue full)", rejected);
+    row("errors", errors);
+    row("tenant evictions", evictions);
+    row("batches", batches);
+    row("completed queries", completed);
+    row("plan hits (predicted)", planHits);
+    row("plan misses (predicted)", planMisses);
+    row("live tenants", tenants);
+    row("p50 latency (us)", p50Us);
+    row("p99 latency (us)", p99Us);
+    row("max latency (us)", maxUs);
+    row("mean latency (us)", meanUs);
+    row("busy interval (us)",
+        lastCompletionUs > firstArrivalUs
+            ? lastCompletionUs - firstArrivalUs
+            : 0);
+    table.addRow({"sustained QPS", Table::num(qps, 2)});
+    return table.toString();
+}
+
+} // namespace ditile::serve

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The streaming inference server.
+ *
+ * A Server owns a set of tenant snapshot windows, a bounded query
+ * queue with admission control, and a re-entrant inference runner
+ * whose PlanCache is the serving cache tier: a query on a quiet
+ * tenant is "plan-cache hit + execute", and only a window roll (new
+ * snapshot materialized) forces a replan — which the delta-incremental
+ * digest cache then keeps cheap.
+ *
+ * Two entry modes share all tenant/admission logic:
+ *
+ *  - handle(line): synchronous, one request at a time — the stdin /
+ *    script-file protocol loop.
+ *  - replay(schedule): deterministic batched replay of a timestamped
+ *    request schedule (the LoadGen path). The loop is a discrete-event
+ *    simulation of a single batching server: requests arrive at their
+ *    scheduled virtual microsecond, queries queue (or are rejected
+ *    when the bounded queue is full), batches of up to batchMax
+ *    execute in parallel on the thread pool, and each batch's virtual
+ *    service time is derived from the *modeled* cycle counts of its
+ *    members. Every admission decision, latency, and summary number is
+ *    therefore a pure function of the schedule — byte-identical at
+ *    any --threads width under the virtual clock.
+ *
+ * ### Shared-cache determinism
+ *
+ * Concurrent misses on one plan-cache key would race on who pays the
+ * miss (the winner publishes, losers re-use), which is harmless for
+ * results but perturbs hit/miss counters across thread widths. The
+ * batch executor forecloses the race: batch members are grouped by
+ * graph-structure hash at a serial point, one representative per
+ * group plans (and publishes) first, and the rest execute afterwards
+ * as guaranteed hits. Summary hit/miss counts come from the serial
+ * prediction, so they are deterministic by construction.
+ */
+
+#ifndef DITILE_SERVE_SERVER_HH
+#define DITILE_SERVE_SERVER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hh"
+#include "graph/window.hh"
+#include "model/dgnn_config.hh"
+#include "serve/protocol.hh"
+#include "sim/serving.hh"
+
+namespace ditile::serve {
+
+/**
+ * Serving policy knobs.
+ */
+struct ServerOptions
+{
+    /** Bounded query-queue capacity; admission rejects beyond it. */
+    std::size_t queueCapacity = 64;
+
+    /** Max queries executed per batch. */
+    std::size_t batchMax = 8;
+
+    /** Max live tenants; creating one more evicts the LRU tenant. */
+    std::size_t maxTenants = 32;
+
+    /**
+     * Virtual service-time conversion: modeled cycles per virtual
+     * microsecond (1000 = a 1 GHz accelerator).
+     */
+    std::uint64_t serviceCyclesPerUs = 1000;
+
+    /** Fixed per-batch dispatch overhead (virtual us). */
+    std::uint64_t batchOverheadUs = 2;
+
+    /**
+     * Measure service times with the wall clock instead of deriving
+     * them from modeled cycles. Real throughput numbers, but the
+     * summary is no longer reproducible.
+     */
+    bool wallClock = false;
+
+    /** Model served to every tenant. */
+    model::DgnnConfig model;
+};
+
+/**
+ * End-of-run summary. All counter fields are deterministic under the
+ * virtual clock; renderings keep doubles to fixed two-decimal prints
+ * derived from integer quantities.
+ */
+struct ServeSummary
+{
+    std::uint64_t requests = 0;
+    std::uint64_t queries = 0;
+    std::uint64_t events = 0;
+    std::uint64_t noopEvents = 0;
+    std::uint64_t rolls = 0;
+    std::uint64_t rejected = 0;   ///< Queue-full admissions.
+    std::uint64_t errors = 0;     ///< Parse / unknown-tenant / ...
+    std::uint64_t evictions = 0;  ///< Tenant LRU evictions.
+    std::uint64_t batches = 0;
+    std::uint64_t completed = 0;  ///< Queries answered.
+    std::uint64_t planHits = 0;   ///< Serial plan-cache predictions.
+    std::uint64_t planMisses = 0;
+    std::uint64_t tenants = 0;    ///< Live at end of run.
+
+    std::uint64_t p50Us = 0;
+    std::uint64_t p99Us = 0;
+    std::uint64_t maxUs = 0;
+    std::uint64_t meanUs = 0;     ///< Integer mean (floor).
+    std::uint64_t firstArrivalUs = 0;
+    std::uint64_t lastCompletionUs = 0;
+
+    /** Completed queries per second over the busy interval. */
+    double qps = 0.0;
+
+    /** Deterministic table rendering ("serve summary"). */
+    std::string toTable() const;
+};
+
+/**
+ * The serving engine. Not thread-safe at the interface: one control
+ * thread calls handle()/replay(); parallelism lives inside batch
+ * execution.
+ */
+class Server
+{
+  public:
+    Server(ServerOptions options, sim::AcceleratorFactory factory);
+    ~Server();
+
+    /**
+     * Parse and execute one request line synchronously (stdin/script
+     * mode; queries run as a batch of one). Returns the response
+     * line, or an empty string for Nop lines. Protocol errors come
+     * back as "err <code>: ..." responses; nothing throws or aborts.
+     */
+    std::string handle(const std::string &line);
+
+    /**
+     * Deterministic batched replay of a timestamped schedule (see
+     * class comment). Responses, when requested, are returned in
+     * schedule order. Checks shutdownRequested() between batches and
+     * stops early — already-completed work stays in the summary.
+     */
+    void replay(const std::vector<Request> &schedule,
+                std::vector<std::string> *responses = nullptr);
+
+    /** True after a `quit` request. */
+    bool stopped() const { return stopped_; }
+
+    ServeSummary summary() const;
+
+    std::size_t numTenants() const { return tenants_.size(); }
+    sim::ConcurrentRunner &runner() { return runner_; }
+
+  private:
+    struct Tenant;
+    struct PendingQuery;
+
+    std::string dispatchControl(const Request &request);
+    std::string createTenant(const Request &request);
+    std::string applyEvent(const Request &request);
+    std::string rollTenant(const Request &request);
+    std::string statsResponse() const;
+    Tenant *findTenant(const std::string &name);
+    void touch(Tenant &tenant);
+    void maybeAutoRoll(Tenant &tenant);
+    void evictForCapacity();
+
+    /**
+     * Execute a set of admitted queries in parallel and fill their
+     * response/latency slots. `startUs` is the batch's virtual start;
+     * returns the batch's virtual end time.
+     */
+    std::uint64_t executeBatch(std::vector<PendingQuery> &batch,
+                               std::uint64_t start_us);
+
+    void recordLatency(std::uint64_t latency_us,
+                       std::uint64_t completion_us);
+
+    ServerOptions options_;
+    sim::ConcurrentRunner runner_;
+    std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+    std::uint64_t useSeq_ = 0;
+    std::uint64_t nextRequestId_ = 0;
+    bool stopped_ = false;
+
+    VirtualClock clock_;
+    ServeSummary counters_;
+    std::vector<std::uint64_t> latencies_;
+    bool sawArrival_ = false;
+};
+
+} // namespace ditile::serve
+
+#endif // DITILE_SERVE_SERVER_HH

@@ -112,6 +112,13 @@ PlanCache::obtain(const graph::DynamicGraph &dg,
     return it->second;
 }
 
+bool
+PlanCache::contains(std::uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.find(key) != entries_.end();
+}
+
 std::uint64_t
 PlanCache::hits() const
 {

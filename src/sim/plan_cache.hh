@@ -53,6 +53,14 @@ class PlanCache
     obtain(const graph::DynamicGraph &dg,
            const model::DgnnConfig &config, model::AlgoKind algo);
 
+    /**
+     * Whether a plan set for `key` is published. A hit predicts that
+     * obtain() with the same inputs will be served from cache; only
+     * meaningful from serial points (the serving tier's admission
+     * step), since concurrent writers may publish in between.
+     */
+    bool contains(std::uint64_t key) const;
+
     std::uint64_t hits() const;
     std::uint64_t misses() const;
     std::size_t size() const;

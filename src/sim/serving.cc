@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ConcurrentRunner implementation.
+ */
+
+#include "sim/serving.hh"
+
+#include <mutex>
+
+#include "common/logging.hh"
+
+namespace ditile::sim {
+
+namespace {
+
+// The cache key depends on the accelerator family's update algorithm,
+// which is only observable from a built plan. Latch it on first use;
+// until then the cache is empty and planned() is trivially false.
+std::mutex g_algo_mutex;
+
+} // namespace
+
+ConcurrentRunner::ConcurrentRunner(AcceleratorFactory factory)
+    : factory_(std::move(factory)), algo_(model::AlgoKind::DiTileAlg)
+{
+    DITILE_ASSERT(factory_, "ConcurrentRunner needs a factory");
+    algoKnown_ = false;
+}
+
+RunResult
+ConcurrentRunner::infer(const graph::DynamicGraph &dg,
+                        const model::DgnnConfig &config)
+{
+    auto accel = factory_();
+    DITILE_ASSERT(accel, "accelerator factory returned null");
+    const auto plan = accel->plan(dg, config, &cache_);
+    if (!algoKnown_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(g_algo_mutex);
+        if (!algoKnown_.load(std::memory_order_relaxed)) {
+            algo_ = plan.options.algo;
+            algoKnown_.store(true, std::memory_order_release);
+        }
+    }
+    return executePlan(dg, plan);
+}
+
+bool
+ConcurrentRunner::planned(const graph::DynamicGraph &dg,
+                          const model::DgnnConfig &config) const
+{
+    if (!algoKnown_.load(std::memory_order_acquire))
+        return false;
+    return cache_.contains(PlanCache::planKey(dg, config, algo_));
+}
+
+} // namespace ditile::sim

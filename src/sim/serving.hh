@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Re-entrant plan+execute entry for concurrent tenants.
+ *
+ * The batch CLIs call Accelerator::plan()/execute() from one thread
+ * per accelerator object, which lets the concrete accelerators keep
+ * convenience state from the last run (DiTileAccelerator::lastPlan()
+ * et al.). The serving tier breaks that assumption: one logical
+ * accelerator answers queries for many tenants concurrently inside a
+ * parallelFor batch.
+ *
+ * ConcurrentRunner restores re-entrancy by construction instead of by
+ * locking: every infer() builds a *fresh* accelerator instance from
+ * the injected factory, so all mutable planner state is confined to
+ * the call. The expensive part of planning — the per-snapshot
+ * SnapshotPlans — is shared through the internally synchronized
+ * PlanCache, so a fresh instance per call costs only the cheap
+ * front-end passes on cache hits (and on a quiet tenant the whole
+ * plan-key lookup hits). executePlan() itself is already safe for
+ * concurrent callers: it is a pure replay over const inputs, and its
+ * internal parallelFor nests safely in the global pool.
+ */
+
+#ifndef DITILE_SIM_SERVING_HH
+#define DITILE_SIM_SERVING_HH
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "sim/accelerator.hh"
+#include "sim/plan_cache.hh"
+
+namespace ditile::sim {
+
+/** Builds a fresh accelerator instance per call. */
+using AcceleratorFactory =
+    std::function<std::unique_ptr<Accelerator>()>;
+
+/**
+ * Thread-safe inference front end over one accelerator family and one
+ * shared PlanCache.
+ */
+class ConcurrentRunner
+{
+  public:
+    explicit ConcurrentRunner(AcceleratorFactory factory);
+
+    /**
+     * Plan (through the shared cache) and execute one inference.
+     * Safe to call concurrently from pool workers; results are a pure
+     * function of (dg, config), independent of interleaving.
+     */
+    RunResult infer(const graph::DynamicGraph &dg,
+                    const model::DgnnConfig &config);
+
+    /**
+     * Whether a plan for these inputs is already cached. Only
+     * meaningful from serial program points: under concurrency the
+     * answer may be stale by the time infer() runs.
+     */
+    bool planned(const graph::DynamicGraph &dg,
+                 const model::DgnnConfig &config) const;
+
+    PlanCache &planCache() { return cache_; }
+    const PlanCache &planCache() const { return cache_; }
+
+  private:
+    AcceleratorFactory factory_;
+    model::AlgoKind algo_;
+    std::atomic<bool> algoKnown_{false};
+    PlanCache cache_;
+};
+
+} // namespace ditile::sim
+
+#endif // DITILE_SIM_SERVING_HH

@@ -19,6 +19,8 @@
 #include "common/trace.hh"
 #include "core/ditile_accelerator.hh"
 #include "graph/generator.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
 #include "sim/baselines.hh"
 #include "sim/plan_cache.hh"
 #include "workload/digest.hh"
@@ -392,6 +394,61 @@ TEST(EngineDeterminism, ChromeTraceIdenticalAcrossThreadCounts)
     const std::string serial = capture(1);
     EXPECT_NE(serial.find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(serial.find("engine.runs=1"), std::string::npos);
+    for (int threads : {2, 8}) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        EXPECT_EQ(capture(threads), serial);
+    }
+}
+
+TEST(ServeDeterminism, ConcurrentTenantsIdenticalAcrossThreadCounts)
+{
+    // The serving tier's contract extends the engine guarantee to a
+    // whole multi-tenant replay: per-request responses (modeled
+    // costs), the end-of-run summary, and the metrics registry must
+    // be byte-identical at any batch-execution width under the
+    // virtual clock — including the serial-predicted plan hit/miss
+    // counts that guard against shared-cache races.
+    serve::LoadGenConfig config;
+    config.tenants = 4;
+    config.requests = 150;
+    config.vertices = 48;
+    config.edges = 96;
+    config.features = 4;
+    config.window = 2;
+    config.seed = 23;
+    const auto schedule = serve::LoadGen(config).schedule();
+
+    auto capture = [&](int threads) {
+        workload::DigestCache::global().clear();
+        sim::Tracer &tracer = sim::Tracer::global();
+        tracer.reset();
+        tracer.enable(false, true);
+        ThreadPool::setGlobalThreads(threads);
+        serve::ServerOptions options;
+        options.queueCapacity = 8;
+        options.batchMax = 4;
+        serve::Server server(options, [] {
+            return std::unique_ptr<sim::Accelerator>(
+                std::make_unique<core::DiTileAccelerator>());
+        });
+        std::vector<std::string> responses;
+        server.replay(schedule, &responses);
+        ThreadPool::setGlobalThreads(1);
+        std::string out = server.summary().toTable();
+        for (const auto &response : responses) {
+            out += response;
+            out += '\n';
+        }
+        out += "-- metrics --\n";
+        for (const auto &[name, value] : tracer.metrics())
+            out += name + "=" + std::to_string(value) + "\n";
+        tracer.reset();
+        return out;
+    };
+
+    const std::string serial = capture(1);
+    EXPECT_NE(serial.find("serve summary"), std::string::npos);
+    EXPECT_NE(serial.find("serve.completed="), std::string::npos);
     for (int threads : {2, 8}) {
         SCOPED_TRACE(testing::Message() << "threads=" << threads);
         EXPECT_EQ(capture(threads), serial);

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * ditile_serve — the streaming inference service front end.
+ *
+ * Runs the serve tier as a long-lived process speaking the line
+ * protocol documented in serve/protocol.hh, or as a self-driving
+ * load-generator replay for capacity studies.
+ *
+ *   ditile_serve                          # interactive, stdin/stdout
+ *   ditile_serve --script=session.txt    # replay a canned session
+ *   ditile_serve --loadgen --requests=10000 --tenants=10 --threads=4
+ *
+ * Modes:
+ *   default          Read requests line-by-line from stdin (or
+ *                    --script=FILE), answer each on stdout. Protocol
+ *                    errors come back as `err <code>:` responses;
+ *                    the process never aborts on bad input.
+ *   --loadgen        Synthesize a seeded Zipf-over-tenants bursty
+ *                    request schedule (serve/loadgen.hh) and replay
+ *                    it through the batching server under the
+ *                    virtual clock, then print the summary table.
+ *
+ * Server flags:
+ *   --queue-capacity=N --batch-max=N --max-tenants=N
+ *   --cycles-per-us=N     (virtual service-time conversion)
+ *   --batch-overhead-us=N
+ *   --wall-clock          (measure service with the wall clock; no
+ *                          longer reproducible)
+ *   --threads=N           (batch-execution width; summaries are
+ *                          byte-identical at any width under the
+ *                          virtual clock)
+ *   --variant=...         (DiTile ablation variant, as ditile_run)
+ *   --rnn=lstm|gru --aggregator=gcn|sage|gin
+ *
+ * LoadGen flags (with --loadgen):
+ *   --tenants=N --requests=N --seed=S --zipf=EXP
+ *   --event-fraction=F --roll-fraction=F
+ *   --mean-gap-us=N --burst-toggle=P --burst-speedup=N
+ *   --vertices=N --edges=M --window=W --features=F --roll-every=K
+ *   --responses           (also print every response line)
+ *
+ * Output / instrumentation:
+ *   --summary             (print the summary table in script/stdin
+ *                          mode; loadgen mode always prints it)
+ *   --trace=FILE          (Chrome trace of request spans + engine
+ *                          activity) and --metrics (counter registry
+ *                          incl. serve.*) as in ditile_run
+ *
+ * SIGINT/SIGTERM request a graceful stop: the current batch drains,
+ * the summary, metrics registry, and trace file are still written,
+ * and a second signal kills the process immediately.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/shutdown.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "common/trace.hh"
+#include "core/ditile_accelerator.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
+
+using namespace ditile;
+
+namespace {
+
+model::DgnnConfig
+buildModel(const CliFlags &flags)
+{
+    model::DgnnConfig config;
+    const auto rnn = flags.getString("rnn", "lstm");
+    if (rnn == "gru")
+        config.rnn = model::RnnKind::Gru;
+    else if (rnn != "lstm")
+        DITILE_FATAL("unknown --rnn '", rnn, "'");
+    const auto agg = flags.getString("aggregator", "gcn");
+    if (agg == "sage")
+        config.aggregator = model::GnnAggregator::SageMean;
+    else if (agg == "gin")
+        config.aggregator = model::GnnAggregator::GinSum;
+    else if (agg != "gcn")
+        DITILE_FATAL("unknown --aggregator '", agg, "'");
+    return config;
+}
+
+serve::ServerOptions
+buildServerOptions(const CliFlags &flags)
+{
+    serve::ServerOptions options;
+    options.queueCapacity = static_cast<std::size_t>(
+        flags.getInt("queue-capacity",
+                     static_cast<long long>(options.queueCapacity)));
+    options.batchMax = static_cast<std::size_t>(
+        flags.getInt("batch-max",
+                     static_cast<long long>(options.batchMax)));
+    options.maxTenants = static_cast<std::size_t>(
+        flags.getInt("max-tenants",
+                     static_cast<long long>(options.maxTenants)));
+    options.serviceCyclesPerUs = static_cast<std::uint64_t>(
+        flags.getInt("cycles-per-us", static_cast<long long>(
+                                          options.serviceCyclesPerUs)));
+    options.batchOverheadUs = static_cast<std::uint64_t>(
+        flags.getInt("batch-overhead-us", static_cast<long long>(
+                                              options.batchOverheadUs)));
+    options.wallClock = flags.getBool("wall-clock", false);
+    options.model = buildModel(flags);
+    return options;
+}
+
+serve::LoadGenConfig
+buildLoadGenConfig(const CliFlags &flags)
+{
+    serve::LoadGenConfig config;
+    config.tenants = static_cast<std::size_t>(
+        flags.getInt("tenants",
+                     static_cast<long long>(config.tenants)));
+    config.requests = static_cast<std::size_t>(
+        flags.getInt("requests",
+                     static_cast<long long>(config.requests)));
+    config.zipfExponent = flags.getDouble("zipf", config.zipfExponent);
+    config.seed = static_cast<std::uint64_t>(
+        flags.getInt("seed", static_cast<long long>(config.seed)));
+    config.eventFraction =
+        flags.getDouble("event-fraction", config.eventFraction);
+    config.rollFraction =
+        flags.getDouble("roll-fraction", config.rollFraction);
+    config.meanGapUs = static_cast<std::uint64_t>(
+        flags.getInt("mean-gap-us",
+                     static_cast<long long>(config.meanGapUs)));
+    config.burstToggleProb =
+        flags.getDouble("burst-toggle", config.burstToggleProb);
+    config.burstSpeedup = static_cast<std::uint64_t>(
+        flags.getInt("burst-speedup",
+                     static_cast<long long>(config.burstSpeedup)));
+    config.vertices = static_cast<VertexId>(
+        flags.getInt("vertices",
+                     static_cast<long long>(config.vertices)));
+    config.edges = flags.getInt("edges", config.edges);
+    config.window = static_cast<SnapshotId>(
+        flags.getInt("window", config.window));
+    config.features = static_cast<int>(
+        flags.getInt("features", config.features));
+    config.rollEvery = static_cast<std::uint64_t>(
+        flags.getInt("roll-every",
+                     static_cast<long long>(config.rollEvery)));
+    return config;
+}
+
+/** Trace file + metrics registry, shared by every exit path. */
+void
+flushInstrumentation(const std::string &trace_file, bool metrics)
+{
+    Tracer &tracer = Tracer::global();
+    if (!trace_file.empty()) {
+        tracer.writeChromeJson(trace_file);
+        std::fprintf(stderr, "wrote Chrome trace to %s\n",
+                     trace_file.c_str());
+    }
+    if (metrics) {
+        Table registry("metrics registry");
+        registry.setHeader({"Metric", "Value"});
+        for (const auto &[path, value] : tracer.metrics())
+            registry.addRow({path, Table::integer(value)});
+        std::fputs(registry.toString().c_str(), stdout);
+    }
+}
+
+int
+runTool(const CliFlags &flags)
+{
+    ThreadPool::setGlobalThreads(
+        static_cast<int>(flags.getInt("threads", 1)));
+    installShutdownHandler();
+
+    const auto trace_file = flags.getString("trace", "");
+    if (trace_file == "1")
+        DITILE_FATAL("--trace needs =FILE in ditile_serve");
+    const bool metrics = flags.getBool("metrics", false);
+    Tracer &tracer = Tracer::global();
+    if (!trace_file.empty() || metrics) {
+        tracer.reset();
+        tracer.enable(!trace_file.empty(), metrics);
+    }
+
+    const auto hw = sim::AcceleratorConfig::defaults();
+    const auto variant = core::DiTileOptions::fromVariant(
+        flags.getString("variant", "full"));
+    sim::AcceleratorFactory factory = [hw, variant] {
+        return std::unique_ptr<sim::Accelerator>(
+            std::make_unique<core::DiTileAccelerator>(hw, variant));
+    };
+    serve::Server server(buildServerOptions(flags),
+                         std::move(factory));
+
+    if (flags.getBool("loadgen", false)) {
+        const serve::LoadGen generator(buildLoadGenConfig(flags));
+        const auto schedule = generator.schedule();
+        const bool echo = flags.getBool("responses", false);
+        std::vector<std::string> responses;
+        server.replay(schedule, echo ? &responses : nullptr);
+        if (echo) {
+            for (const auto &response : responses)
+                if (!response.empty())
+                    std::printf("%s\n", response.c_str());
+        }
+        std::fputs(server.summary().toTable().c_str(), stdout);
+        std::fflush(stdout);
+        flushInstrumentation(trace_file, metrics);
+        return shutdownRequested() ? 130 : 0;
+    }
+
+    std::ifstream script_stream;
+    std::istream *in = &std::cin;
+    const auto script = flags.getString("script", "");
+    if (!script.empty()) {
+        script_stream.open(script);
+        if (!script_stream)
+            DITILE_FATAL("cannot open --script '", script, "'");
+        in = &script_stream;
+    }
+    std::string line;
+    while (!shutdownRequested() && std::getline(*in, line)) {
+        const std::string response = server.handle(line);
+        if (!response.empty()) {
+            std::printf("%s\n", response.c_str());
+            std::fflush(stdout);
+        }
+        if (server.stopped())
+            break;
+    }
+    if (flags.getBool("summary", false))
+        std::fputs(server.summary().toTable().c_str(), stdout);
+    std::fflush(stdout);
+    flushInstrumentation(trace_file, metrics);
+    return shutdownRequested() ? 130 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliFlags flags = CliFlags::parse(argc, argv);
+    try {
+        return runTool(flags);
+    } catch (const std::exception &e) {
+        DITILE_FATAL(e.what());
+    }
+}

@@ -28,6 +28,12 @@
  * does not abort the sweep: the rows of every successful point are
  * still flushed to stdout in grid order, the failing point and its
  * error are reported on stderr, and the process exits nonzero.
+ *
+ * SIGINT/SIGTERM interrupt the sweep gracefully: not-yet-run grid
+ * points are skipped, and the rows of every completed point — plus
+ * the metrics sidecar and trace file, when requested — are still
+ * flushed before the process exits with status 130. A second signal
+ * kills the process immediately.
  */
 
 #include <cstdio>
@@ -36,6 +42,7 @@
 
 #include "common/cli.hh"
 #include "common/logging.hh"
+#include "common/shutdown.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "common/trace.hh"
@@ -98,7 +105,9 @@ runTool(const CliFlags &flags)
         std::vector<std::vector<std::string>> rows;
         std::vector<std::vector<std::string>> metricRows;
         std::string error;
+        bool interrupted = false;
     };
+    installShutdownHandler();
     std::vector<Job> jobs;
     for (double dis : dis_list)
         for (double snaps : snap_list)
@@ -111,6 +120,11 @@ runTool(const CliFlags &flags)
 
     parallelFor(jobs.size(), [&](std::size_t j) {
         Job &job = jobs[j];
+        if (shutdownRequested()) {
+            // Skip cleanly; already-finished points still flush below.
+            job.interrupted = true;
+            return;
+        }
         try {
             graph::DatasetOptions options;
             options.scale = flags.getDouble("scale", 0.0);
@@ -247,6 +261,17 @@ runTool(const CliFlags &flags)
             static_cast<unsigned long long>(digests.misses()),
             digests.size(),
             workload::digestEnabled() ? "enabled" : "disabled");
+    }
+    int interrupted = 0;
+    for (const auto &job : jobs)
+        if (job.interrupted)
+            ++interrupted;
+    if (interrupted > 0) {
+        std::fprintf(stderr,
+                     "sweep interrupted: %d of %zu point(s) skipped; "
+                     "partial results flushed\n",
+                     interrupted, jobs.size());
+        return 130;
     }
     if (failed > 0) {
         std::fprintf(stderr, "%d of %zu sweep point(s) failed\n",

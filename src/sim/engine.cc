@@ -22,12 +22,23 @@
  * executePlan therefore runs in stages:
  *
  *   1. *parallel* per-snapshot evaluation into one SnapshotWork slot
- *      per snapshot (per-tile sub-models fan out a second level),
+ *      per snapshot (snapshot_eval.cc; per-tile sub-models fan out a
+ *      second level),
  *   2. *serial* DRAM replay and Re-Link decisions in snapshot order,
  *   3. *parallel* spatial NoC replay for snapshots whose span was
  *      only known after stage 2 (adaptive Re-Link),
  *   4. *serial* merge of every accumulator in canonical snapshot
- *      order, then the (inherently sequential) timeline assembly.
+ *      order, then the timeline.
+ *
+ * The timeline comes in two flavors. The staged model (default here,
+ * `--no-overlap` in the CLIs) chains phases through the legacy
+ * barrier formulas and is the byte-identity reference. Overlap mode
+ * builds the Comp/Comm task DAG (task_graph.cc) over the *same*
+ * per-task durations and lets the deterministic list scheduler
+ * (scheduler.cc) propagate ready times, so independent phases
+ * pipeline; because the DAG's dependencies are a strict relaxation of
+ * the barriers, its makespan never exceeds the staged total on
+ * fault-free runs.
  *
  * All accumulators merged in stage 4 are integers and the per-index
  * slots make the schedule invisible, so results are bit-identical to
@@ -48,150 +59,18 @@
 #include "common/trace.hh"
 #include "noc/network.hh"
 #include "noc/relink_controller.hh"
+#include "sim/engine_internal.hh"
 #include "sim/execution_plan.hh"
 #include "sim/fault_model.hh"
-#include "sim/tile_model.hh"
+#include "sim/scheduler.hh"
+#include "sim/task_graph.hh"
 #include "workload/balance.hh"
 #include "workload/digest.hh"
 
 namespace ditile::sim {
 
-namespace {
-
-/**
- * Dense slot x slot -> bytes accumulator for message aggregation.
- *
- * Replaces the previous hash-map accumulator: the hot loops touch the
- * same few slot pairs millions of times, so a flat array add is one
- * indexed load/store instead of a hash probe. The drain order is a
- * deterministic hash scatter of the (src, dst) tile pair: the greedy
- * link scheduler in noc::simulateTraffic models simultaneous
- * injection from all tiles, which an interleaved message sequence
- * represents and a per-source burst (plain ascending order) does not.
- * Unlike the old unordered_map drain, the permutation is pinned by
- * mix64 rather than inherited from stdlib hash internals, so the
- * sequence is reproducible across platforms and accumulation orders.
- * Callers guard the diagonal where it is meaningless (same-slot
- * gathers stay on-tile) and map slots to tile ids at emit time.
- */
-class DenseTraffic
-{
-  public:
-    explicit DenseTraffic(int slots)
-        : slots_(slots),
-          bytes_(static_cast<std::size_t>(slots) *
-                     static_cast<std::size_t>(slots),
-                 0)
-    {
-    }
-
-    void
-    add(int src, int dst, ByteCount bytes)
-    {
-        bytes_[static_cast<std::size_t>(src) *
-                   static_cast<std::size_t>(slots_) +
-               static_cast<std::size_t>(dst)] += bytes;
-    }
-
-    /** Nonzero cells, i.e. messages emit() will produce. */
-    std::size_t
-    nonzero() const
-    {
-        std::size_t n = 0;
-        for (const ByteCount b : bytes_)
-            n += b != 0 ? 1 : 0;
-        return n;
-    }
-
-    /**
-     * Flush nonzero cells in mix64(src tile, dst tile) order, mapping
-     * each endpoint through its own slot->tile function (the temporal
-     * boundary places src and dst in different tile columns).
-     */
-    template <typename SrcTile, typename DstTile>
-    void
-    emit(std::vector<noc::Message> &out, noc::TrafficClass cls,
-         Cycle inject, SrcTile &&src_tile, DstTile &&dst_tile) const
-    {
-        std::vector<std::pair<std::uint64_t, noc::Message>> cells;
-        cells.reserve(nonzero());
-        for (int s = 0; s < slots_; ++s) {
-            for (int d = 0; d < slots_; ++d) {
-                const ByteCount bytes =
-                    bytes_[static_cast<std::size_t>(s) *
-                               static_cast<std::size_t>(slots_) +
-                           static_cast<std::size_t>(d)];
-                if (bytes == 0)
-                    continue;
-                noc::Message m;
-                m.src = src_tile(s);
-                m.dst = dst_tile(d);
-                m.bytes = bytes;
-                m.injectCycle = inject;
-                m.cls = cls;
-                // mix64 is a bijection, so keys are unique and the
-                // sort needs no tie-break.
-                const std::uint64_t key = mix64(
-                    (static_cast<std::uint64_t>(
-                         static_cast<std::uint32_t>(m.src))
-                     << 32) |
-                    static_cast<std::uint32_t>(m.dst));
-                cells.emplace_back(key, m);
-            }
-        }
-        std::sort(cells.begin(), cells.end(),
-                  [](const auto &a, const auto &b) {
-                      return a.first < b.first;
-                  });
-        out.reserve(out.size() + cells.size());
-        for (const auto &[key, m] : cells)
-            out.push_back(m);
-    }
-
-  private:
-    int slots_;
-    std::vector<ByteCount> bytes_;
-};
-
-/** Cycles to execute `macs` MACs on `units` MAC units. */
-Cycle
-computeCycles(OpCount macs, double units)
-{
-    if (macs == 0)
-        return 0;
-    DITILE_ASSERT(units >= 1.0, "compute phase has no MAC units");
-    return static_cast<Cycle>(
-        static_cast<double>(macs) / units + 0.999999);
-}
-
-/**
- * Everything one snapshot contributes to the run, produced by the
- * parallel evaluation stage and merged in canonical order afterwards.
- */
-struct SnapshotWork
-{
-    model::OpsBreakdown ops;
-    model::DramBreakdown dramTraffic;
-
-    /** Off-chip requests; issue cycles patched in the serial stage. */
-    std::vector<dram::DramRequest> requests;
-
-    Cycle gnnCompute = 0;
-    Cycle rnnCompute = 0;
-    ByteCount localBufferBytes = 0; ///< Detailed-tile staging traffic.
-
-    /** Pending spatial messages (adaptive Re-Link defers the replay). */
-    std::vector<noc::Message> spatialMsgs;
-    std::vector<int> spatialDistances; ///< Vertical hops per message.
-    bool spatialPending = false;
-    noc::NocResult spatial;
-
-    bool hasTemporal = false;
-    noc::NocResult temporal;
-    ByteCount reuseTotal = 0;
-};
-
-} // namespace
+using detail::DramObs;
+using detail::SnapshotWork;
 
 RunResult
 executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
@@ -257,8 +136,8 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
         hw.noc.topology == noc::TopologyKind::Reconfigurable;
 
     // Resolve the planned vertex->slot assignment once per mapping:
-    // the hot loops below index a flat array instead of re-checking
-    // the mapping kind and remap state per vertex visit.
+    // the hot loops index a flat array instead of re-checking the
+    // mapping kind and remap state per vertex visit.
     const int compute_slots = mapping.spatialOnly ? hw.totalTiles()
                                                   : hw.tileRows;
     std::vector<int> base_owner(static_cast<std::size_t>(num_vertices));
@@ -368,7 +247,7 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
         }, &pool);
     }
 
-    // Partition digest for the full-recompute fast paths below. It
+    // Partition digest for the full-recompute fast paths. It
     // summarizes the *planned* assignment, so degraded snapshots whose
     // owners were re-dealt take the scratch loops regardless.
     std::shared_ptr<const workload::PartitionDigest> pdigest;
@@ -385,362 +264,18 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
     }
 
     // ---- Stage 1: parallel per-snapshot evaluation. ----
-    auto evaluateSnapshot = [&](std::size_t i) {
-        const auto t = static_cast<SnapshotId>(i);
-        SnapshotWork &w = work[i];
-        const graph::Csr &g = dg.snapshot(t);
-        const model::SnapshotPlan &splan = snapshot_plans[i];
-
-        // ---- Accounting (ops + off-chip bytes). ----
-        w.ops = model::countSnapshotOps(dg, t, model_config, splan);
-        w.dramTraffic = model::countSnapshotDram(
-            dg, t, model_config, options.algo, splan,
-            options.accounting);
-
-        // ---- Off-chip request synthesis. ----
-        // Full recomputation streams regions sequentially (row-buffer
-        // friendly); incremental snapshots gather scattered subsets,
-        // so their reads are split into pseudo-randomly placed chunks
-        // that exercise row misses and bank conflicts. Issue cycles
-        // stay 0 here; the serial replay stage stamps the cursor.
-        auto scaled = [&](ByteCount bytes) {
-            return static_cast<ByteCount>(
-                static_cast<double>(bytes) * options.dramTrafficScale);
-        };
-        auto push_read = [&](std::uint64_t base, ByteCount region_bytes,
-                             ByteCount bytes) {
-            bytes = scaled(bytes);
-            if (bytes == 0)
-                return;
-            if (splan.fullRecompute || bytes >= region_bytes) {
-                w.requests.push_back({base, bytes, false, 0});
-                return;
-            }
-            const auto chunks = static_cast<ByteCount>(clamp<ByteCount>(
-                bytes / 1024, 1, 4096));
-            const ByteCount chunk = bytes / chunks;
-            w.requests.reserve(w.requests.size() +
-                               static_cast<std::size_t>(chunks));
-            for (ByteCount k = 0; k < chunks; ++k) {
-                const std::uint64_t span =
-                    region_bytes > chunk ? region_bytes - chunk : 1;
-                const std::uint64_t offset = mix64(
-                    (static_cast<std::uint64_t>(t) << 32) ^ k ^ base)
-                    % span;
-                const ByteCount size = k + 1 == chunks
-                    ? bytes - chunk * (chunks - 1) : chunk;
-                w.requests.push_back({base + offset, size, false, 0});
-            }
-        };
-        const ByteCount intermediate_region =
-            static_cast<ByteCount>(num_vertices) * z_bytes * 4;
-        w.requests.reserve(8);
-        w.requests.push_back({weight_base,
-                              scaled(w.dramTraffic.weightBytes), false,
-                              0});
-        w.requests.push_back({adjacency_base,
-                              scaled(w.dramTraffic.adjacencyBytes),
-                              false, 0});
-        push_read(feature_base, feature_bytes_total,
-                  w.dramTraffic.inputFeatureBytes);
-        if (w.dramTraffic.intermediateBytes > 0) {
-            w.requests.push_back({intermediate_base,
-                                  scaled(w.dramTraffic.intermediateBytes
-                                         / 2), true, 0});
-            push_read(intermediate_base, intermediate_region,
-                      w.dramTraffic.intermediateBytes -
-                          w.dramTraffic.intermediateBytes / 2);
-        }
-        if (w.dramTraffic.outputBytes > 0) {
-            const ByteCount writes =
-                w.dramTraffic.outputBytes * 3 / 5; // z + new h/c.
-            w.requests.push_back({output_base, scaled(writes), true,
-                                  0});
-            w.requests.push_back({output_base,
-                                  scaled(w.dramTraffic.outputBytes -
-                                         writes), false, 0});
-        }
-
-        // ---- Compute distribution over tiles. ----
-        // Under tile faults the pre-computed degraded-mode re-deal
-        // replaces the planned assignment for this snapshot.
-        const int *ovec = owner_remap[i].empty()
-            ? base_owner.data()
-            : owner_remap[i].data();
-        const noc::NocFaults *noc_faults =
-            fm && fm->at(t).anyNoc() ? &fm->at(t).noc : nullptr;
-        std::vector<OpCount> slot_gnn(
-            static_cast<std::size_t>(compute_slots), 0);
-        std::vector<OpCount> slot_rnn(
-            static_cast<std::size_t>(compute_slots), 0);
-        // Detailed timing collects explicit per-slot vertex tasks.
-        std::vector<std::vector<VertexTask>> slot_tasks;
-        if (options.detailedTileTiming)
-            slot_tasks.resize(static_cast<std::size_t>(compute_slots));
-
-        DenseTraffic spatial_traffic(compute_slots);
-        const int col = mapping.spatialOnly
-            ? 0 : mapping.snapshotColumn[i];
-        auto tile_of_slot = [&](int slot) {
-            return mapping.spatialOnly
-                ? static_cast<TileId>(slot)
-                : static_cast<TileId>(slot * hw.tileCols + col);
-        };
-
-        // Digest fast paths cover snapshots that run on the planned
-        // assignment; a degraded re-deal falls back to the loops.
-        const bool digest_snapshot = pdigest && owner_remap[i].empty();
-        const bool rnn_all =
-            static_cast<VertexId>(splan.rnnVertices.size()) ==
-            num_vertices;
-
-        if (digest_snapshot && splan.fullRecompute &&
-            !options.detailedTileTiming) {
-            // Full recomputation touches every vertex in every layer,
-            // so the per-slot MAC totals and the cross-owner gather
-            // bytes collapse to closed forms over the digest counters.
-            // All integer arithmetic: bit-identical to the loops.
-            const auto &deg_sum = pdigest->slotDegreeSum[i];
-            const auto &cnt = pdigest->slotVertexCount;
-            const ByteCount gather_sum =
-                static_cast<ByteCount>(sum_in_dims) * bpv;
-            for (int s = 0; s < compute_slots; ++s) {
-                const auto si = static_cast<std::size_t>(s);
-                slot_gnn[si] = sum_in_dims * (deg_sum[si] + cnt[si]) +
-                    sum_in_out_dims * cnt[si];
-            }
-            for (int s = 0; s < compute_slots; ++s) {
-                for (int d = 0; d < compute_slots; ++d) {
-                    const std::uint64_t c = pdigest->cross(t, s, d);
-                    if (c != 0) {
-                        spatial_traffic.add(
-                            s, d, static_cast<ByteCount>(c) *
-                                gather_sum);
-                    }
-                }
-            }
-        } else {
-            for (int l = 0; l < model_config.numGcnLayers(); ++l) {
-                const auto &lw = splan.gcn[static_cast<std::size_t>(l)];
-                const auto in_dim = static_cast<OpCount>(
-                    model_config.gcnInputDim(l, feature_dim));
-                const auto out_dim =
-                    static_cast<OpCount>(model_config.gcnOutputDim(l));
-                const ByteCount gather_bytes =
-                    static_cast<ByteCount>(in_dim) * bpv;
-                for (VertexId v : lw.vertices) {
-                    const int ov = ovec[static_cast<std::size_t>(v)];
-                    const OpCount vertex_macs =
-                        (static_cast<OpCount>(g.degree(v)) + 1) *
-                            in_dim +
-                        in_dim * out_dim;
-                    slot_gnn[static_cast<std::size_t>(ov)] +=
-                        vertex_macs;
-                    if (options.detailedTileTiming) {
-                        VertexTask task;
-                        task.vertex = v;
-                        task.macs = vertex_macs;
-                        task.postOps = out_dim;
-                        task.inputBytes =
-                            (static_cast<ByteCount>(g.degree(v)) + 1) *
-                            static_cast<ByteCount>(in_dim) * bpv;
-                        slot_tasks[static_cast<std::size_t>(ov)]
-                            .push_back(task);
-                    }
-                    for (VertexId u : g.neighbors(v)) {
-                        const int ou =
-                            ovec[static_cast<std::size_t>(u)];
-                        if (ou != ov)
-                            spatial_traffic.add(ou, ov, gather_bytes);
-                    }
-                }
-            }
-        }
-        if (digest_snapshot && rnn_all) {
-            const auto &cnt = pdigest->slotVertexCount;
-            for (int s = 0; s < compute_slots; ++s) {
-                const auto si = static_cast<std::size_t>(s);
-                slot_rnn[si] = rnn_vertex_macs * cnt[si];
-            }
-        } else {
-            for (VertexId v : splan.rnnVertices) {
-                slot_rnn[static_cast<std::size_t>(
-                    ovec[static_cast<std::size_t>(v)])] +=
-                    rnn_vertex_macs;
-            }
-        }
-
-        OpCount gnn_crit_macs = 0;
-        OpCount rnn_crit_macs = 0;
-        for (int s = 0; s < compute_slots; ++s) {
-            gnn_crit_macs = std::max(gnn_crit_macs,
-                slot_gnn[static_cast<std::size_t>(s)]);
-            rnn_crit_macs = std::max(rnn_crit_macs,
-                slot_rnn[static_cast<std::size_t>(s)]);
-        }
-        if (options.detailedTileTiming) {
-            // Critical slot via explicit PE-array scheduling. The
-            // static MAC fraction scales the per-PE array width.
-            // Independent per-tile sub-models: fan out over slots and
-            // reduce into per-slot result vectors.
-            TileConfig tconfig;
-            tconfig.pes = hw.pesPerTile;
-            tconfig.macsPerPe = std::max(1, static_cast<int>(
-                hw.macsPerPe * options.gnnMacFraction));
-            tconfig.localBufferBytes = hw.localBufferBytes;
-            tconfig.reuseFifoBytes = hw.reuseFifoBytes;
-            const TileModel tile(tconfig);
-            const std::size_t slots = slot_tasks.size();
-            std::vector<Cycle> slot_cycles(slots, 0);
-            std::vector<ByteCount> slot_traffic(slots, 0);
-            parallelFor(slots, [&](std::size_t s) {
-                if (slot_tasks[s].empty())
-                    return;
-                const auto phase =
-                    tile.executePhase(std::move(slot_tasks[s]));
-                slot_cycles[s] = phase.cycles;
-                slot_traffic[s] = phase.localBufferTraffic;
-            }, &pool);
-            Cycle worst = 0;
-            for (std::size_t s = 0; s < slots; ++s) {
-                worst = std::max(worst, slot_cycles[s]);
-                w.localBufferBytes += slot_traffic[s];
-            }
-            w.gnnCompute = worst;
-        } else {
-            w.gnnCompute = computeCycles(
-                gnn_crit_macs, tile_macs * options.gnnMacFraction);
-        }
-        w.rnnCompute = computeCycles(
-            rnn_crit_macs, tile_macs * options.rnnMacFraction);
-
-        // ---- NoC replay: GNN-phase spatial traffic. ----
-        spatial_traffic.emit(w.spatialMsgs, noc::TrafficClass::Spatial,
-                             0, tile_of_slot, tile_of_slot);
-        if (adaptive_relink) {
-            // The Re-Link span depends on the controller's engaged
-            // state, which chains across snapshots: record this
-            // phase's vertical-distance profile and defer the replay
-            // until the serial stage has decided the span.
-            w.spatialDistances.reserve(w.spatialMsgs.size());
-            for (const auto &m : w.spatialMsgs) {
-                const int rs = m.src / hw.tileCols;
-                const int rd = m.dst / hw.tileCols;
-                const int fwd = (rd - rs + hw.tileRows) % hw.tileRows;
-                w.spatialDistances.push_back(
-                    std::min(fwd, hw.tileRows - fwd));
-            }
-            w.spatialPending = true;
-        } else {
-            w.spatial = noc::simulateTraffic(hw.noc,
-                                             std::move(w.spatialMsgs),
-                                             noc_faults);
-            w.spatialMsgs.clear();
-        }
-
-        // ---- RNN-boundary temporal + reuse traffic. ----
-        if (!mapping.spatialOnly && t > 0) {
-            const int prev_col = mapping.snapshotColumn[i - 1];
-            if (prev_col != col) {
-                // Boundary endpoints honor the degraded-mode re-deal
-                // on *both* sides: the previous column's survivors may
-                // differ from this column's.
-                const int *prev_ovec = owner_remap[i - 1].empty()
-                    ? base_owner.data()
-                    : owner_remap[i - 1].data();
-                const bool boundary_digest =
-                    digest_snapshot && owner_remap[i - 1].empty();
-                auto src_tile = [&](int s) {
-                    return static_cast<TileId>(s * hw.tileCols +
-                                               prev_col);
-                };
-                auto dst_tile = [&](int d) {
-                    return static_cast<TileId>(d * hw.tileCols + col);
-                };
-                DenseTraffic boundary(compute_slots);
-                // Temporal: every RNN-active vertex needs its previous
-                // hidden/cell state from the previous snapshot's column.
-                if (boundary_digest && rnn_all) {
-                    // Both columns run the planned assignment, so every
-                    // vertex stays in its own row: the boundary is
-                    // purely diagonal with per-slot vertex counts.
-                    const auto &cnt = pdigest->slotVertexCount;
-                    for (int s = 0; s < compute_slots; ++s) {
-                        boundary.add(
-                            s, s,
-                            2 * h_bytes *
-                                static_cast<ByteCount>(
-                                    cnt[static_cast<std::size_t>(s)]));
-                    }
-                } else {
-                    for (VertexId v : splan.rnnVertices) {
-                        boundary.add(
-                            prev_ovec[static_cast<std::size_t>(v)],
-                            ovec[static_cast<std::size_t>(v)],
-                            2 * h_bytes);
-                    }
-                }
-                // Reuse: incremental algorithms forward the unchanged
-                // vertices' outputs instead of recomputing them.
-                std::vector<noc::Message> msgs;
-                boundary.emit(msgs, noc::TrafficClass::Temporal, 0,
-                              src_tile, dst_tile);
-                if (!splan.fullRecompute) {
-                    DenseTraffic reuse(compute_slots);
-                    if (boundary_digest) {
-                        // Same diagonal argument; the unchanged count
-                        // per slot is the slot population minus its
-                        // changed (last-layer) vertices.
-                        std::vector<std::uint64_t> changed_cnt(
-                            static_cast<std::size_t>(compute_slots),
-                            0);
-                        for (VertexId v : splan.gcn.back().vertices) {
-                            ++changed_cnt[static_cast<std::size_t>(
-                                ovec[static_cast<std::size_t>(v)])];
-                        }
-                        for (int s = 0; s < compute_slots; ++s) {
-                            const auto si =
-                                static_cast<std::size_t>(s);
-                            const std::uint64_t unchanged =
-                                pdigest->slotVertexCount[si] -
-                                changed_cnt[si];
-                            if (unchanged == 0)
-                                continue;
-                            reuse.add(s, s,
-                                      (z_bytes + h_bytes) *
-                                          static_cast<ByteCount>(
-                                              unchanged));
-                            w.reuseTotal += (z_bytes + h_bytes) *
-                                static_cast<ByteCount>(unchanged);
-                        }
-                    } else {
-                        std::vector<bool> changed(
-                            static_cast<std::size_t>(num_vertices),
-                            false);
-                        for (VertexId v : splan.gcn.back().vertices)
-                            changed[static_cast<std::size_t>(v)] = true;
-                        for (VertexId v = 0; v < num_vertices; ++v) {
-                            if (changed[static_cast<std::size_t>(v)])
-                                continue;
-                            reuse.add(
-                                prev_ovec[static_cast<std::size_t>(v)],
-                                ovec[static_cast<std::size_t>(v)],
-                                z_bytes + h_bytes);
-                            w.reuseTotal += z_bytes + h_bytes;
-                        }
-                    }
-                    reuse.emit(msgs, noc::TrafficClass::Reuse, 0,
-                               src_tile, dst_tile);
-                }
-                w.temporal = noc::simulateTraffic(hw.noc,
-                                                  std::move(msgs),
-                                                  noc_faults);
-                w.hasTemporal = true;
-            }
-        }
-    };
+    const detail::EvalContext ctx{
+        dg, plan, snapshot_plans,
+        bpv, z_bytes, h_bytes, feature_bytes_total,
+        weight_base, adjacency_base, feature_base, intermediate_base,
+        output_base,
+        compute_slots, tile_macs, rnn_vertex_macs, adaptive_relink,
+        sum_in_dims, sum_in_out_dims,
+        base_owner, owner_remap, fm, pdigest.get(), pool};
     parallelFor(static_cast<std::size_t>(num_snapshots),
-                evaluateSnapshot, &pool);
+                [&](std::size_t i) {
+        detail::evaluateSnapshot(ctx, i, work[i]);
+    }, &pool);
 
     // ---- Stage 2: serial DRAM replay + Re-Link decisions. ----
     // Row-buffer state and the completion cursor chain snapshot to
@@ -756,18 +291,6 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
         static_cast<std::size_t>(num_snapshots), 0);
     std::vector<Cycle> dram_retry_cycles(
         static_cast<std::size_t>(num_snapshots), 0);
-    // Per-snapshot DRAM observability slots, filled in the serial
-    // replay so the trace can attribute row behavior per stream.
-    struct DramObs
-    {
-        Cycle begin = 0;
-        std::uint64_t requests = 0;
-        std::uint64_t rowHits = 0;
-        std::uint64_t rowMisses = 0;
-        std::uint64_t rowConflicts = 0;
-        ByteCount readBytes = 0;
-        ByteCount writeBytes = 0;
-    };
     std::vector<DramObs> dram_obs(
         obs ? static_cast<std::size_t>(num_snapshots) : 0);
     Cycle dram_cursor = 0;
@@ -924,8 +447,78 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
         tr.spatialCommCycles = work[i].spatial.makespan;
         tr.temporalCommCycles = work[i].temporal.makespan;
     }
-    Cycle last_done = 0;
-    if (mapping.spatialOnly) {
+    result.configCycles = static_cast<Cycle>(num_snapshots) *
+        hw.perSnapshotConfigCycles;
+
+    TaskGraph tg;
+    ScheduleResult sched;
+    if (options.overlap) {
+        // ---- Overlap: annotate the task DAG with the durations the
+        // evaluation stages produced and let the deterministic
+        // scheduler propagate ready times. The DAG's dependencies
+        // relax the staged barriers (task_graph.cc documents the
+        // mapping), so the makespan is <= the staged total; the
+        // Re-Link reconfiguration chain rides its own lane instead of
+        // being appended serially.
+        tg = buildTaskGraph(plan);
+        auto node = [&](int id) -> TaskNode & {
+            return tg.nodes[static_cast<std::size_t>(id)];
+        };
+        for (SnapshotId t = 0; t < num_snapshots; ++t) {
+            const auto i = static_cast<std::size_t>(t);
+            const auto &st = tg.bySnapshot[i];
+            const SnapshotWork &w = work[i];
+            node(st.dram).duration =
+                dram_done[i] - (t > 0 ? dram_done[i - 1] : 0);
+            node(st.gnn).duration = w.gnnCompute;
+            node(st.spatial).duration = w.spatial.makespan;
+            if (st.temporal != -1)
+                node(st.temporal).duration = w.temporal.makespan;
+            node(st.rnn).duration = w.rnnCompute;
+            node(st.relink).duration = hw.perSnapshotConfigCycles;
+        }
+        sched = scheduleTaskGraph(tg);
+        for (SnapshotId t = 0; t < num_snapshots; ++t) {
+            const auto i = static_cast<std::size_t>(t);
+            const auto &st = tg.bySnapshot[i];
+            auto &tr = result.trace[i];
+            // The DRAM chain reproduces dram_done exactly; the GNN
+            // phase is complete once compute, spatial traffic and the
+            // off-chip stream have all landed.
+            tr.gnnDone = std::max(
+                {sched.tasks[static_cast<std::size_t>(st.gnn)].finish,
+                 sched.tasks[static_cast<std::size_t>(st.spatial)]
+                     .finish,
+                 dram_done[i]});
+            tr.rnnDone =
+                sched.tasks[static_cast<std::size_t>(st.rnn)].finish;
+        }
+        result.totalCycles = sched.makespan;
+
+        TaskGraphStats &ts = result.taskGraph;
+        ts.enabled = true;
+        ts.numTasks = tg.nodes.size();
+        ts.numEdges = tg.edges.size();
+        ts.makespan = sched.makespan;
+        ts.lanes.reserve(tg.lanes.size());
+        for (std::size_t li = 0; li < tg.lanes.size(); ++li) {
+            ts.lanes.push_back({tg.lanes[li].name(),
+                                sched.lanes[li].tasks,
+                                sched.lanes[li].busyCycles});
+        }
+        std::vector<bool> critical(tg.nodes.size(), false);
+        for (const int id : sched.criticalPath)
+            critical[static_cast<std::size_t>(id)] = true;
+        ts.tasks.reserve(tg.nodes.size());
+        for (const TaskNode &n : tg.nodes) {
+            const auto ni = static_cast<std::size_t>(n.id);
+            ts.tasks.push_back(
+                {n.id, taskKindToken(n.kind), n.snapshot,
+                 tg.lanes[static_cast<std::size_t>(n.lane)].name(),
+                 sched.tasks[ni].start, sched.tasks[ni].finish,
+                 static_cast<bool>(critical[ni])});
+        }
+    } else if (mapping.spatialOnly) {
         // Snapshots run sequentially over the whole grid: GNN compute
         // overlaps spatial communication, then the local RNN phase.
         Cycle prev_done = 0;
@@ -940,7 +533,7 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
             result.trace[i].rnnDone = done;
             prev_done = done;
         }
-        last_done = prev_done;
+        result.totalCycles = prev_done + result.configCycles;
     } else {
         // Pass 1: GNN phases with column occupancy and DRAM gating.
         std::vector<Cycle> col_free(
@@ -965,6 +558,7 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
             for (Cycle d : gnn_done)
                 barrier = std::max(barrier, d);
         }
+        Cycle last_done = 0;
         Cycle rnn_prev = 0;
         for (SnapshotId t = 0; t < num_snapshots; ++t) {
             const auto i = static_cast<std::size_t>(t);
@@ -981,11 +575,9 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                 col_free[c] = std::max(col_free[c], done);
             }
         }
+        result.totalCycles = last_done + result.configCycles;
     }
 
-    result.configCycles = static_cast<Cycle>(num_snapshots) *
-        hw.perSnapshotConfigCycles;
-    result.totalCycles = last_done + result.configCycles;
     for (SnapshotId t = 0; t < num_snapshots; ++t) {
         const auto i = static_cast<std::size_t>(t);
         result.computeCycles += work[i].gnnCompute + work[i].rnnCompute;
@@ -1194,6 +786,20 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                              static_cast<double>(scratch_snapshots));
             result.stats.set("relink.engaged_snapshots",
                              static_cast<double>(relink_engaged));
+            if (result.taskGraph.enabled) {
+                result.stats.set(
+                    "taskgraph.tasks",
+                    static_cast<double>(result.taskGraph.numTasks));
+                result.stats.set(
+                    "taskgraph.edges",
+                    static_cast<double>(result.taskGraph.numEdges));
+                result.stats.set(
+                    "taskgraph.lanes",
+                    static_cast<double>(result.taskGraph.lanes.size()));
+                result.stats.set(
+                    "taskgraph.critical_tasks",
+                    static_cast<double>(sched.criticalPath.size()));
+            }
             // Process-wide registry totals across runs.
             tracer.addMetric("engine.runs", 1);
             tracer.addMetric("engine.snapshots", num_snapshots);
@@ -1218,6 +824,11 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                              static_cast<long long>(row_conflicts));
             tracer.addMetric("relink.engaged_snapshots",
                              static_cast<long long>(relink_engaged));
+            if (result.taskGraph.enabled) {
+                tracer.addMetric("taskgraph.scheduled_tasks",
+                                 static_cast<long long>(
+                                     result.taskGraph.numTasks));
+            }
             if (fm) {
                 tracer.addMetric("fault.recovery_events",
                                  static_cast<long long>(
@@ -1260,16 +871,33 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                             : an + ": col " +
                                 std::to_string(row.column));
                 }
-                // Span geometry is reconstructed backwards from the
-                // modeled completion cycles the timeline assembly
-                // pinned, so timestamps are virtual by construction.
-                const Cycle on_chip = std::max(w.gnnCompute,
-                                               w.spatial.makespan);
-                const Cycle gnn_start = row.gnnDone - on_chip;
-                const Cycle rnn_start = row.rnnDone - w.rnnCompute;
-                const Cycle rnn_comm_start =
-                    rnn_start - w.temporal.makespan;
-                const Cycle begin = std::min(gnn_start, rnn_comm_start);
+                // Span geometry: overlap mode reads the scheduler's
+                // start times directly; staged mode reconstructs the
+                // spans backwards from the modeled completion cycles
+                // the timeline assembly pinned. Timestamps are
+                // virtual either way.
+                Cycle gnn_ts, spat_ts, rnn_ts, temp_ts;
+                if (options.overlap) {
+                    const auto &st = tg.bySnapshot[i];
+                    gnn_ts = sched
+                        .tasks[static_cast<std::size_t>(st.gnn)].start;
+                    spat_ts = sched
+                        .tasks[static_cast<std::size_t>(st.spatial)]
+                        .start;
+                    rnn_ts = sched
+                        .tasks[static_cast<std::size_t>(st.rnn)].start;
+                    temp_ts = st.temporal != -1
+                        ? sched.tasks[static_cast<std::size_t>(
+                                          st.temporal)].start
+                        : rnn_ts;
+                } else {
+                    gnn_ts = row.gnnDone - w.gnnCompute;
+                    spat_ts = row.gnnDone - w.spatial.makespan;
+                    rnn_ts = row.rnnDone - w.rnnCompute;
+                    temp_ts = rnn_ts - w.temporal.makespan;
+                }
+                const Cycle phase_start = std::min(gnn_ts, spat_ts);
+                const Cycle begin = std::min(phase_start, temp_ts);
 
                 TraceEvent snap;
                 snap.cat = "engine";
@@ -1285,7 +913,7 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                     e.cat = "engine";
                     e.name = "gnn-compute";
                     e.track = ct;
-                    e.ts = row.gnnDone - w.gnnCompute;
+                    e.ts = gnn_ts;
                     e.dur = w.gnnCompute;
                     e.ord = t;
                     tracer.record(std::move(e));
@@ -1295,7 +923,7 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                     e.cat = "noc";
                     e.name = "spatial-comm";
                     e.track = ct;
-                    e.ts = row.gnnDone - w.spatial.makespan;
+                    e.ts = spat_ts;
                     e.dur = w.spatial.makespan;
                     e.ord = t;
                     e.addArg("bytes", static_cast<long long>(
@@ -1309,7 +937,7 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                     e.cat = "engine";
                     e.name = "rnn-compute";
                     e.track = ct;
-                    e.ts = rnn_start;
+                    e.ts = rnn_ts;
                     e.dur = w.rnnCompute;
                     e.ord = t;
                     tracer.record(std::move(e));
@@ -1320,7 +948,7 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                     e.cat = "noc";
                     e.name = "temporal-comm";
                     e.track = ct;
-                    e.ts = rnn_comm_start;
+                    e.ts = temp_ts;
                     e.dur = w.temporal.makespan;
                     e.ord = t;
                     e.addArg("temporal_bytes", static_cast<long long>(
@@ -1358,7 +986,7 @@ executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
                     e.cat = "noc";
                     e.name = "relink-span";
                     e.track = track_base + Tracer::kNocTrack;
-                    e.ts = gnn_start;
+                    e.ts = phase_start;
                     e.ord = t;
                     e.addArg("span", relink_span[i]);
                     tracer.record(std::move(e));

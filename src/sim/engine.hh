@@ -136,6 +136,20 @@ struct EngineOptions
      * events.
      */
     bool adaptiveRelink = false;
+
+    /**
+     * Execute through the event-driven task-graph scheduler instead of
+     * the legacy staged barrier timeline: typed tasks (GNN/RNN
+     * compute, spatial/temporal comm, DRAM streaming, Re-Link
+     * reconfig) on per-device resource lanes, started as soon as their
+     * data dependencies allow. Per-task durations are identical to the
+     * staged model and the dependencies are a strict relaxation of the
+     * barriers, so overlap never reports a longer makespan than staged
+     * mode on fault-free runs. The staged timeline (the byte-identity
+     * reference, `--no-overlap` in the CLIs) remains the default here
+     * so existing plans and goldens are unaffected.
+     */
+    bool overlap = false;
 };
 
 /**

@@ -19,6 +19,7 @@
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "sim/plan_cache.hh"
+#include "sim/task_graph.hh"
 #include "workload/digest.hh"
 
 namespace ditile::sim {
@@ -289,7 +290,9 @@ ExecutionPlan::toJson() const
     std::ostringstream out;
     Emitter e(out);
     e.open();
-    e.kv("plan_format", 1ll);
+    // Format 2 added the "overlap" option and the derived "task_graph"
+    // section; format-1 documents still load (overlap defaults off).
+    e.kv("plan_format", 2ll);
     e.kv("accelerator", acceleratorName);
     e.kv("workload", workloadName);
     e.kvU("workload_digest", workloadDigest);
@@ -384,6 +387,7 @@ ExecutionPlan::toJson() const
     e.kv("offchip_energy_scale", options.offChipEnergyScale);
     e.kv("detailed_tile_timing", options.detailedTileTiming);
     e.kv("adaptive_relink", options.adaptiveRelink);
+    e.kv("overlap", options.overlap);
     e.close();
 
     // ---- Algorithm-1 strategy. ----
@@ -456,6 +460,44 @@ ExecutionPlan::toJson() const
     out << "]";
     e.close();
 
+    // ---- Task-graph skeleton (overlap scheduler input). ----
+    // Derived entirely from the fields above, re-derived on load
+    // (fromJson ignores it): serialized so plan documents are
+    // self-describing for external tooling and so the content hash
+    // pins the DAG shape alongside the knobs that induce it.
+    {
+        const TaskGraph tg = buildTaskGraph(*this);
+        e.open("task_graph");
+        e.comma();
+        out << jsonQuote("lanes") << ":[";
+        for (std::size_t i = 0; i < tg.lanes.size(); ++i) {
+            if (i)
+                out << ",";
+            out << jsonQuote(tg.lanes[i].name());
+        }
+        out << "]";
+        e.comma();
+        out << jsonQuote("nodes") << ":[";
+        for (std::size_t i = 0; i < tg.nodes.size(); ++i) {
+            const TaskNode &n = tg.nodes[i];
+            if (i)
+                out << ",";
+            out << "{\"id\":" << n.id << ",\"kind\":"
+                << jsonQuote(taskKindToken(n.kind))
+                << ",\"snapshot\":" << n.snapshot
+                << ",\"lane\":" << n.lane << "}";
+        }
+        out << "]";
+        std::vector<int> flat_edges;
+        flat_edges.reserve(tg.edges.size() * 2);
+        for (const auto &[u, v] : tg.edges) {
+            flat_edges.push_back(u);
+            flat_edges.push_back(v);
+        }
+        e.intArray("edges", flat_edges);
+        e.close();
+    }
+
     // ---- Redundancy-free per-snapshot plans. ----
     e.comma();
     out << jsonQuote("snapshots") << ":[";
@@ -498,7 +540,8 @@ ExecutionPlan
 ExecutionPlan::fromJson(const std::string &text)
 {
     const JsonValue doc = JsonValue::parse(text);
-    if (doc.at("plan_format").asInt() != 1)
+    const long long format = doc.at("plan_format").asInt();
+    if (format != 1 && format != 2)
         DITILE_THROW("unsupported plan_format");
 
     ExecutionPlan plan;
@@ -614,6 +657,10 @@ ExecutionPlan::fromJson(const std::string &text)
         options.at("detailed_tile_timing").asBool();
     plan.options.adaptiveRelink =
         options.at("adaptive_relink").asBool();
+    // Format-1 documents predate the task-graph scheduler: they load
+    // with the staged timeline (overlap off).
+    if (const JsonValue *overlap = options.find("overlap"))
+        plan.options.overlap = overlap->asBool();
 
     const JsonValue &tiling = doc.at("parallel").at("tiling");
     plan.parallel.tiling.tilingFactor =

@@ -113,6 +113,43 @@ struct ResilienceReport
 };
 
 /**
+ * Task-graph schedule summary (overlap mode only). Everything here is
+ * derived from the deterministic scheduler, so it is bit-identical at
+ * any thread width; `--task-stats` and `ditile_inspect plan --tasks`
+ * render it.
+ */
+struct TaskGraphStats
+{
+    bool enabled = false;
+
+    std::uint64_t numTasks = 0;
+    std::uint64_t numEdges = 0;
+    Cycle makespan = 0;
+
+    /** Per-resource-lane occupancy. */
+    struct Lane
+    {
+        std::string name;
+        std::uint64_t tasks = 0;
+        Cycle busyCycles = 0;
+    };
+    std::vector<Lane> lanes;
+
+    /** Every scheduled task in canonical id order. */
+    struct Task
+    {
+        int id = 0;
+        std::string kind; ///< Canonical TaskKind token.
+        SnapshotId snapshot = 0;
+        std::string lane; ///< Lane name.
+        Cycle start = 0;
+        Cycle finish = 0;
+        bool critical = false; ///< On the scheduler's critical path.
+    };
+    std::vector<Task> tasks;
+};
+
+/**
  * Everything the figure benches and tests read out of a run.
  */
 struct RunResult
@@ -151,6 +188,9 @@ struct RunResult
 
     /** Fault-injection outcome (disabled on fault-free runs). */
     ResilienceReport resilience;
+
+    /** Task-graph schedule summary (disabled on staged runs). */
+    TaskGraphStats taskGraph;
 };
 
 } // namespace ditile::sim

@@ -33,7 +33,8 @@ ConcurrentRunner::infer(const graph::DynamicGraph &dg,
 {
     auto accel = factory_();
     DITILE_ASSERT(accel, "accelerator factory returned null");
-    const auto plan = accel->plan(dg, config, &cache_);
+    auto plan = accel->plan(dg, config, &cache_);
+    plan.options.overlap = overlap_;
     if (!algoKnown_.load(std::memory_order_acquire)) {
         std::lock_guard<std::mutex> lock(g_algo_mutex);
         if (!algoKnown_.load(std::memory_order_relaxed)) {

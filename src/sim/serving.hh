@@ -65,10 +65,21 @@ class ConcurrentRunner
     PlanCache &planCache() { return cache_; }
     const PlanCache &planCache() const { return cache_; }
 
+    /**
+     * Execute through the task-graph overlap scheduler (default) or
+     * the legacy staged timeline. The serving tier reports latency to
+     * tenants, so it defaults to the pipelined model; set false to
+     * reproduce the staged reference. Configure from serial program
+     * points only (not synchronized against in-flight infer calls).
+     */
+    void setOverlap(bool overlap) { overlap_ = overlap; }
+    bool overlap() const { return overlap_; }
+
   private:
     AcceleratorFactory factory_;
     model::AlgoKind algo_;
     std::atomic<bool> algoKnown_{false};
+    bool overlap_ = true;
     PlanCache cache_;
 };
 

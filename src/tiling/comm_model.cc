@@ -7,8 +7,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.hh"
+#include "common/rng.hh"
 
 namespace ditile::tiling {
 
@@ -219,6 +221,148 @@ totalComm(const ApplicationFeatures &app, int tiling_factor,
     return temporalComm(app, tiling_factor, snapshot_groups) +
         redundancyFreeSpatialComm(app, tiling_factor, vertex_parts) +
         reuseComm(app, tiling_factor, snapshot_groups);
+}
+
+CommBreakdown
+commBreakdown(const ApplicationFeatures &app, int tiling_factor,
+              int snapshot_groups, int vertex_parts)
+{
+    CommBreakdown bd;
+    bd.tcomm = temporalComm(app, tiling_factor, snapshot_groups);
+    bd.rfscomm = redundancyFreeSpatialComm(app, tiling_factor,
+                                           vertex_parts);
+    bd.recomm = reuseComm(app, tiling_factor, snapshot_groups);
+    return bd;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t
+fnvInt(std::uint64_t h, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (value >> (i * 8)) & 0xffu;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+fnvDoubles(std::uint64_t h, const std::vector<double> &values)
+{
+    // Bitwise identity, not numeric equality: +0.0/-0.0 and NaN
+    // payloads hash apart, which is safe (at worst a duplicate entry).
+    h = fnvInt(h, values.size());
+    for (double v : values) {
+        std::uint64_t bits = 0;
+        std::memcpy(&bits, &v, sizeof(bits));
+        h = fnvInt(h, bits);
+    }
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+appFeatureKey(const ApplicationFeatures &app)
+{
+    std::uint64_t h = kFnvOffset;
+    h = fnvInt(h, static_cast<std::uint64_t>(app.gcnLayers));
+    h = fnvInt(h, static_cast<std::uint64_t>(app.numSnapshots));
+    h = fnvInt(h, static_cast<std::uint64_t>(app.featureDim));
+    h = fnvInt(h, static_cast<std::uint64_t>(app.residentDims));
+    h = fnvInt(h, static_cast<std::uint64_t>(app.bytesPerValue));
+    h = fnvDoubles(h, app.vertices);
+    h = fnvDoubles(h, app.edges);
+    h = fnvDoubles(h, app.dissimilarity);
+    return h;
+}
+
+std::size_t
+CommModelCache::PointKeyHash::operator()(const PointKey &k) const
+{
+    std::uint64_t h = k.app;
+    h = mix64(h ^ (static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(k.a)) |
+                   (static_cast<std::uint64_t>(
+                        static_cast<std::uint32_t>(k.gs)) << 32)));
+    h = mix64(h ^ static_cast<std::uint64_t>(
+                      static_cast<std::uint32_t>(k.gv)));
+    return static_cast<std::size_t>(h);
+}
+
+CommBreakdown
+CommModelCache::get(const ApplicationFeatures &app, int tiling_factor,
+                    int snapshot_groups, int vertex_parts)
+{
+    return get(app, appFeatureKey(app), tiling_factor, snapshot_groups,
+               vertex_parts);
+}
+
+CommBreakdown
+CommModelCache::get(const ApplicationFeatures &app,
+                    std::uint64_t app_key, int tiling_factor,
+                    int snapshot_groups, int vertex_parts)
+{
+    const PointKey key{app_key, tiling_factor, snapshot_groups,
+                       vertex_parts};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = points_.find(key);
+        if (it != points_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Evaluate outside the lock: the breakdown is a pure function of
+    // the key, so a racing computer produces the identical value.
+    const CommBreakdown bd = commBreakdown(app, tiling_factor,
+                                           snapshot_groups,
+                                           vertex_parts);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++misses_;
+    points_.emplace(key, bd);
+    return bd;
+}
+
+std::uint64_t
+CommModelCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+CommModelCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t
+CommModelCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return points_.size();
+}
+
+void
+CommModelCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    points_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+CommModelCache &
+CommModelCache::global()
+{
+    static CommModelCache cache;
+    return cache;
 }
 
 } // namespace ditile::tiling

@@ -25,6 +25,9 @@
 #ifndef DITILE_TILING_COMM_MODEL_HH
 #define DITILE_TILING_COMM_MODEL_HH
 
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hh"
@@ -115,6 +118,96 @@ double reuseComm(const ApplicationFeatures &app, int tiling_factor,
 /** Eq. 7: Tcomm + RFScomm + ReComm. */
 double totalComm(const ApplicationFeatures &app, int tiling_factor,
                  int snapshot_groups, int vertex_parts);
+
+/**
+ * The three Eq. 7 components of one (a, Gs, Gv) grid point, kept
+ * separate so the optimizer can report them without re-deriving.
+ * totalUnits() sums them in the same left-to-right order as
+ * totalComm(), so a memoized breakdown is bit-identical to a direct
+ * evaluation.
+ */
+struct CommBreakdown
+{
+    double tcomm = 0.0;   ///< Eq. 8.
+    double rfscomm = 0.0; ///< Eq. 9 + 13.
+    double recomm = 0.0;  ///< Eq. 16.
+
+    double
+    totalUnits() const
+    {
+        return tcomm + rfscomm + recomm;
+    }
+};
+
+/** Evaluate Eq. 8-16 once for one grid point (no memoization). */
+CommBreakdown commBreakdown(const ApplicationFeatures &app,
+                            int tiling_factor, int snapshot_groups,
+                            int vertex_parts);
+
+/**
+ * Content key over every field Eq. 8-16 reads from the application
+ * features (FNV-1a over the scalar widths and the raw bytes of the
+ * per-snapshot vectors). Two feature sets with the same key share
+ * every communication-model value.
+ */
+std::uint64_t appFeatureKey(const ApplicationFeatures &app);
+
+/**
+ * Process-wide memo of Eq. 8-16 evaluations keyed on
+ * (appFeatureKey, a, Gs, Gv). Algorithm 1's parallelism sweep walks
+ * the full Gs x Gv grid per accelerator, and every accelerator
+ * family planning the same dynamic graph walks the *same* grid — the
+ * memo collapses those repeat passes to hash lookups. Internally
+ * synchronized: concurrent sweep points may race to insert the same
+ * key, in which case both compute the identical value and one wins.
+ */
+class CommModelCache
+{
+  public:
+    /** Memoized commBreakdown(); computes and inserts on miss. */
+    CommBreakdown get(const ApplicationFeatures &app, int tiling_factor,
+                      int snapshot_groups, int vertex_parts);
+
+    /**
+     * Same, with appFeatureKey(app) precomputed by the caller — the
+     * key walks the per-snapshot vectors, so sweep loops hoist it.
+     */
+    CommBreakdown get(const ApplicationFeatures &app,
+                      std::uint64_t app_key, int tiling_factor,
+                      int snapshot_groups, int vertex_parts);
+
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::size_t size() const;
+    void clear();
+
+    /** Process-wide instance shared by planners and tools. */
+    static CommModelCache &global();
+
+  private:
+    struct PointKey
+    {
+        std::uint64_t app = 0;
+        int a = 0;
+        int gs = 0;
+        int gv = 0;
+
+        bool
+        operator==(const PointKey &o) const
+        {
+            return app == o.app && a == o.a && gs == o.gs && gv == o.gv;
+        }
+    };
+    struct PointKeyHash
+    {
+        std::size_t operator()(const PointKey &k) const;
+    };
+
+    mutable std::mutex mutex_;
+    std::unordered_map<PointKey, CommBreakdown, PointKeyHash> points_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
 
 } // namespace ditile::tiling
 

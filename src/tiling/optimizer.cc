@@ -83,11 +83,22 @@ optimizeParallelism(const ApplicationFeatures &app,
     const int gv_max = std::min<int>(dim, std::max(1,
         static_cast<int>(avg_sv)));
 
+    // Memoize the Eq. 8-16 grid through the process-wide cache: every
+    // accelerator family planning the same graph sweeps the identical
+    // (a, Gs, Gv) grid, and within one sweep the winning point's final
+    // breakdown below is always a hit. totalUnits() sums the memoized
+    // components in totalComm()'s order, so selection is bit-identical
+    // to the unmemoized sweep.
+    auto &memo = CommModelCache::global();
+    const std::uint64_t app_key = appFeatureKey(app);
+
     ParallelismResult best;
     bool found = false;
     for (int gs = 1; gs <= gs_max; ++gs) {
         for (int gv = 1; gv <= gv_max; ++gv) {
-            const double cost = totalComm(app, tiling_factor, gs, gv);
+            const double cost =
+                memo.get(app, app_key, tiling_factor, gs, gv)
+                    .totalUnits();
             const int used = gs * gv;
             const int best_used = best.snapshotGroups * best.vertexParts;
             const bool better = !found || cost < best.totalCommUnits ||
@@ -108,10 +119,12 @@ optimizeParallelism(const ApplicationFeatures &app,
         std::max<SnapshotId>(1, app.numSnapshots), best.snapshotGroups);
     best.verticesPerPart = ceilDiv<int>(
         std::max(1, static_cast<int>(avg_sv)), best.vertexParts);
-    best.tcomm = temporalComm(app, tiling_factor, best.snapshotGroups);
-    best.rfscomm = redundancyFreeSpatialComm(app, tiling_factor,
-                                             best.vertexParts);
-    best.recomm = reuseComm(app, tiling_factor, best.snapshotGroups);
+    const CommBreakdown bd = memo.get(app, app_key, tiling_factor,
+                                      best.snapshotGroups,
+                                      best.vertexParts);
+    best.tcomm = bd.tcomm;
+    best.rfscomm = bd.rfscomm;
+    best.recomm = bd.recomm;
     return best;
 }
 

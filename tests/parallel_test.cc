@@ -327,6 +327,27 @@ TEST(PlanDeterminism, FaultedExecutionIdenticalAcrossThreadCounts)
     ThreadPool::setGlobalThreads(1);
 }
 
+TEST(PlanDeterminism, OverlapExecutionIdenticalAcrossThreadCounts)
+{
+    // The task-graph scheduler consumes the parallel stages' outputs
+    // from one serial priority queue, so overlap mode carries the same
+    // any-width bit-identity guarantee as the staged timeline.
+    const auto dg = ctdgWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    ThreadPool::setGlobalThreads(1);
+    auto plan = accel.plan(dg, mconfig);
+    plan.options.overlap = true;
+    const auto serial = sim::executePlan(dg, plan);
+    EXPECT_TRUE(serial.taskGraph.enabled);
+    for (int threads : {2, 8}) {
+        SCOPED_TRACE(testing::Message() << "threads=" << threads);
+        ThreadPool::setGlobalThreads(threads);
+        expectIdentical(serial, sim::executePlan(dg, plan));
+    }
+    ThreadPool::setGlobalThreads(1);
+}
+
 // ---------------------------------------------------------------------
 // Cache stat accessors under concurrent traffic, and structured-trace
 // determinism across thread widths.

@@ -180,6 +180,20 @@ TEST(PlanJson, DocumentsWithoutFaultsSectionLoadFaultFree)
                     sim::executePlan(dg, parsed));
 }
 
+TEST(PlanJson, OverlapOptionRoundTripsAndExecutesIdentically)
+{
+    const auto dg = planWorkload();
+    const model::DgnnConfig mconfig;
+    core::DiTileAccelerator accel;
+    auto plan = accel.plan(dg, mconfig);
+    plan.options.overlap = true;
+    const auto parsed = sim::ExecutionPlan::fromJson(plan.toJson());
+    EXPECT_TRUE(parsed.options.overlap);
+    // A round-tripped overlap plan replays to the same schedule.
+    expectIdentical(sim::executePlan(dg, plan),
+                    sim::executePlan(dg, parsed));
+}
+
 TEST(PlanJson, MalformedDocumentsThrow)
 {
     EXPECT_THROW(sim::ExecutionPlan::fromJson(""),

@@ -8,6 +8,7 @@
  *   ditile_inspect plan --dataset=WD --algo=ditile
  *   ditile_inspect plan --dump[=FILE] --accel=ditile [--variant=V]
  *   ditile_inspect plan --diff a.json b.json
+ *   ditile_inspect plan --tasks[=FILE] [--accel=A] [--threads=N]
  *   ditile_inspect mapping --dataset=WD
  *   ditile_inspect program --dataset=WD [--verbose]
  *   ditile_inspect resilience --faults=SPEC [--accel=ditile]
@@ -20,11 +21,16 @@
  * `plan --dump` serializes the full ExecutionPlan (Figure-5 front-end
  * output) of the chosen accelerator to stdout or FILE; `plan --diff`
  * compares two dumped plans field by field and exits 1 if they
- * differ. `resilience` injects the given fault schedule (grammar in
- * sim/fault_model.hh), executes in degraded mode, and prints the
- * resolved schedule, the recovery log, and the fault-free vs faulted
- * headline numbers. Shared workload flags match ditile_run (--scale,
- * --snapshots, --seed, --vertices/--edges for synthetic graphs).
+ * differ. `plan --tasks` executes the plan through the task-graph
+ * overlap scheduler and dumps the canonical schedule as JSON (lanes,
+ * every task with start/finish and its critical-path flag, the
+ * makespan) to stdout or FILE; the dump is bit-identical at any
+ * --threads width, which CI exercises. `resilience` injects the given
+ * fault schedule (grammar in sim/fault_model.hh), executes in degraded
+ * mode, and prints the resolved schedule, the recovery log, and the
+ * fault-free vs faulted headline numbers. Shared workload flags match
+ * ditile_run (--scale, --snapshots, --seed, --vertices/--edges for
+ * synthetic graphs).
  */
 
 #include <algorithm>
@@ -35,6 +41,7 @@
 #include "common/cli.hh"
 #include "common/json.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "common/trace.hh"
 #include "core/ditile_accelerator.hh"
 #include "graph/datasets.hh"
@@ -213,6 +220,64 @@ dumpPlan(const graph::DynamicGraph &dg, const CliFlags &flags)
                  "wrote %s plan (%zu bytes, content hash %016llx)\n",
                  plan.acceleratorName.c_str(), json.size(),
                  static_cast<unsigned long long>(plan.contentHash()));
+}
+
+/**
+ * Execute through the overlap scheduler and dump the canonical task
+ * schedule as JSON. Everything comes out of the deterministic
+ * scheduler, so the dump is byte-identical at any thread width.
+ */
+void
+dumpTasks(const graph::DynamicGraph &dg, const CliFlags &flags)
+{
+    const model::DgnnConfig mconfig;
+    auto accel = buildAccelerator(flags);
+    auto plan = accel->plan(dg, mconfig);
+    plan.options.overlap = true;
+    const auto r = sim::executePlan(dg, plan);
+    const auto &tg = r.taskGraph;
+    std::ostringstream out;
+    out << "{\"accelerator\":" << jsonQuote(r.acceleratorName)
+        << ",\"workload\":" << jsonQuote(r.workloadName)
+        << ",\"makespan\":" << tg.makespan
+        << ",\"tasks\":" << tg.numTasks
+        << ",\"edges\":" << tg.numEdges << ",\"lanes\":[";
+    for (std::size_t i = 0; i < tg.lanes.size(); ++i) {
+        const auto &lane = tg.lanes[i];
+        if (i)
+            out << ",";
+        out << "{\"name\":" << jsonQuote(lane.name)
+            << ",\"tasks\":" << lane.tasks
+            << ",\"busy_cycles\":" << lane.busyCycles << "}";
+    }
+    out << "],\"schedule\":[";
+    for (std::size_t i = 0; i < tg.tasks.size(); ++i) {
+        const auto &task = tg.tasks[i];
+        if (i)
+            out << ",";
+        out << "{\"id\":" << task.id << ",\"kind\":"
+            << jsonQuote(task.kind)
+            << ",\"snapshot\":" << task.snapshot
+            << ",\"lane\":" << jsonQuote(task.lane)
+            << ",\"start\":" << task.start
+            << ",\"finish\":" << task.finish << ",\"critical\":"
+            << (task.critical ? "true" : "false") << "}";
+    }
+    out << "]}";
+    const auto target = flags.getString("tasks", "1");
+    if (target == "1") { // Bare --tasks: stdout.
+        std::printf("%s\n", out.str().c_str());
+        return;
+    }
+    std::ofstream file(target);
+    if (!file)
+        DITILE_FATAL("cannot write task dump '", target, "'");
+    file << out.str() << "\n";
+    std::fprintf(stderr,
+                 "wrote %s task schedule (%llu tasks, makespan %llu)\n",
+                 r.acceleratorName.c_str(),
+                 static_cast<unsigned long long>(tg.numTasks),
+                 static_cast<unsigned long long>(tg.makespan));
 }
 
 /** Recursive field-level JSON diff; returns the difference count. */
@@ -502,6 +567,8 @@ runTool(const CliFlags &flags)
                      "mapping|program|resilience|trace [flags]");
     }
     const auto &command = flags.positional().front();
+    ThreadPool::setGlobalThreads(
+        static_cast<int>(flags.getInt("threads", 1)));
     if (command == "trace") {
         if (flags.positional().size() != 2)
             DITILE_FATAL("usage: ditile_inspect trace FILE");
@@ -523,6 +590,8 @@ runTool(const CliFlags &flags)
     } else if (command == "plan") {
         if (flags.has("dump"))
             dumpPlan(dg, flags);
+        else if (flags.has("tasks"))
+            dumpTasks(dg, flags);
         else
             inspectPlan(dg, algoFromFlag(flags));
     } else if (command == "mapping") {

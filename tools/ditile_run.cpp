@@ -20,6 +20,14 @@
  *                           results identical at any width)
  *   --rnn=lstm|gru  --aggregator=gcn|sage|gin
  *   --detailed-tiles       (PE-level compute timing)
+ *   --no-overlap           (legacy staged barrier timeline instead of
+ *                           the task-graph overlap scheduler; overlap
+ *                           never reports a longer makespan than
+ *                           staged on fault-free runs)
+ *   --task-stats           (task-graph schedule summary: per-lane
+ *                           occupancy + critical-path tasks; table
+ *                           mode prints to stdout, --json/--csv modes
+ *                           to stderr)
  *   --plan-out=FILE        (write the ExecutionPlan JSON before
  *                           executing; requires a single --accel)
  *   --plan-in=FILE         (skip planning: execute a previously
@@ -263,6 +271,47 @@ printResilience(const sim::RunResult &r)
     }
 }
 
+void
+printTaskStats(const sim::RunResult &r, FILE *stream)
+{
+    const auto &tg = r.taskGraph;
+    Table summary(r.acceleratorName + ": task-graph schedule");
+    summary.setHeader({"Metric", "Value"});
+    summary.addRow({"tasks", Table::integer(static_cast<long long>(
+                                 tg.numTasks))});
+    summary.addRow({"edges", Table::integer(static_cast<long long>(
+                                 tg.numEdges))});
+    summary.addRow({"makespan", Table::integer(static_cast<long long>(
+                                    tg.makespan))});
+    std::fputs(summary.toString().c_str(), stream);
+    Table lanes(r.acceleratorName + ": resource lanes");
+    lanes.setHeader({"Lane", "Tasks", "Busy cycles", "Occupancy"});
+    for (const auto &lane : tg.lanes) {
+        lanes.addRow({lane.name,
+                      Table::integer(static_cast<long long>(
+                          lane.tasks)),
+                      Table::integer(static_cast<long long>(
+                          lane.busyCycles)),
+                      Table::percent(tg.makespan > 0
+                          ? static_cast<double>(lane.busyCycles) /
+                              static_cast<double>(tg.makespan)
+                          : 0.0)});
+    }
+    std::fputs(lanes.toString().c_str(), stream);
+    Table crit(r.acceleratorName + ": critical path");
+    crit.setHeader({"Task", "Kind", "t", "Lane", "Start", "Finish"});
+    for (const auto &task : tg.tasks) {
+        if (!task.critical)
+            continue;
+        crit.addRow({Table::integer(task.id), task.kind,
+                     Table::integer(task.snapshot), task.lane,
+                     Table::integer(static_cast<long long>(task.start)),
+                     Table::integer(static_cast<long long>(
+                         task.finish))});
+    }
+    std::fputs(crit.toString().c_str(), stream);
+}
+
 int
 runTool(const CliFlags &flags)
 {
@@ -286,6 +335,8 @@ runTool(const CliFlags &flags)
     }
     const auto plan_in = flags.getString("plan-in", "");
     const auto plan_out = flags.getString("plan-out", "");
+    const bool overlap = !flags.getBool("no-overlap", false);
+    const bool task_stats = flags.getBool("task-stats", false);
     const bool have_faults = flags.has("faults");
     const auto fault_spec =
         sim::FaultSpec::parse(flags.getString("faults", ""));
@@ -303,6 +354,9 @@ runTool(const CliFlags &flags)
             auto plan = sim::ExecutionPlan::fromJson(buffer.str());
             if (have_faults)
                 plan.faults = fault_spec;
+            // The command line decides the timeline model, overriding
+            // whatever the dumped plan recorded.
+            plan.options.overlap = overlap;
             results.push_back(sim::executePlan(dg, plan));
         } catch (const std::runtime_error &e) {
             DITILE_FATAL("failed to load plan '", plan_in, "': ",
@@ -316,13 +370,10 @@ runTool(const CliFlags &flags)
         for (auto &acc : accelerators) {
             // Disjoint track group per accelerator run.
             Tracer::setTrackBase(run_idx++ * Tracer::kTracksPerRun);
-            if (plan_out.empty() && !have_faults) {
-                results.push_back(acc->run(dg, mconfig));
-                continue;
-            }
             auto plan = acc->plan(dg, mconfig);
             if (have_faults)
                 plan.faults = fault_spec;
+            plan.options.overlap = overlap;
             if (!plan_out.empty()) {
                 std::ofstream out(plan_out);
                 if (!out)
@@ -341,6 +392,8 @@ runTool(const CliFlags &flags)
     for (const sim::RunResult &r : results) {
         if (r.resilience.enabled && !json && !csv)
             printResilience(r);
+        if (task_stats && r.taskGraph.enabled)
+            printTaskStats(r, (json || csv) ? stderr : stdout);
         if (trace && !json) {
             Table timeline(r.acceleratorName +
                            ": per-snapshot timeline");

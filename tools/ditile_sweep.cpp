@@ -9,7 +9,12 @@
  *   ditile_sweep --dataset=WD --dis=0.02,0.06,0.10,0.14 \
  *                --snapshots=4,8,16 [--all-accels] [--scale=F] \
  *                [--threads=N] [--faults=SPEC] [--digest-stats] \
- *                [--trace=FILE] [--metrics=FILE]
+ *                [--no-overlap] [--trace=FILE] [--metrics=FILE]
+ *
+ * Runs execute through the task-graph overlap scheduler by default;
+ * --no-overlap selects the legacy staged barrier timeline (the
+ * byte-identity reference, never faster than overlap on fault-free
+ * points).
  *
  * --trace=FILE captures a structured Chrome trace across the whole
  * sweep (each grid point on its own track group); --metrics=FILE
@@ -51,6 +56,7 @@
 #include "sim/baselines.hh"
 #include "sim/fault_model.hh"
 #include "sim/plan_cache.hh"
+#include "tiling/comm_model.hh"
 #include "workload/digest.hh"
 
 using namespace ditile;
@@ -79,6 +85,7 @@ runTool(const CliFlags &flags)
     const auto snap_list = parseList(flags.getString("snapshots", ""),
                                      8.0);
     const bool all_accels = flags.getBool("all-accels", false);
+    const bool overlap = !flags.getBool("no-overlap", false);
     const bool have_faults = flags.has("faults");
     const auto fault_spec =
         sim::FaultSpec::parse(flags.getString("faults", ""));
@@ -154,6 +161,7 @@ runTool(const CliFlags &flags)
                 auto plan = accel->plan(dg, mconfig, &plan_cache);
                 if (have_faults)
                     plan.faults = fault_spec;
+                plan.options.overlap = overlap;
                 const auto r = accel->execute(dg, plan);
                 job.rows.push_back(
                     {dataset, Table::num(job.dis, 3),
@@ -261,6 +269,13 @@ runTool(const CliFlags &flags)
             static_cast<unsigned long long>(digests.misses()),
             digests.size(),
             workload::digestEnabled() ? "enabled" : "disabled");
+        const auto &comm = tiling::CommModelCache::global();
+        std::fprintf(
+            stderr,
+            "comm model memo: %llu hits, %llu misses, %zu points\n",
+            static_cast<unsigned long long>(comm.hits()),
+            static_cast<unsigned long long>(comm.misses()),
+            comm.size());
     }
     int interrupted = 0;
     for (const auto &job : jobs)

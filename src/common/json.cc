@@ -138,6 +138,19 @@ JsonObject::toString(int indent) const
     return out.str();
 }
 
+std::string
+JsonObject::toCompactString() const
+{
+    std::ostringstream out;
+    out << "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+        out << (i ? "," : "") << jsonQuote(fields_[i].first) << ":"
+            << fields_[i].second;
+    }
+    out << "}";
+    return out.str();
+}
+
 // ---------------------------------------------------------------------
 // Parsing.
 // ---------------------------------------------------------------------

@@ -40,6 +40,14 @@ class JsonObject
     /** Render with 2-space indentation. */
     std::string toString(int indent = 0) const;
 
+    /**
+     * Render on a single line with no whitespace: the form used for
+     * line-oriented record streams (the serve WAL) where one record
+     * per line is the framing. Raw nested values are emitted
+     * verbatim, so keep them compact too.
+     */
+    std::string toCompactString() const;
+
   private:
     std::vector<std::pair<std::string, std::string>> fields_;
 };

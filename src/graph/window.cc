@@ -37,6 +37,63 @@ SnapshotWindow::SnapshotWindow(std::string name, Csr initial,
     ring_.push_back(std::move(initial));
 }
 
+SnapshotWindow
+SnapshotWindow::restore(std::string name, SnapshotId capacity,
+                        int feature_dim, std::vector<Csr> ring,
+                        const std::vector<Edge> &live,
+                        const Counters &counters)
+{
+    if (ring.empty())
+        DITILE_THROW("window restore for '", name,
+                     "': checkpoint has an empty snapshot ring");
+    if (capacity < 1)
+        DITILE_THROW("window restore for '", name,
+                     "': capacity must be >= 1");
+    if (static_cast<SnapshotId>(ring.size()) > capacity)
+        DITILE_THROW("window restore for '", name, "': ring has ",
+                     ring.size(), " snapshots but capacity is ",
+                     capacity);
+    const VertexId vertices = ring.front().numVertices();
+    for (const auto &csr : ring) {
+        if (csr.numVertices() != vertices)
+            DITILE_THROW("window restore for '", name,
+                         "': inconsistent vertex universes in ring (",
+                         vertices, " vs ", csr.numVertices(), ")");
+    }
+
+    SnapshotWindow window(std::move(name), std::move(ring.front()),
+                          capacity, feature_dim);
+    for (std::size_t i = 1; i < ring.size(); ++i)
+        window.ring_.push_back(std::move(ring[i]));
+
+    window.live_.clear();
+    window.keys_.clear();
+    for (auto [u, v] : live) {
+        if (u < 0 || u >= vertices || v < 0 || v >= vertices)
+            DITILE_THROW("window restore for '", window.name_,
+                         "': live edge (", u, ",", v,
+                         ") outside universe [0,", vertices, ")");
+        if (!window.keys_.insert(packedEdgeKey(u, v)).second)
+            DITILE_THROW("window restore for '", window.name_,
+                         "': duplicate live edge (", u, ",", v, ")");
+        window.live_.emplace_back(std::min(u, v), std::max(u, v));
+    }
+
+    window.appliedEvents_ = counters.appliedEvents;
+    window.noopEvents_ = counters.noopEvents;
+    window.rolls_ = counters.rolls;
+    window.sinceRoll_ = counters.sinceRoll;
+    return window;
+}
+
+std::vector<Edge>
+SnapshotWindow::liveEdgeList() const
+{
+    std::vector<Edge> edges = live_;
+    std::sort(edges.begin(), edges.end());
+    return edges;
+}
+
 void
 SnapshotWindow::apply(const GraphEvent &event)
 {

@@ -49,6 +49,32 @@ class SnapshotWindow
                    int feature_dim);
 
     /**
+     * Checkpointed counters, grouped for the restore path.
+     */
+    struct Counters
+    {
+        std::uint64_t appliedEvents = 0;
+        std::uint64_t noopEvents = 0;
+        std::uint64_t rolls = 0;
+        std::uint64_t sinceRoll = 0;
+    };
+
+    /**
+     * Rebuild a window from checkpointed state (crash recovery):
+     * the snapshot ring oldest->newest, the live edge set, and the
+     * event counters. Validates the pieces against each other (ring
+     * non-empty and within capacity, consistent vertex universes,
+     * live edges in range) and throws InputError on a corrupt
+     * checkpoint; a restored window is behaviorally identical to one
+     * that applied the original event stream.
+     */
+    static SnapshotWindow restore(std::string name, SnapshotId capacity,
+                                  int feature_dim,
+                                  std::vector<Csr> ring,
+                                  const std::vector<Edge> &live,
+                                  const Counters &counters);
+
+    /**
      * Apply one structural event to the live edge set. Out-of-universe
      * endpoints throw InputError; no-op events (adding an existing
      * edge, removing a missing one, self loops) are counted and
@@ -93,6 +119,19 @@ class SnapshotWindow
 
     /** Events applied since the last roll(). */
     std::uint64_t eventsSinceRoll() const { return sinceRoll_; }
+
+    int featureDim() const { return featureDim_; }
+
+    /** The snapshot ring, oldest -> newest (checkpoint path). */
+    const std::deque<Csr> &snapshots() const { return ring_; }
+
+    /**
+     * The live edge set in canonical order (sorted, u <= v). The
+     * in-memory order of live_ is mutation-history-dependent (removal
+     * swap-pops), but it is behaviorally irrelevant — Csr::fromEdges
+     * sorts — so checkpoints store this canonical form.
+     */
+    std::vector<Edge> liveEdgeList() const;
 
   private:
     std::string name_;

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Per-tenant circuit breaker for degraded-mode serving.
+ *
+ * A tenant whose queries keep failing (a live-spliced fault spec that
+ * does not resolve, a planning defect on its graph) must not be
+ * allowed to burn batch slots on every arrival: after N *consecutive*
+ * plan/execute failures the breaker opens and the tenant is
+ * quarantined — its queries are answered immediately with a typed
+ * `err busy` carrying a retry-after hint — until an exponential
+ * backoff elapses. The first query after the backoff is admitted as a
+ * half-open probe: success closes the breaker (backoff resets),
+ * failure re-opens it with the backoff doubled (bounded by a cap).
+ *
+ * State machine:
+ *
+ *   Closed --(N consecutive failures)--> Open
+ *   Open   --(backoff elapsed, next query)--> HalfOpen (one probe)
+ *   HalfOpen --(probe succeeds)--> Closed   (backoff resets)
+ *   HalfOpen --(probe fails)-----> Open     (backoff doubles)
+ *
+ * All transitions happen at serial points of the serve loop on the
+ * virtual clock, so breaker behavior — like every other serving
+ * decision — is a pure function of the request schedule and
+ * byte-identical at any --threads width. The breaker serializes into
+ * checkpoints so quarantine survives crash recovery.
+ */
+
+#ifndef DITILE_SERVE_BREAKER_HH
+#define DITILE_SERVE_BREAKER_HH
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ditile::serve {
+
+/** Breaker policy knobs (per server, applied to every tenant). */
+struct BreakerOptions
+{
+    /** Consecutive failures that open the breaker. */
+    int threshold = 3;
+
+    /** First quarantine duration (virtual us). */
+    std::uint64_t baseBackoffUs = 10000;
+
+    /** Exponential-backoff cap (virtual us). */
+    std::uint64_t maxBackoffUs = 10000000;
+};
+
+class CircuitBreaker
+{
+  public:
+    enum class State { Closed, Open, HalfOpen };
+
+    /** Admission decision for a query arriving at `now`. */
+    enum class Admit {
+        Yes,   ///< Closed: execute normally.
+        Probe, ///< Half-open probe: execute; outcome decides state.
+        No     ///< Quarantined: answer `err busy` instead.
+    };
+
+    /** State transition caused by an execution outcome. */
+    enum class Outcome { None, Opened, Reopened, Closed };
+
+    CircuitBreaker() = default;
+    explicit CircuitBreaker(BreakerOptions options)
+        : options_(options), backoffUs_(options.baseBackoffUs)
+    {
+    }
+
+    /**
+     * Serial admission check (mutating: an elapsed backoff moves
+     * Open -> HalfOpen and claims the probe slot).
+     */
+    Admit
+    admit(std::uint64_t now_us)
+    {
+        switch (state_) {
+        case State::Closed:
+            return Admit::Yes;
+        case State::Open:
+            if (now_us < openUntilUs_)
+                return Admit::No;
+            state_ = State::HalfOpen;
+            probeInFlight_ = true;
+            return Admit::Probe;
+        case State::HalfOpen:
+            if (probeInFlight_)
+                return Admit::No; // One probe at a time.
+            probeInFlight_ = true;
+            return Admit::Probe;
+        }
+        return Admit::Yes;
+    }
+
+    /** Record a successful plan+execute for this tenant. */
+    Outcome
+    onSuccess()
+    {
+        failures_ = 0;
+        probeInFlight_ = false;
+        if (state_ == State::Closed)
+            return Outcome::None;
+        state_ = State::Closed;
+        backoffUs_ = options_.baseBackoffUs;
+        return Outcome::Closed;
+    }
+
+    /** Record a plan/execute failure observed at `now` (batch end). */
+    Outcome
+    onFailure(std::uint64_t now_us)
+    {
+        probeInFlight_ = false;
+        if (state_ == State::HalfOpen) {
+            backoffUs_ = std::min(backoffUs_ * 2,
+                                  options_.maxBackoffUs);
+            state_ = State::Open;
+            openUntilUs_ = now_us + backoffUs_;
+            ++opens_;
+            return Outcome::Reopened;
+        }
+        ++failures_;
+        if (state_ == State::Closed &&
+            failures_ >= options_.threshold) {
+            state_ = State::Open;
+            openUntilUs_ = now_us + backoffUs_;
+            ++opens_;
+            return Outcome::Opened;
+        }
+        return Outcome::None;
+    }
+
+    State state() const { return state_; }
+
+    /** Remaining quarantine at `now` (0 when not quarantined). */
+    std::uint64_t
+    retryAfterUs(std::uint64_t now_us) const
+    {
+        if (state_ != State::Open || now_us >= openUntilUs_)
+            return 0;
+        return openUntilUs_ - now_us;
+    }
+
+    int consecutiveFailures() const { return failures_; }
+    std::uint64_t backoffUs() const { return backoffUs_; }
+    std::uint64_t openUntilUs() const { return openUntilUs_; }
+    std::uint64_t opens() const { return opens_; }
+
+    /** Rebuild from checkpointed fields (crash recovery). */
+    void
+    restore(int state, int failures, std::uint64_t backoff_us,
+            std::uint64_t open_until_us, std::uint64_t opens)
+    {
+        state_ = state == 1 ? State::Open
+            : state == 2    ? State::HalfOpen
+                            : State::Closed;
+        failures_ = failures;
+        backoffUs_ = backoff_us > 0 ? backoff_us
+                                    : options_.baseBackoffUs;
+        openUntilUs_ = open_until_us;
+        opens_ = opens;
+        probeInFlight_ = false;
+    }
+
+    /** Checkpoint encoding of state() (0/1/2). */
+    int
+    stateCode() const
+    {
+        return state_ == State::Open ? 1
+            : state_ == State::HalfOpen ? 2
+                                        : 0;
+    }
+
+  private:
+    BreakerOptions options_;
+    State state_ = State::Closed;
+    int failures_ = 0;
+    std::uint64_t backoffUs_ = 10000;
+    std::uint64_t openUntilUs_ = 0;
+    std::uint64_t opens_ = 0;
+    bool probeInFlight_ = false;
+};
+
+} // namespace ditile::serve
+
+#endif // DITILE_SERVE_BREAKER_HH

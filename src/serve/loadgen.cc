@@ -6,6 +6,7 @@
 #include "serve/loadgen.hh"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -26,7 +27,37 @@ LoadGen::LoadGen(LoadGenConfig config) : config_(std::move(config))
         DITILE_THROW("loadgen event/roll fractions must be in [0, 1] "
                      "and sum to at most 1");
     }
+    for (double f :
+         {config_.chaosMalformed, config_.chaosBadEvent,
+          config_.chaosFault, config_.chaosOverload}) {
+        if (f < 0.0 || f > 1.0)
+            DITILE_THROW("loadgen chaos fractions must be in [0, 1]");
+    }
 }
+
+namespace {
+
+/** Deterministic unparseable lines for the chaos malformed path. */
+const char *const kGarbageLines[] = {
+    "frobnicate t0",
+    "query",
+    "event t0 add x y",
+    "tenant",
+    "roll t0 t1",
+    "!!! ###",
+};
+
+/** Chaos fault-splice cycle: resolvable, unresolvable, clear. The
+ *  unresolvable spec parses cleanly but names a tile far outside any
+ *  real grid, so it fails at plan/execute time — which is exactly the
+ *  typed `err exec` path the circuit breaker feeds on. */
+const char *const kFaultCycle[] = {
+    "dram@0:ch0",
+    "tile@0:r63c63",
+    "", // fault clear
+};
+
+} // namespace
 
 std::vector<Request>
 LoadGen::schedule() const
@@ -34,6 +65,10 @@ LoadGen::schedule() const
     std::vector<Request> out;
     out.reserve(config_.tenants + config_.requests);
     Rng rng(mix64(config_.seed ^ 0x5e7e5e7e5e7e5e7eULL));
+    // Chaos draws come from their own stream so toggling chaos on
+    // does not perturb the nominal traffic's arrivals or mix.
+    Rng chaos_rng(mix64(config_.chaosSeed ^ 0xc4a05c4a05c4a05ULL));
+    std::size_t fault_cycle = 0;
 
     // Provisioning prologue: every tenant exists before traffic.
     for (std::size_t i = 0; i < config_.tenants; ++i) {
@@ -88,10 +123,72 @@ LoadGen::schedule() const
         } else {
             req.kind = Request::Kind::Query;
         }
+        std::size_t overload_dupes = 0;
+        if (config_.chaos) {
+            const double roll = chaos_rng.uniformReal();
+            const double m = config_.chaosMalformed;
+            const double b = m + config_.chaosBadEvent;
+            const double f = b + config_.chaosFault;
+            const double o = f + config_.chaosOverload;
+            if (roll < m) {
+                const auto pick_line = static_cast<std::size_t>(
+                    chaos_rng.uniformInt(
+                        0, static_cast<std::int64_t>(
+                               std::size(kGarbageLines)) -
+                            1));
+                req = Request{};
+                req.kind = Request::Kind::Malformed;
+                req.raw = kGarbageLines[pick_line];
+            } else if (roll < b) {
+                // Endpoint outside every tenant universe: a typed
+                // `err bad-event`, never an abort.
+                req.kind = Request::Kind::Event;
+                req.event.kind = graph::GraphEvent::Kind::AddEdge;
+                req.event.u = config_.vertices +
+                    static_cast<VertexId>(
+                        chaos_rng.uniformInt(1, 64));
+                req.event.v = 0;
+            } else if (roll < f) {
+                const std::string spec =
+                    kFaultCycle[fault_cycle++ %
+                                std::size(kFaultCycle)];
+                req = Request{};
+                req.kind = Request::Kind::Fault;
+                req.faultSpec = spec;
+            } else if (roll < o &&
+                       req.kind == Request::Kind::Query) {
+                overload_dupes = static_cast<std::size_t>(
+                    chaos_rng.uniformInt(3, 8));
+            }
+        }
         req.id = out.size();
         req.arrivalUs = now_us;
+        const Request original = req;
         out.push_back(std::move(req));
+        // Overload burst: duplicate queries at the same instant, the
+        // fastest way to drive the bounded queue into rejections and
+        // the deadline shedder into `err busy`.
+        for (std::size_t d = 0; d < overload_dupes; ++d) {
+            Request dup = original;
+            dup.id = out.size();
+            out.push_back(std::move(dup));
+        }
     }
+    return out;
+}
+
+std::string
+LoadGen::renderLines(const std::vector<Request> &schedule)
+{
+    std::string out;
+    for (const Request &request : schedule) {
+        const std::string line = renderRequest(request);
+        if (line.empty())
+            continue;
+        out += line;
+        out += '\n';
+    }
+    out += "quit\n";
     return out;
 }
 

@@ -66,6 +66,35 @@ struct LoadGenConfig
     SnapshotId window = 3;
     int features = 8;
     std::uint64_t rollEvery = 64;
+
+    // --- chaos mode ---------------------------------------------------
+    // Seeded adversarial traffic riding on the nominal schedule: some
+    // arrivals are replaced by malformed garbage lines, events with
+    // out-of-universe endpoints, live `fault` splices, or a burst of
+    // duplicate queries (overload). Like everything else here the
+    // chaos stream is a pure function of (seed, chaosSeed), so a
+    // chaotic run is exactly as replayable as a clean one.
+
+    /** Master switch for the chaos substitutions below. */
+    bool chaos = false;
+
+    /** Chaos stream seed (independent of the traffic seed). */
+    std::uint64_t chaosSeed = 1337;
+
+    /** Fraction of arrivals replaced by unparseable garbage. */
+    double chaosMalformed = 0.02;
+
+    /** Fraction replaced by events with out-of-range endpoints. */
+    double chaosBadEvent = 0.02;
+
+    /** Fraction replaced by live fault-splice verbs (alternating
+     *  resolvable and unresolvable specs, so `err exec` and the
+     *  circuit breaker both get exercised). */
+    double chaosFault = 0.005;
+
+    /** Fraction that fans out into a burst of duplicate queries
+     *  (overload pressure on the bounded queue). */
+    double chaosOverload = 0.01;
 };
 
 /**
@@ -78,10 +107,21 @@ class LoadGen
 
     /**
      * Build the full request schedule (provisioning prologue plus
-     * `requests` arrivals), with ids and arrival timestamps filled
-     * in. Deterministic for a given config.
+     * `requests` arrivals, plus chaos substitutions when enabled),
+     * with ids and arrival timestamps filled in. Deterministic for a
+     * given config.
      */
     std::vector<Request> schedule() const;
+
+    /**
+     * Render a schedule as protocol lines (renderRequest per entry,
+     * one per line, trailing `quit`). Feeding the result through
+     * --script exercises the same traffic on the handle() path —
+     * which is the path crash recovery replays, so this is how the
+     * chaos harness turns a generated workload into a crash-safe,
+     * resumable session.
+     */
+    static std::string renderLines(const std::vector<Request> &schedule);
 
   private:
     LoadGenConfig config_;

@@ -15,6 +15,8 @@
  *   event <name> del <u> <v>
  *   roll <name>
  *   query <name>
+ *   fault <spec> [<spec>...]   (splice live faults into later plans)
+ *   fault clear
  *   stats
  *   quit
  *
@@ -22,10 +24,21 @@
  *   ok <verb> <fields...>      on success
  *   err <code>: <message>      on failure
  * where <code> is a stable machine-readable category (parse,
- * unknown-tenant, tenant-exists, queue-full, bad-event). Malformed
- * input raises InputError — typed, recoverable, never an abort — and
- * the server turns it into an `err parse:` response without dropping
- * the connection.
+ * unknown-tenant, tenant-exists, queue-full, bad-event, busy, exec).
+ * Malformed input raises InputError — typed, recoverable, never an
+ * abort — and the server turns it into an `err parse:` response
+ * without dropping the connection. Input lines are capped at
+ * kMaxLineBytes: an oversized line is rejected with `err parse`
+ * before any further allocation, so a hostile client cannot make the
+ * parser build arbitrarily large token vectors.
+ *
+ * The `fault` verb takes the PR-3 FaultSpec grammar (fault_model.hh);
+ * space-separated spec items are joined with ';'. The merged spec is
+ * server-wide and applies to every subsequent plan until `fault
+ * clear`. A spec that parses but does not resolve against the
+ * hardware (e.g. an out-of-range tile coordinate) fails at execution
+ * with a typed `err exec:` response — which is exactly what the
+ * per-tenant circuit breaker (breaker.hh) feeds on.
  *
  * Query responses carry integer-valued modeled costs only (cycles,
  * ops, traffic bytes), so golden-file diffs of a canned session are
@@ -42,6 +55,12 @@
 #include "graph/ctdg.hh"
 
 namespace ditile::serve {
+
+/**
+ * Hard cap on one protocol line. Longer lines are rejected with a
+ * typed parse error before tokenization allocates anything.
+ */
+inline constexpr std::size_t kMaxLineBytes = 4096;
 
 /**
  * Tenant provisioning parameters (the `tenant` request body).
@@ -69,14 +88,22 @@ struct Request
         Event,        ///< `event ... add|del`
         Roll,         ///< `roll`
         Query,        ///< `query`
+        Fault,        ///< `fault <spec>` / `fault clear`
         Stats,        ///< `stats`
-        Quit          ///< `quit`
+        Quit,         ///< `quit`
+        Malformed     ///< Chaos-synthesized garbage line (never
+                      ///< produced by parseRequest; the load
+                      ///< generator emits these to exercise the
+                      ///< error path).
     };
 
     Kind kind = Kind::Nop;
     std::string tenant;
     TenantSpec spec;          ///< CreateTenant only.
     graph::GraphEvent event;  ///< Event only.
+    std::string faultSpec;    ///< Fault only (canonical spec text;
+                              ///< empty == clear).
+    std::string raw;          ///< Malformed only (verbatim line).
 
     /** Assigned by the server / load generator, not parsed. */
     std::uint64_t id = 0;
@@ -88,6 +115,22 @@ struct Request
  * for an `err parse:` response) on malformed input; never aborts.
  */
 Request parseRequest(const std::string &line);
+
+/**
+ * True when handle() would ignore the line (blank / comment): exactly
+ * the lines that are never WAL-logged and never count toward the
+ * acknowledged prefix. Tools use this to skip already-recovered lines
+ * when resuming a --script after a crash.
+ */
+bool isNopLine(const std::string &line);
+
+/**
+ * Render a request back into its protocol line (the inverse of
+ * parseRequest for every kind the load generator emits; Malformed
+ * renders its raw payload verbatim, Nop renders empty). Used to turn
+ * a LoadGen schedule into a replayable --script file.
+ */
+std::string renderRequest(const Request &request);
 
 /** Format an error response: "err <code>: <message>". */
 std::string errorResponse(const std::string &code,

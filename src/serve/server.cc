@@ -40,18 +40,28 @@ percentile(const std::vector<std::uint64_t> &sorted, unsigned pct)
 } // namespace
 
 /**
- * One live tenant: provisioning spec plus the snapshot window its
- * event stream mutates.
+ * One live tenant: provisioning spec, the snapshot window its event
+ * stream mutates, and the circuit breaker guarding its queries.
  */
 struct Server::Tenant
 {
     TenantSpec spec;
     graph::SnapshotWindow window;
     std::uint64_t lastUse = 0;
+    CircuitBreaker breaker;
 
-    Tenant(TenantSpec s, graph::Csr initial)
+    Tenant(TenantSpec s, graph::Csr initial, BreakerOptions breaker_opts)
         : spec(s),
-          window(s.name, std::move(initial), s.window, s.features)
+          window(s.name, std::move(initial), s.window, s.features),
+          breaker(breaker_opts)
+    {
+    }
+
+    /** Restore path: adopt a rebuilt window wholesale. */
+    Tenant(TenantSpec s, graph::SnapshotWindow restored,
+           BreakerOptions breaker_opts)
+        : spec(std::move(s)), window(std::move(restored)),
+          breaker(breaker_opts)
     {
     }
 };
@@ -67,9 +77,19 @@ struct Server::PendingQuery
     const graph::DynamicGraph *dg = nullptr;
     bool planHit = false;
     bool groupRep = false;
+    bool quarantined = false; ///< Breaker said No; answered busy.
+    bool failed = false;      ///< plan/execute threw (typed).
+    std::uint64_t planKey = 0;
     sim::RunResult result;
     std::uint64_t serviceUs = 0;
+    std::string error; ///< InputError message when failed.
     std::string response;
+
+    /** Executed to completion (counts toward latency/completed). */
+    bool completed() const
+    {
+        return tenant != nullptr && !quarantined && !failed;
+    }
 };
 
 Server::Server(ServerOptions options, sim::AcceleratorFactory factory)
@@ -83,6 +103,7 @@ Server::Server(ServerOptions options, sim::AcceleratorFactory factory)
         options_.maxTenants = 1;
     if (options_.serviceCyclesPerUs < 1)
         options_.serviceCyclesPerUs = 1;
+    runner_.planCache().setCapacity(options_.planCacheCapacity);
 }
 
 Server::~Server() = default;
@@ -110,9 +131,18 @@ Server::evictForCapacity()
         for (auto it = tenants_.begin(); it != tenants_.end(); ++it)
             if (it->second->lastUse < victim->second->lastUse)
                 victim = it;
+        const std::string name = victim->first;
         tenants_.erase(victim);
         ++counters_.evictions;
         metric("serve.evictions");
+        if (wal_ && logging_) {
+            // Logged after the line record that caused it: replay of
+            // that line must evict the same victim, and recover()
+            // checks that it did.
+            wal_->append(WalRecord::Kind::Evict, name);
+        } else if (recovering_) {
+            recoveryEvicts_.push_back(name);
+        }
     }
 }
 
@@ -134,7 +164,8 @@ Server::createTenant(const Request &request)
                                        request.spec.edges, {}, rng);
     const EdgeId edges = initial.numEdges();
     auto tenant = std::make_unique<Tenant>(request.spec,
-                                           std::move(initial));
+                                           std::move(initial),
+                                           options_.breaker);
     touch(*tenant);
     tenants_.emplace(request.tenant, std::move(tenant));
     metric("serve.tenants_created");
@@ -212,6 +243,31 @@ Server::rollTenant(const Request &request)
 }
 
 std::string
+Server::spliceFaults(const Request &request)
+{
+    if (request.faultSpec.empty()) {
+        activeFaults_ = sim::FaultSpec{};
+        metric("serve.fault_clears");
+        return "ok fault cleared";
+    }
+    sim::FaultSpec spec;
+    try {
+        spec = sim::FaultSpec::parse(request.faultSpec);
+    } catch (const InputError &e) {
+        // parseRequest already validated the grammar; only a spec
+        // from a corrupt WAL can land here.
+        ++counters_.errors;
+        metric("serve.errors");
+        return errorResponse("parse", e.what());
+    }
+    activeFaults_.merge(spec);
+    ++counters_.faultSplices;
+    metric("serve.fault_splices");
+    return "ok fault events=" +
+        std::to_string(activeFaults_.events.size());
+}
+
+std::string
 Server::statsResponse() const
 {
     return "ok stats tenants=" + std::to_string(tenants_.size()) +
@@ -232,6 +288,8 @@ Server::dispatchControl(const Request &request)
         return applyEvent(request);
     case Request::Kind::Roll:
         return rollTenant(request);
+    case Request::Kind::Fault:
+        return spliceFaults(request);
     case Request::Kind::Stats:
         return statsResponse();
     default:
@@ -261,8 +319,27 @@ Server::executeBatch(std::vector<PendingQuery> &batch,
             continue;
         }
         touch(*pq.tenant);
+        const auto admit = pq.tenant->breaker.admit(start_us);
+        if (admit == CircuitBreaker::Admit::No) {
+            pq.quarantined = true;
+            ++counters_.breakerRejected;
+            metric("serve.breaker.rejected");
+            pq.response = errorResponse(
+                "busy",
+                "tenant '" + pq.request->tenant +
+                    "' quarantined; retry-after=" +
+                    std::to_string(
+                        pq.tenant->breaker.retryAfterUs(start_us)) +
+                    "us");
+            continue;
+        }
         pq.dg = &pq.tenant->window.graph();
-        pq.planHit = runner_.planned(*pq.dg, options_.model);
+        // Hit prediction comes from the serial plannedKeys_ set, not
+        // the real cache, so it is identical on a restored server
+        // whose cache is still cold (see server.hh).
+        pq.planKey = runner_.planKeyFor(*pq.dg, options_.model);
+        pq.planHit =
+            pq.planKey != 0 && plannedKeys_.count(pq.planKey) > 0;
         if (pq.planHit) {
             ++counters_.planHits;
             metric("serve.plan_hits");
@@ -276,6 +353,10 @@ Server::executeBatch(std::vector<PendingQuery> &batch,
         (inserted ? reps : followers).push_back(i);
     }
 
+    // The spec is copied at this serial point: a concurrent `fault`
+    // verb cannot exist (dispatch is serial), but the batch must see
+    // one consistent spec even if that ever changes.
+    const sim::FaultSpec faults = activeFaults_;
     const auto wall_start = std::chrono::steady_clock::now();
     auto runOne = [&](std::size_t i) {
         PendingQuery &pq = batch[i];
@@ -283,10 +364,19 @@ Server::executeBatch(std::vector<PendingQuery> &batch,
         // inferences never interleave on one track.
         Tracer::setTrackBase((1 + pq.request->id) *
                              Tracer::kTracksPerRun);
-        pq.result = runner_.infer(*pq.dg, options_.model);
-        pq.serviceUs = std::max<std::uint64_t>(
-            1,
-            pq.result.totalCycles / options_.serviceCyclesPerUs);
+        try {
+            pq.result = runner_.infer(*pq.dg, options_.model, faults);
+            pq.serviceUs = std::max<std::uint64_t>(
+                1,
+                pq.result.totalCycles / options_.serviceCyclesPerUs);
+        } catch (const InputError &e) {
+            // Typed plan/execute failure (e.g. a live fault spec that
+            // does not resolve against the hardware): answered as
+            // `err exec`, fed to the breaker at the serial merge.
+            pq.failed = true;
+            pq.error = e.what();
+            pq.serviceUs = 1;
+        }
     };
     // Phase A: one representative per distinct graph structure plans
     // (and publishes) first; phase B members then execute as
@@ -316,11 +406,36 @@ Server::executeBatch(std::vector<PendingQuery> &batch,
     }
     const std::uint64_t end_us = start_us + dur_us;
 
-    // Serial merge: responses and request spans in batch order.
+    // Serial merge: breaker outcomes, responses, and request spans in
+    // batch order.
     Tracer &tracer = Tracer::global();
     for (PendingQuery &pq : batch) {
-        if (!pq.tenant)
+        if (!pq.tenant || pq.quarantined)
             continue;
+        if (pq.failed) {
+            ++counters_.execFailures;
+            metric("serve.exec_failures");
+            const auto outcome =
+                pq.tenant->breaker.onFailure(end_us);
+            if (outcome == CircuitBreaker::Outcome::Opened ||
+                outcome == CircuitBreaker::Outcome::Reopened) {
+                ++counters_.breakerOpens;
+                metric("serve.breaker.opens");
+            }
+            pq.response = errorResponse("exec", pq.error);
+            continue;
+        }
+        if (pq.tenant->breaker.onSuccess() ==
+            CircuitBreaker::Outcome::Closed)
+            metric("serve.breaker.closes");
+        // A key of 0 means the algo was still unlatched at prediction
+        // time (first-ever query); executing latched it, so the key
+        // is computable now — and must be recorded, or the next query
+        // on this structure would wrongly predict a miss.
+        if (pq.planKey == 0)
+            pq.planKey = runner_.planKeyFor(*pq.dg, options_.model);
+        if (pq.planKey != 0)
+            plannedKeys_.insert(pq.planKey);
         pq.response = "ok query " + pq.request->tenant +
             " cycles=" + std::to_string(pq.result.totalCycles) +
             " ops=" +
@@ -348,6 +463,22 @@ Server::executeBatch(std::vector<PendingQuery> &batch,
             tracer.record(std::move(ev));
         }
     }
+
+    // Serial point: bump real-cache recency in batch order and
+    // enforce the plan-cache bound. Evicted keys leave the prediction
+    // set too, so the next query on that structure predicts (and
+    // pays) a miss.
+    if (options_.planCacheCapacity > 0) {
+        for (const PendingQuery &pq : batch)
+            if (pq.completed() && pq.planKey != 0)
+                runner_.planCache().touch(pq.planKey);
+        for (std::uint64_t key :
+             runner_.planCache().evictToCapacity()) {
+            plannedKeys_.erase(key);
+            ++counters_.planEvictions;
+            metric("serve.plan_evictions");
+        }
+    }
     return end_us;
 }
 
@@ -361,19 +492,39 @@ Server::recordLatency(std::uint64_t latency_us,
         std::max(counters_.lastCompletionUs, completion_us);
 }
 
+void
+Server::logLine(const std::string &line)
+{
+    if (wal_ && logging_)
+        wal_->append(WalRecord::Kind::Line, line);
+    ++ackLines_;
+}
+
+void
+Server::commitWal()
+{
+    if (wal_ && logging_)
+        wal_->commit();
+}
+
 std::string
 Server::handle(const std::string &line)
 {
+    if (isNopLine(line))
+        return "";
+    // Write-ahead: the line is in the log (and, per the sync policy,
+    // on disk) before any state mutates or a response is returned —
+    // malformed lines included, since they mutate the error counters.
+    logLine(line);
     Request request;
     try {
         request = parseRequest(line);
     } catch (const InputError &e) {
         ++counters_.errors;
         metric("serve.errors");
+        commitWal();
         return errorResponse("parse", e.what());
     }
-    if (request.kind == Request::Kind::Nop)
-        return "";
     request.id = nextRequestId_++;
     request.arrivalUs = clock_.nowMicros();
     ++counters_.requests;
@@ -384,10 +535,14 @@ Server::handle(const std::string &line)
     }
     if (request.kind == Request::Kind::Quit) {
         stopped_ = true;
+        commitWal();
         return "ok quit";
     }
-    if (request.kind != Request::Kind::Query)
-        return dispatchControl(request);
+    if (request.kind != Request::Kind::Query) {
+        std::string response = dispatchControl(request);
+        commitWal();
+        return response;
+    }
 
     ++counters_.queries;
     metric("serve.queries");
@@ -397,10 +552,11 @@ Server::handle(const std::string &line)
     ++counters_.batches;
     metric("serve.batches");
     clock_.advanceTo(end);
-    if (batch[0].tenant) {
+    if (batch[0].completed()) {
         recordLatency(end - request.arrivalUs, end);
         ++counters_.completed;
     }
+    commitWal();
     return batch[0].response;
 }
 
@@ -426,6 +582,24 @@ Server::replay(const std::vector<Request> &schedule,
         clock_.advanceTo(request.arrivalUs);
         if (request.kind == Request::Kind::Nop)
             return;
+        // Write-ahead before any state mutates: the schedule entry is
+        // re-rendered into its protocol line, so a recovered WAL
+        // replays through the same parser as a script.
+        logLine(renderRequest(request));
+        if (request.kind == Request::Kind::Malformed) {
+            // Chaos-injected garbage exercises the typed error path
+            // end to end, exactly as a hostile stdin line would.
+            try {
+                parseRequest(request.raw);
+                DITILE_PANIC("malformed chaos line parsed cleanly");
+            } catch (const InputError &e) {
+                ++counters_.errors;
+                metric("serve.errors");
+                respond(idx, errorResponse("parse", e.what()));
+            }
+            commitWal();
+            return;
+        }
         ++counters_.requests;
         metric("serve.requests");
         if (!sawArrival_) {
@@ -445,14 +619,17 @@ Server::replay(const std::vector<Request> &schedule,
                             "queue at capacity (" +
                                 std::to_string(queue.capacity()) +
                                 "); retry later"));
+                commitWal();
             }
             return;
         case Request::Kind::Quit:
             stopped_ = true;
             respond(idx, "ok quit");
+            commitWal();
             return;
         default:
             respond(idx, dispatchControl(request));
+            commitWal();
             return;
         }
     };
@@ -481,28 +658,233 @@ Server::replay(const std::vector<Request> &schedule,
         std::size_t idx = 0;
         while (batch.size() < options_.batchMax &&
                queue.tryPop(idx)) {
+            // Degraded mode: a query that has already waited past its
+            // deadline is answered busy instead of burning a batch
+            // slot — load-shedding that keeps tail latency bounded
+            // during overload.
+            if (options_.deadlineUs > 0 &&
+                start_us - schedule[idx].arrivalUs >
+                    options_.deadlineUs) {
+                ++counters_.busyDeadline;
+                metric("serve.busy_deadline");
+                respond(idx,
+                        errorResponse(
+                            "busy",
+                            "deadline exceeded after " +
+                                std::to_string(
+                                    start_us -
+                                    schedule[idx].arrivalUs) +
+                                "us; retry-after=" +
+                                std::to_string(options_.deadlineUs) +
+                                "us"));
+                continue;
+            }
             PendingQuery pq;
             pq.request = &schedule[idx];
             pq.scheduleIndex = idx;
             batch.push_back(std::move(pq));
         }
+        if (batch.empty())
+            continue;
         const std::uint64_t end_us = executeBatch(batch, start_us);
         ++counters_.batches;
         metric("serve.batches");
         next_free_us = end_us;
         clock_.advanceTo(end_us);
         for (PendingQuery &pq : batch) {
-            if (pq.tenant) {
+            if (pq.completed()) {
                 recordLatency(end_us - pq.request->arrivalUs, end_us);
                 ++counters_.completed;
                 metric("serve.completed");
             }
             respond(pq.scheduleIndex, std::move(pq.response));
         }
+        commitWal();
         // Requests that arrived while the batch was in service.
         while (next < schedule.size() && !stopped_ &&
                schedule[next].arrivalUs <= end_us)
             processArrival(next++);
+    }
+}
+
+void
+Server::attachWal(std::unique_ptr<WalWriter> wal)
+{
+    wal_ = std::move(wal);
+    logging_ = true;
+}
+
+std::uint64_t
+Server::recover(const std::vector<WalRecord> &records)
+{
+    logging_ = false;
+    recovering_ = true;
+    recoveryEvicts_.clear();
+    std::uint64_t lines = 0;
+    for (const WalRecord &record : records) {
+        if (record.kind == WalRecord::Kind::Line) {
+            handle(record.data);
+            ++lines;
+            continue;
+        }
+        // Evict record: the replayed line just before it must have
+        // evicted the same tenant. A mismatch means log and code
+        // disagree — recoverable (state is still self-consistent),
+        // but worth shouting about.
+        if (recoveryEvicts_.empty()) {
+            warn("wal: evict record for '", record.data,
+                 "' (seq ", record.seq,
+                 ") not reproduced by replay");
+        } else if (recoveryEvicts_.front() != record.data) {
+            warn("wal: evict record for '", record.data, "' (seq ",
+                 record.seq, ") but replay evicted '",
+                 recoveryEvicts_.front(), "'");
+            recoveryEvicts_.pop_front();
+        } else {
+            recoveryEvicts_.pop_front();
+        }
+    }
+    if (!recoveryEvicts_.empty())
+        warn("wal: replay evicted ", recoveryEvicts_.size(),
+             " tenant(s) with no matching evict record");
+    recoveryEvicts_.clear();
+    recovering_ = false;
+    logging_ = true;
+    return lines;
+}
+
+ServerCheckpoint
+Server::checkpointState() const
+{
+    ServerCheckpoint cp;
+    cp.walSeq = wal_ ? wal_->lastSeq() : 0;
+    cp.ackLines = ackLines_;
+    cp.clockUs = clock_.nowMicros();
+    cp.useSeq = useSeq_;
+    cp.nextRequestId = nextRequestId_;
+    cp.sawArrival = sawArrival_;
+    cp.stopped = stopped_;
+    cp.algo = runner_.algoIfKnown();
+    cp.faultSpec = activeFaults_ == sim::FaultSpec{}
+        ? std::string()
+        : activeFaults_.toString();
+    cp.plannedKeys.assign(plannedKeys_.begin(), plannedKeys_.end());
+    cp.counters = {
+        {"requests", counters_.requests},
+        {"queries", counters_.queries},
+        {"events", counters_.events},
+        {"noopEvents", counters_.noopEvents},
+        {"rolls", counters_.rolls},
+        {"rejected", counters_.rejected},
+        {"errors", counters_.errors},
+        {"evictions", counters_.evictions},
+        {"batches", counters_.batches},
+        {"completed", counters_.completed},
+        {"planHits", counters_.planHits},
+        {"planMisses", counters_.planMisses},
+        {"planEvictions", counters_.planEvictions},
+        {"busyDeadline", counters_.busyDeadline},
+        {"breakerRejected", counters_.breakerRejected},
+        {"breakerOpens", counters_.breakerOpens},
+        {"execFailures", counters_.execFailures},
+        {"faultSplices", counters_.faultSplices},
+        {"maxUs", counters_.maxUs},
+        {"firstArrivalUs", counters_.firstArrivalUs},
+        {"lastCompletionUs", counters_.lastCompletionUs},
+    };
+    cp.latencies = latencies_;
+    for (const auto &[name, tenant] : tenants_) {
+        TenantCheckpoint tc;
+        tc.spec = tenant->spec;
+        tc.lastUse = tenant->lastUse;
+        tc.breakerState = tenant->breaker.stateCode();
+        tc.breakerFailures = tenant->breaker.consecutiveFailures();
+        tc.breakerBackoffUs = tenant->breaker.backoffUs();
+        tc.breakerOpenUntilUs = tenant->breaker.openUntilUs();
+        tc.breakerOpens = tenant->breaker.opens();
+        tc.window.appliedEvents = tenant->window.appliedEvents();
+        tc.window.noopEvents = tenant->window.noopEvents();
+        tc.window.rolls = tenant->window.rolls();
+        tc.window.sinceRoll = tenant->window.eventsSinceRoll();
+        tc.live = tenant->window.liveEdgeList();
+        for (const graph::Csr &snapshot :
+             tenant->window.snapshots())
+            tc.ring.push_back(snapshot.edgeList());
+        cp.tenants.push_back(std::move(tc));
+    }
+    return cp;
+}
+
+void
+Server::restoreState(const ServerCheckpoint &cp)
+{
+    DITILE_ASSERT(tenants_.empty() && ackLines_ == 0,
+                  "restoreState needs a fresh server");
+    clock_.advanceTo(cp.clockUs);
+    useSeq_ = cp.useSeq;
+    nextRequestId_ = cp.nextRequestId;
+    sawArrival_ = cp.sawArrival;
+    stopped_ = cp.stopped;
+    ackLines_ = cp.ackLines;
+    runner_.latchAlgo(cp.algo);
+    activeFaults_ = cp.faultSpec.empty()
+        ? sim::FaultSpec{}
+        : sim::FaultSpec::parse(cp.faultSpec);
+    plannedKeys_.clear();
+    plannedKeys_.insert(cp.plannedKeys.begin(),
+                        cp.plannedKeys.end());
+
+    std::map<std::string, std::uint64_t *> slots = {
+        {"requests", &counters_.requests},
+        {"queries", &counters_.queries},
+        {"events", &counters_.events},
+        {"noopEvents", &counters_.noopEvents},
+        {"rolls", &counters_.rolls},
+        {"rejected", &counters_.rejected},
+        {"errors", &counters_.errors},
+        {"evictions", &counters_.evictions},
+        {"batches", &counters_.batches},
+        {"completed", &counters_.completed},
+        {"planHits", &counters_.planHits},
+        {"planMisses", &counters_.planMisses},
+        {"planEvictions", &counters_.planEvictions},
+        {"busyDeadline", &counters_.busyDeadline},
+        {"breakerRejected", &counters_.breakerRejected},
+        {"breakerOpens", &counters_.breakerOpens},
+        {"execFailures", &counters_.execFailures},
+        {"faultSplices", &counters_.faultSplices},
+        {"maxUs", &counters_.maxUs},
+        {"firstArrivalUs", &counters_.firstArrivalUs},
+        {"lastCompletionUs", &counters_.lastCompletionUs},
+    };
+    for (const auto &[name, value] : cp.counters) {
+        const auto it = slots.find(name);
+        if (it == slots.end()) {
+            warnOnce("checkpoint: unknown counter", " '", name,
+                     "' ignored (newer writer?)");
+            continue;
+        }
+        *it->second = value;
+    }
+    latencies_ = cp.latencies;
+
+    for (const TenantCheckpoint &tc : cp.tenants) {
+        std::vector<graph::Csr> ring;
+        ring.reserve(tc.ring.size());
+        for (const auto &edges : tc.ring)
+            ring.push_back(
+                graph::Csr::fromEdges(tc.spec.vertices, edges));
+        auto window = graph::SnapshotWindow::restore(
+            tc.spec.name, tc.spec.window, tc.spec.features,
+            std::move(ring), tc.live, tc.window);
+        auto tenant = std::make_unique<Tenant>(
+            tc.spec, std::move(window), options_.breaker);
+        tenant->lastUse = tc.lastUse;
+        tenant->breaker.restore(tc.breakerState, tc.breakerFailures,
+                                tc.breakerBackoffUs,
+                                tc.breakerOpenUntilUs,
+                                tc.breakerOpens);
+        tenants_.emplace(tc.spec.name, std::move(tenant));
     }
 }
 
@@ -551,6 +933,12 @@ ServeSummary::toTable() const
     row("completed queries", completed);
     row("plan hits (predicted)", planHits);
     row("plan misses (predicted)", planMisses);
+    row("plan evictions", planEvictions);
+    row("deadline busy", busyDeadline);
+    row("breaker rejected", breakerRejected);
+    row("breaker opens", breakerOpens);
+    row("exec failures", execFailures);
+    row("fault splices", faultSplices);
     row("live tenants", tenants);
     row("p50 latency (us)", p50Us);
     row("p99 latency (us)", p99Us);

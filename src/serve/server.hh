@@ -40,15 +40,21 @@
 #define DITILE_SERVE_SERVER_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common/clock.hh"
 #include "graph/window.hh"
 #include "model/dgnn_config.hh"
+#include "serve/breaker.hh"
+#include "serve/checkpoint.hh"
 #include "serve/protocol.hh"
+#include "serve/wal.hh"
+#include "sim/fault_model.hh"
 #include "sim/serving.hh"
 
 namespace ditile::serve {
@@ -83,6 +89,19 @@ struct ServerOptions
      */
     bool wallClock = false;
 
+    /**
+     * Max virtual-us a queued query may wait before it is answered
+     * with `err busy` instead of executing (0 = no deadline). Replay
+     * mode only: handle() queries never queue.
+     */
+    std::uint64_t deadlineUs = 0;
+
+    /** Per-tenant circuit-breaker policy (degraded-mode serving). */
+    BreakerOptions breaker;
+
+    /** Plan-cache entry bound; 0 = unbounded (see PlanCache). */
+    std::size_t planCacheCapacity = 0;
+
     /** Model served to every tenant. */
     model::DgnnConfig model;
 };
@@ -106,7 +125,15 @@ struct ServeSummary
     std::uint64_t completed = 0;  ///< Queries answered.
     std::uint64_t planHits = 0;   ///< Serial plan-cache predictions.
     std::uint64_t planMisses = 0;
+    std::uint64_t planEvictions = 0; ///< Bounded-plan-cache victims.
     std::uint64_t tenants = 0;    ///< Live at end of run.
+
+    std::uint64_t busyDeadline = 0;    ///< Deadline-expired queries.
+    std::uint64_t breakerRejected = 0; ///< Quarantine rejections.
+    std::uint64_t breakerOpens = 0;    ///< Breaker open/reopen events.
+    std::uint64_t execFailures = 0;    ///< Queries whose plan/execute
+                                       ///< threw (typed) errors.
+    std::uint64_t faultSplices = 0;    ///< `fault` verbs accepted.
 
     std::uint64_t p50Us = 0;
     std::uint64_t p99Us = 0;
@@ -158,6 +185,53 @@ class Server
     std::size_t numTenants() const { return tenants_.size(); }
     sim::ConcurrentRunner &runner() { return runner_; }
 
+    // --- durability ---------------------------------------------------
+
+    /**
+     * Attach a write-ahead log: from here on every non-Nop request is
+     * appended (and group-committed) before its response is returned.
+     * Attach after restoreState()/recover() so replayed history is
+     * not re-logged.
+     */
+    void attachWal(std::unique_ptr<WalWriter> wal);
+
+    /** The attached WAL writer (nullptr when none). */
+    WalWriter *wal() { return wal_.get(); }
+
+    /**
+     * Re-execute recovered WAL records against current state (call on
+     * a fresh server, or after restoreState() with the suffix whose
+     * seq > checkpoint walSeq). Line records run through the normal
+     * handle() path with logging disabled; evict records are checked
+     * against the evictions the replay actually performed (a mismatch
+     * warns — it means the log and the code disagree). Returns the
+     * number of line records replayed.
+     */
+    std::uint64_t recover(const std::vector<WalRecord> &records);
+
+    /**
+     * Non-Nop protocol lines acknowledged over this server's life
+     * (surviving checkpoint/restore). A tool resuming a --script
+     * after a crash skips exactly this many non-Nop lines.
+     */
+    std::uint64_t acknowledgedLines() const { return ackLines_; }
+
+    /**
+     * Snapshot every piece of state observable behavior depends on
+     * (see checkpoint.hh). Serial points only.
+     */
+    ServerCheckpoint checkpointState() const;
+
+    /**
+     * Rebuild from a checkpoint. Call on a freshly constructed server
+     * (same options) before any requests; throws InputError on an
+     * internally inconsistent checkpoint.
+     */
+    void restoreState(const ServerCheckpoint &checkpoint);
+
+    /** Server-wide live fault spec (merged `fault` verbs). */
+    const sim::FaultSpec &activeFaults() const { return activeFaults_; }
+
   private:
     struct Tenant;
     struct PendingQuery;
@@ -166,11 +240,14 @@ class Server
     std::string createTenant(const Request &request);
     std::string applyEvent(const Request &request);
     std::string rollTenant(const Request &request);
+    std::string spliceFaults(const Request &request);
     std::string statsResponse() const;
     Tenant *findTenant(const std::string &name);
     void touch(Tenant &tenant);
     void maybeAutoRoll(Tenant &tenant);
     void evictForCapacity();
+    void logLine(const std::string &line);
+    void commitWal();
 
     /**
      * Execute a set of admitted queries in parallel and fill their
@@ -194,6 +271,25 @@ class Server
     ServeSummary counters_;
     std::vector<std::uint64_t> latencies_;
     bool sawArrival_ = false;
+
+    /**
+     * Serial prediction of plan-cache residency, keyed like the real
+     * cache. The `plan=hit|miss` response field reads this set, not
+     * the cache itself, so the field survives a restore with a cold
+     * cache (the replan happens silently; modeled costs are identical
+     * either way). Ordered so checkpoints serialize canonically.
+     */
+    std::set<std::uint64_t> plannedKeys_;
+
+    sim::FaultSpec activeFaults_; ///< Merged live `fault` verbs.
+
+    std::unique_ptr<WalWriter> wal_;
+    bool logging_ = true;    ///< False while recover() replays.
+    bool recovering_ = false;
+    std::uint64_t ackLines_ = 0;
+    /** Evictions performed during recover(), matched against the
+     *  log's evict records. */
+    std::deque<std::string> recoveryEvicts_;
 };
 
 } // namespace ditile::serve

@@ -216,6 +216,17 @@ FaultSpec::parse(const std::string &text)
     return spec;
 }
 
+void
+FaultSpec::merge(const FaultSpec &other)
+{
+    seed = other.seed;
+    dramRetryFraction = other.dramRetryFraction;
+    nocBackoffCycles = other.nocBackoffCycles;
+    nocMaxRetries = other.nocMaxRetries;
+    events.insert(events.end(), other.events.begin(),
+                  other.events.end());
+}
+
 std::string
 FaultSpec::toString() const
 {

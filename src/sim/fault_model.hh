@@ -97,6 +97,14 @@ struct FaultSpec
 
     /** Render back into the CLI grammar (parse(toString()) == *this). */
     std::string toString() const;
+
+    /**
+     * Splice another spec into this one: `other`'s events append to
+     * the schedule and its policy knobs win (last writer). This is
+     * how the serving tier accumulates live `fault` protocol verbs
+     * into the spec applied to subsequent plans.
+     */
+    void merge(const FaultSpec &other);
 };
 
 bool operator==(const FaultEvent &a, const FaultEvent &b);

@@ -119,6 +119,61 @@ PlanCache::contains(std::uint64_t key) const
     return entries_.find(key) != entries_.end();
 }
 
+void
+PlanCache::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = capacity;
+}
+
+std::size_t
+PlanCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+void
+PlanCache::touch(std::uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    recency_[key] = ++touchSeq_;
+}
+
+std::vector<std::uint64_t>
+PlanCache::evictToCapacity()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::uint64_t> evicted;
+    if (capacity_ == 0)
+        return evicted;
+    while (entries_.size() > capacity_) {
+        // Least-recently-touched; untouched entries carry recency 0
+        // and go first, with ascending key as the deterministic
+        // tie-break (hash-map order never leaks into the choice).
+        std::uint64_t victim = 0;
+        std::uint64_t victim_recency = ~0ull;
+        bool have = false;
+        for (const auto &[key, plans] : entries_) {
+            const auto it = recency_.find(key);
+            const std::uint64_t r =
+                it == recency_.end() ? 0 : it->second;
+            if (!have || r < victim_recency ||
+                (r == victim_recency && key < victim)) {
+                victim = key;
+                victim_recency = r;
+                have = true;
+            }
+        }
+        entries_.erase(victim);
+        recency_.erase(victim);
+        evicted.push_back(victim);
+        ++evictions_;
+        Tracer::global().addMetric("cache.plan.evictions", 1);
+    }
+    return evicted;
+}
+
 std::uint64_t
 PlanCache::hits() const
 {
@@ -133,6 +188,13 @@ PlanCache::misses() const
     return misses_;
 }
 
+std::uint64_t
+PlanCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
 std::size_t
 PlanCache::size() const
 {
@@ -145,8 +207,11 @@ PlanCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    recency_.clear();
+    touchSeq_ = 0;
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
 }
 
 } // namespace ditile::sim

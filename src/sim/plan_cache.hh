@@ -61,8 +61,35 @@ class PlanCache
      */
     bool contains(std::uint64_t key) const;
 
+    /**
+     * Bound the number of published plan sets; 0 (the default) means
+     * unbounded. The bound is enforced only by evictToCapacity() —
+     * obtain() never evicts, so a plan set pinned by an in-flight
+     * batch is never yanked mid-execution.
+     */
+    void setCapacity(std::size_t capacity);
+    std::size_t capacity() const;
+
+    /**
+     * Mark `key` as most recently used. Recency advances *only* here —
+     * never inside obtain() — so eviction order is a pure function of
+     * the serial touch sequence (the serving admission step), not of
+     * which pool worker finished planning first.
+     */
+    void touch(std::uint64_t key);
+
+    /**
+     * Evict least-recently-touched entries until size() <= capacity
+     * (no-op when unbounded). Ties — entries never touched — break on
+     * ascending key, so eviction is deterministic regardless of hash-
+     * map iteration order. Call from serial points only; returns the
+     * evicted keys so callers can invalidate hit predictions.
+     */
+    std::vector<std::uint64_t> evictToCapacity();
+
     std::uint64_t hits() const;
     std::uint64_t misses() const;
+    std::uint64_t evictions() const;
     std::size_t size() const;
     void clear();
 
@@ -70,8 +97,12 @@ class PlanCache
     mutable std::mutex mutex_;
     std::unordered_map<std::uint64_t,
                        std::shared_ptr<const SnapshotPlans>> entries_;
+    std::unordered_map<std::uint64_t, std::uint64_t> recency_;
+    std::uint64_t touchSeq_ = 0;
+    std::size_t capacity_ = 0; ///< 0 = unbounded.
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 } // namespace ditile::sim

@@ -29,12 +29,15 @@ ConcurrentRunner::ConcurrentRunner(AcceleratorFactory factory)
 
 RunResult
 ConcurrentRunner::infer(const graph::DynamicGraph &dg,
-                        const model::DgnnConfig &config)
+                        const model::DgnnConfig &config,
+                        const FaultSpec &faults)
 {
     auto accel = factory_();
     DITILE_ASSERT(accel, "accelerator factory returned null");
     auto plan = accel->plan(dg, config, &cache_);
     plan.options.overlap = overlap_;
+    if (!faults.empty())
+        plan.faults = faults;
     if (!algoKnown_.load(std::memory_order_acquire)) {
         std::lock_guard<std::mutex> lock(g_algo_mutex);
         if (!algoKnown_.load(std::memory_order_relaxed)) {
@@ -52,6 +55,33 @@ ConcurrentRunner::planned(const graph::DynamicGraph &dg,
     if (!algoKnown_.load(std::memory_order_acquire))
         return false;
     return cache_.contains(PlanCache::planKey(dg, config, algo_));
+}
+
+std::uint64_t
+ConcurrentRunner::planKeyFor(const graph::DynamicGraph &dg,
+                             const model::DgnnConfig &config) const
+{
+    if (!algoKnown_.load(std::memory_order_acquire))
+        return 0;
+    return PlanCache::planKey(dg, config, algo_);
+}
+
+int
+ConcurrentRunner::algoIfKnown() const
+{
+    if (!algoKnown_.load(std::memory_order_acquire))
+        return -1;
+    return static_cast<int>(algo_);
+}
+
+void
+ConcurrentRunner::latchAlgo(int algo)
+{
+    if (algo < 0)
+        return;
+    std::lock_guard<std::mutex> lock(g_algo_mutex);
+    algo_ = static_cast<model::AlgoKind>(algo);
+    algoKnown_.store(true, std::memory_order_release);
 }
 
 } // namespace ditile::sim

@@ -29,6 +29,7 @@
 #include <memory>
 
 #include "sim/accelerator.hh"
+#include "sim/fault_model.hh"
 #include "sim/plan_cache.hh"
 
 namespace ditile::sim {
@@ -49,10 +50,15 @@ class ConcurrentRunner
     /**
      * Plan (through the shared cache) and execute one inference.
      * Safe to call concurrently from pool workers; results are a pure
-     * function of (dg, config), independent of interleaving.
+     * function of (dg, config, faults), independent of interleaving.
+     * A non-empty fault spec is spliced into the execution plan; a
+     * spec that does not resolve against the hardware throws
+     * InputError from inside execution — typed and recoverable, which
+     * the serving tier turns into `err exec` plus breaker feedback.
      */
     RunResult infer(const graph::DynamicGraph &dg,
-                    const model::DgnnConfig &config);
+                    const model::DgnnConfig &config,
+                    const FaultSpec &faults = FaultSpec{});
 
     /**
      * Whether a plan for these inputs is already cached. Only
@@ -61,6 +67,23 @@ class ConcurrentRunner
      */
     bool planned(const graph::DynamicGraph &dg,
                  const model::DgnnConfig &config) const;
+
+    /**
+     * The cache key infer() will use for these inputs, or 0 while the
+     * algorithm is still unlatched (empty cache, nothing predicted).
+     * Serial points only, like planned().
+     */
+    std::uint64_t planKeyFor(const graph::DynamicGraph &dg,
+                             const model::DgnnConfig &config) const;
+
+    /**
+     * The update algorithm latched from the first built plan, as an
+     * int for checkpointing; -1 while unknown. latchAlgo() restores a
+     * checkpointed value so hit predictions survive a restart with a
+     * cold cache (pass -1 to leave unlatched).
+     */
+    int algoIfKnown() const;
+    void latchAlgo(int algo);
 
     PlanCache &planCache() { return cache_; }
     const PlanCache &planCache() const { return cache_; }

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -357,6 +358,84 @@ TEST(PlanCacheTest, KeyedByGraphConfigAndAlgo)
     // this to share plans across separately built workloads).
     EXPECT_EQ(base_key, sim::PlanCache::planKey(
         planWorkload(), mconfig, model::AlgoKind::DiTileAlg));
+}
+
+namespace {
+
+/** Small distinct-structure workload for eviction tests. */
+graph::DynamicGraph
+tinyWorkload(std::uint64_t seed)
+{
+    graph::EvolutionConfig config;
+    config.numVertices = 64;
+    config.numEdges = 256;
+    config.numSnapshots = 2;
+    config.featureDim = 8;
+    config.seed = seed;
+    return graph::generateDynamicGraph(config);
+}
+
+} // namespace
+
+TEST(PlanCacheTest, EvictToCapacityDropsLeastRecentlyTouched)
+{
+    const model::DgnnConfig mconfig;
+    sim::PlanCache cache;
+    cache.setCapacity(2);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const auto dg = tinyWorkload(seed);
+        cache.obtain(dg, mconfig, model::AlgoKind::DiTileAlg);
+        keys.push_back(sim::PlanCache::planKey(
+            dg, mconfig, model::AlgoKind::DiTileAlg));
+    }
+    ASSERT_EQ(cache.size(), 3u);
+    // Serial recency: keys[1] oldest, then keys[0], then keys[2].
+    cache.touch(keys[1]);
+    cache.touch(keys[0]);
+    cache.touch(keys[2]);
+    const auto evicted = cache.evictToCapacity();
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], keys[1]);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.contains(keys[1]));
+    EXPECT_TRUE(cache.contains(keys[0]));
+    EXPECT_TRUE(cache.contains(keys[2]));
+    // Re-obtaining the victim is a fresh miss.
+    cache.obtain(tinyWorkload(2), mconfig, model::AlgoKind::DiTileAlg);
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(PlanCacheTest, UntouchedEntriesEvictInAscendingKeyOrder)
+{
+    const model::DgnnConfig mconfig;
+    sim::PlanCache cache;
+    cache.setCapacity(1);
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        const auto dg = tinyWorkload(seed);
+        cache.obtain(dg, mconfig, model::AlgoKind::DiTileAlg);
+        keys.push_back(sim::PlanCache::planKey(
+            dg, mconfig, model::AlgoKind::DiTileAlg));
+    }
+    // No touch() calls: recency ties everywhere, so victims come out
+    // in ascending key order regardless of hash-map iteration order.
+    auto sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    const auto evicted = cache.evictToCapacity();
+    ASSERT_EQ(evicted.size(), 2u);
+    EXPECT_EQ(evicted[0], sorted[0]);
+    EXPECT_EQ(evicted[1], sorted[1]);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_TRUE(cache.contains(sorted[2]));
+    // Unbounded again: evictToCapacity becomes a no-op.
+    cache.setCapacity(0);
+    EXPECT_TRUE(cache.evictToCapacity().empty());
+    // clear() resets eviction accounting with everything else.
+    cache.clear();
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_EQ(cache.size(), 0u);
 }
 
 } // namespace

@@ -122,6 +122,115 @@ TEST(ServeProtocol, TenantOptionBoundsEnforced)
                  InputError);
 }
 
+TEST(ServeProtocol, OversizedLinesAreRejectedBeforeTokenizing)
+{
+    // Just under the cap: a parse error about the verb, not length.
+    std::string line(serve::kMaxLineBytes, 'x');
+    EXPECT_THROW(serve::parseRequest(line), InputError);
+    line.push_back('x');
+    try {
+        serve::parseRequest(line);
+        FAIL() << "oversized line parsed";
+    } catch (const InputError &e) {
+        EXPECT_NE(std::string(e.what()).find("exceeds"),
+                  std::string::npos);
+    }
+    // A server turns it into a typed response and keeps serving.
+    serve::Server server({}, makeFactory());
+    EXPECT_EQ(server.handle(line).substr(0, 10), "err parse:");
+    EXPECT_EQ(server.handle("stats").substr(0, 8), "ok stats");
+}
+
+TEST(ServeProtocol, FuzzCorpusNeverAbortsTheServer)
+{
+    // A grab-bag of hostile input: every line must come back as a
+    // typed response (or a nop) with the server still serving.
+    const char *corpus[] = {
+        "",
+        " ",
+        "\t",
+        "# comment",
+        "####",
+        "tenant \xff\xfe vertices=64",
+        "tenant a vertices=99999999999999999999",
+        "tenant a vertices=64 edges=18446744073709551616",
+        "event a add -1 -2",
+        "event a add 1e9 2",
+        "query a extra tokens here",
+        "fault",
+        "fault not-a-spec",
+        "fault dram@",
+        "fault tile@0:",
+        "quit quit",
+        "QUERY a",
+        "query\ta",
+        "=",
+        "== == ==",
+        "event a add 0x10 3",
+        "tenant a vertices=64 vertices=64",
+        "roll roll roll",
+        "\x01\x02\x03",
+    };
+    serve::Server server({}, makeFactory());
+    for (const char *line : corpus) {
+        const auto response = server.handle(line);
+        const bool ok = response.empty() ||
+            response.rfind("ok ", 0) == 0 ||
+            response.rfind("err ", 0) == 0;
+        EXPECT_TRUE(ok) << "line: " << line
+                        << " response: " << response;
+    }
+    EXPECT_EQ(server.handle("stats").substr(0, 8), "ok stats");
+    EXPECT_FALSE(server.stopped());
+}
+
+TEST(ServeProtocol, FaultVerbParsesAndCanonicalizes)
+{
+    auto req = serve::parseRequest("fault dram@0:ch0 tile@0:r0c0");
+    EXPECT_EQ(req.kind, serve::Request::Kind::Fault);
+    // Space-separated items join with ';' in canonical spec text.
+    EXPECT_FALSE(req.faultSpec.empty());
+    EXPECT_NE(req.faultSpec.find(';'), std::string::npos);
+
+    req = serve::parseRequest("fault clear");
+    EXPECT_EQ(req.kind, serve::Request::Kind::Fault);
+    EXPECT_TRUE(req.faultSpec.empty());
+
+    EXPECT_THROW(serve::parseRequest("fault"), InputError);
+    EXPECT_THROW(serve::parseRequest("fault bogus@spec"), InputError);
+}
+
+TEST(ServeProtocol, RenderRequestRoundTripsEveryKind)
+{
+    const char *lines[] = {
+        "tenant web vertices=64 edges=128 seed=3 window=2 features=8 "
+        "roll-every=16",
+        "event web add 3 9",
+        "event web del 9 3",
+        "roll web",
+        "query web",
+        "fault dram@0:ch0",
+        "fault clear",
+        "stats",
+        "quit",
+    };
+    for (const char *line : lines) {
+        const auto request = serve::parseRequest(line);
+        const auto rendered = serve::renderRequest(request);
+        // Render -> parse -> render is a fixed point (the canonical
+        // line), even where the input wasn't canonical.
+        EXPECT_EQ(serve::renderRequest(serve::parseRequest(rendered)),
+                  rendered)
+            << line;
+        EXPECT_FALSE(serve::isNopLine(rendered)) << line;
+    }
+    serve::Request malformed;
+    malformed.kind = serve::Request::Kind::Malformed;
+    malformed.raw = "!!! ###";
+    EXPECT_EQ(serve::renderRequest(malformed), "!!! ###");
+    EXPECT_EQ(serve::renderRequest(serve::Request{}), "");
+}
+
 // --- snapshot windows ----------------------------------------------
 
 TEST(SnapshotWindow, AppliesEventsAndCountsNoops)

@@ -7,14 +7,22 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/simd.hh"
 #include "dram/dram_model.hh"
 #include "graph/generator.hh"
 #include "model/functional.hh"
 #include "model/incremental.hh"
 #include "noc/flit_network.hh"
 #include "noc/network.hh"
+#include "sim/engine_internal.hh"
 #include "sim/tile_model.hh"
 #include "workload/balance.hh"
+#include "workload/digest.hh"
+#include "workload/slot_arrays.hh"
 
 using namespace ditile;
 
@@ -234,6 +242,157 @@ BM_IncrementalPlanning(benchmark::State &state)
 }
 BENCHMARK(BM_IncrementalPlanning);
 
+// ---- SoA / SIMD hot-path kernels (ROADMAP item 5) ----
+
+/** Arg(0): SIMD gate off (scalar fallback); Arg(1): on. */
+void
+BM_F64Axpy(benchmark::State &state)
+{
+    simd::setSimdEnabled(state.range(0) != 0);
+    const std::size_t n = 1 << 14;
+    std::vector<double> dst(n, 0.5), src(n, 1.25);
+    for (auto _ : state) {
+        simd::f64Axpy(dst.data(), src.data(), 0.999, n);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    simd::setSimdEnabled(true);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(n));
+}
+BENCHMARK(BM_F64Axpy)->Arg(0)->Arg(1);
+
+void
+BM_U64Add(benchmark::State &state)
+{
+    simd::setSimdEnabled(state.range(0) != 0);
+    const std::size_t n = 1 << 14;
+    std::vector<std::uint64_t> dst(n, 3), src(n, 7);
+    for (auto _ : state) {
+        simd::u64Add(dst.data(), src.data(), n);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    simd::setSimdEnabled(true);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<long>(n));
+}
+BENCHMARK(BM_U64Add)->Arg(0)->Arg(1);
+
+/** The scratch slot-census kernel over one CSR snapshot. */
+void
+BM_SlotScratchKernel(benchmark::State &state)
+{
+    const auto g = makeGraph(1 << 14, 1 << 17);
+    const int slots = 16;
+    std::vector<int> owners(
+        static_cast<std::size_t>(g.numVertices()));
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        owners[static_cast<std::size_t>(v)] = v % slots;
+    std::vector<std::int32_t> edge_owner;
+    workload::buildEdgeOwnerIndex(g, owners, edge_owner);
+    std::vector<std::uint64_t> deg(slots);
+    std::vector<std::uint64_t> cross(
+        static_cast<std::size_t>(slots) * slots);
+    std::vector<std::uint64_t> hist(
+        static_cast<std::size_t>(slots) / 2 + 1);
+    for (auto _ : state) {
+        workload::countSlotEdges(g, owners, edge_owner.data(), slots,
+                                 deg.data(), cross.data());
+        workload::distanceHistogram(cross.data(), slots, hist.data());
+        benchmark::DoNotOptimize(hist.data());
+    }
+    state.SetItemsProcessed(state.iterations() * g.numAdjacencies());
+}
+BENCHMARK(BM_SlotScratchKernel);
+
+void
+BM_EdgeOwnerIndex(benchmark::State &state)
+{
+    const auto g = makeGraph(1 << 14, 1 << 17);
+    const int slots = 16;
+    std::vector<int> owners(
+        static_cast<std::size_t>(g.numVertices()));
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        owners[static_cast<std::size_t>(v)] = v % slots;
+    std::vector<std::int32_t> edge_owner;
+    for (auto _ : state) {
+        workload::buildEdgeOwnerIndex(g, owners, edge_owner);
+        benchmark::DoNotOptimize(edge_owner.data());
+    }
+    state.SetItemsProcessed(state.iterations() * g.numAdjacencies());
+}
+BENCHMARK(BM_EdgeOwnerIndex);
+
+/** Full digest build including the delta patch path. */
+void
+BM_PartitionDigestBuild(benchmark::State &state)
+{
+    graph::EvolutionConfig config;
+    config.numVertices = 1 << 13;
+    config.numEdges = 1 << 16;
+    config.numSnapshots = 8;
+    config.dissimilarity = 0.06;
+    const auto dg = graph::generateDynamicGraph(config);
+    const int slots = 16;
+    std::vector<int> owners(
+        static_cast<std::size_t>(dg.numVertices()));
+    for (VertexId v = 0; v < dg.numVertices(); ++v)
+        owners[static_cast<std::size_t>(v)] = v % slots;
+    for (auto _ : state) {
+        auto d = workload::buildPartitionDigest(dg, owners, slots);
+        benchmark::DoNotOptimize(d.arrays.cross.data());
+    }
+    state.SetItemsProcessed(state.iterations() * dg.numSnapshots());
+}
+BENCHMARK(BM_PartitionDigestBuild);
+
+/** Touched-cell accumulate + diagonal clear + mix64-ordered drain. */
+void
+BM_DenseTrafficDrain(benchmark::State &state)
+{
+    const int slots = 64;
+    sim::detail::DenseTraffic traffic(slots);
+    std::vector<noc::Message> out;
+    std::uint64_t x = 99;
+    for (auto _ : state) {
+        traffic.reset(slots);
+        for (int i = 0; i < 4096; ++i) {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            traffic.add(static_cast<int>(x % slots),
+                        static_cast<int>((x >> 8) % slots),
+                        64 + (x >> 16) % 256);
+        }
+        traffic.clearDiagonal();
+        out.clear();
+        traffic.emit(
+            out, noc::TrafficClass::Spatial, 0,
+            [](int s) { return static_cast<TileId>(s); },
+            [](int s) { return static_cast<TileId>(s); });
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_DenseTrafficDrain);
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // --smoke: CI mode — one short pass per benchmark, translated to
+    // the bare-double --benchmark_min_time form this benchmark
+    // version accepts.
+    static char min_time[] = "--benchmark_min_time=0.01";
+    std::vector<char *> args(argv, argv + argc);
+    for (auto &arg : args)
+        if (std::strcmp(arg, "--smoke") == 0)
+            arg = min_time;
+    int patched_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&patched_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(patched_argc,
+                                               args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

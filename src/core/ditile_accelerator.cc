@@ -9,6 +9,7 @@
 
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "core/plan_batch.hh"
 #include "sim/engine.hh"
 
 namespace ditile::core {
@@ -65,7 +66,8 @@ DiTileAccelerator::prepare(const graph::DynamicGraph &dg,
                            const model::DgnnConfig &model_config,
                            sim::AcceleratorConfig &hw,
                            sim::MappingSpec &mapping,
-                           sim::EngineOptions &engine_options)
+                           sim::EngineOptions &engine_options,
+                           SharedFrontEnd *shared)
 {
     Tracer &tracer = Tracer::global();
     const bool obs_trace = tracer.traceEnabled();
@@ -84,8 +86,16 @@ DiTileAccelerator::prepare(const graph::DynamicGraph &dg,
         tracer.record(std::move(ev));
     };
 
-    // Step (2): per-vertex workload labels.
-    const auto loads = workloadUnit_.computeLoads(dg, model_config);
+    // Step (2): per-vertex workload labels. A shared front end has
+    // already built them for this graph (or builds them now, once
+    // for the whole batch); the loads are a pure function of
+    // (graph, layers), so both paths yield bitwise-equal labels.
+    std::vector<double> own_loads;
+    if (shared == nullptr)
+        own_loads = workloadUnit_.computeLoads(dg, model_config);
+    const std::vector<double> &loads = shared != nullptr
+        ? shared->loads(dg, model_config)
+        : own_loads;
     {
         TraceEvent ev;
         ev.addArg("vertices", static_cast<long long>(dg.numVertices()))
@@ -94,9 +104,13 @@ DiTileAccelerator::prepare(const graph::DynamicGraph &dg,
         planSpan("workload-loads", std::move(ev));
     }
 
-    // Step (3): Algorithm 1 — tiling factor + parallel factors.
-    lastPlan_ = strategyAdjuster_.adjust(dg, model_config, hw_,
-                                         options_.parallelismStrategy);
+    // Step (3): Algorithm 1 — tiling factor + parallel factors,
+    // likewise memoized per batch by the shared front end.
+    lastPlan_ = shared != nullptr
+        ? shared->strategy(dg, model_config, hw_,
+                           options_.parallelismStrategy)
+        : strategyAdjuster_.adjust(dg, model_config, hw_,
+                                   options_.parallelismStrategy);
     {
         TraceEvent ev;
         ev.addArg("tiling_factor", static_cast<long long>(
@@ -172,10 +186,18 @@ DiTileAccelerator::plan(const graph::DynamicGraph &dg,
                         const model::DgnnConfig &model_config,
                         sim::PlanCache *cache)
 {
+    return plan(dg, model_config, cache, nullptr);
+}
+
+sim::ExecutionPlan
+DiTileAccelerator::plan(const graph::DynamicGraph &dg,
+                        const model::DgnnConfig &model_config,
+                        sim::PlanCache *cache, SharedFrontEnd *shared)
+{
     sim::AcceleratorConfig hw;
     sim::MappingSpec mapping;
     sim::EngineOptions engine_options;
-    prepare(dg, model_config, hw, mapping, engine_options);
+    prepare(dg, model_config, hw, mapping, engine_options, shared);
     sim::ExecutionPlan plan = sim::buildEnginePlan(
         dg, model_config, hw, mapping, engine_options, name(), cache);
     plan.parallel = lastPlan_;

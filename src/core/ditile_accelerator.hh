@@ -22,6 +22,8 @@
 
 namespace ditile::core {
 
+class SharedFrontEnd;
+
 /**
  * Contribution toggles (all on == the full DiTile-DGNN).
  */
@@ -61,6 +63,17 @@ class DiTileAccelerator : public sim::Accelerator
                             sim::PlanCache *cache = nullptr) override;
 
     /**
+     * Same plan, drawing the graph-determined front-end prefix
+     * (workload loads + Algorithm 1) from a SharedFrontEnd so a
+     * batch of runs over one graph builds it once. Bit-identical to
+     * plan(dg, model_config, cache); shared may be null.
+     */
+    sim::ExecutionPlan plan(const graph::DynamicGraph &dg,
+                            const model::DgnnConfig &model_config,
+                            sim::PlanCache *cache,
+                            SharedFrontEnd *shared);
+
+    /**
      * Simulate one training iteration (paper §4.1's extension): the
      * same Algorithm-1/2 front end, plus backward sweep, gradient
      * all-reduce, and optimizer update.
@@ -82,11 +95,17 @@ class DiTileAccelerator : public sim::Accelerator
     const sim::AcceleratorConfig &hardware() const { return hw_; }
 
   private:
-    /** Runs the Figure-5 front end and emits the engine inputs. */
+    /**
+     * Runs the Figure-5 front end and emits the engine inputs. A
+     * non-null shared front end supplies the loads and Algorithm-1
+     * prefix (built once per batch); the Alg-2/Re-Link tail always
+     * runs per variant.
+     */
     void prepare(const graph::DynamicGraph &dg,
                  const model::DgnnConfig &model_config,
                  sim::AcceleratorConfig &hw, sim::MappingSpec &mapping,
-                 sim::EngineOptions &engine_options);
+                 sim::EngineOptions &engine_options,
+                 SharedFrontEnd *shared = nullptr);
 
     sim::AcceleratorConfig hw_;
     DiTileOptions options_;

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Batch plan construction: share the planner front end across every
+ * run that plans the same dynamic graph (ROADMAP item 5).
+ *
+ * The Figure-5 front end splits cleanly into a graph-determined
+ * prefix and a variant-determined tail. Step (2)'s per-vertex loads
+ * depend only on (graph, layer count), and step (3)'s Algorithm-1
+ * search only on (graph, model config, tile budget, buffer size,
+ * optimize flag) — neither sees the ablation toggles that
+ * distinguish fleet members, and sweeps re-plan the same structure
+ * hash for every grid point that shares a graph. Steps (4)-(9)
+ * (Algorithm 2's sort + deal, the Re-Link mode, the engine-policy
+ * assembly) are the per-variant tail.
+ *
+ * SharedFrontEnd memoizes the prefix: one instance serves one
+ * (dynamic graph, model config) pair, lazily building the loads and
+ * each distinct Algorithm-1 variant on first use. Both cached
+ * results come from the exact functions the unshared path calls, so
+ * plans built through a SharedFrontEnd are bit-identical to per-run
+ * planning — the --batch-plan=off escape hatch diffs the two
+ * byte-for-byte in CI.
+ *
+ * Not thread-safe by design: a batch plans its group serially (the
+ * sweep parallelizes across groups, not within one).
+ */
+
+#ifndef DITILE_CORE_PLAN_BATCH_HH
+#define DITILE_CORE_PLAN_BATCH_HH
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/units.hh"
+#include "sim/accelerator.hh"
+
+namespace ditile::core {
+
+/** Memoized graph-determined planner prefix (loads + Algorithm 1). */
+class SharedFrontEnd
+{
+  public:
+    /**
+     * Step (2) loads for the batch's graph; built on first use.
+     * Every call must pass the same graph (asserted via the cached
+     * structure hash) and a config with the same GCN layer count.
+     */
+    const std::vector<double> &
+    loads(const graph::DynamicGraph &dg,
+          const model::DgnnConfig &model_config);
+
+    /**
+     * Step (3) Algorithm-1 output; one cached entry per distinct
+     * (optimize flag, tile budget, buffer size) — the only hardware
+     * features the adjuster reads.
+     */
+    const tiling::ParallelPlan &
+    strategy(const graph::DynamicGraph &dg,
+             const model::DgnnConfig &model_config,
+             const sim::AcceleratorConfig &hw, bool optimize);
+
+  private:
+    void bindGraph(const graph::DynamicGraph &dg);
+
+    struct StrategyEntry
+    {
+        bool optimize = false;
+        int totalTiles = 0;
+        ByteCount distBufferBytes = 0;
+        tiling::ParallelPlan plan;
+    };
+
+    bool bound_ = false;
+    std::uint64_t graphHash_ = 0;
+    int loadLayers_ = -1;
+    std::vector<double> loads_;
+    // Deque: returned references stay valid as entries accumulate.
+    std::deque<StrategyEntry> strategies_;
+    WorkloadComputationUnit workloadUnit_;
+    ParallelizationStrategyAdjuster strategyAdjuster_;
+};
+
+/**
+ * Plan every fleet member against one graph, sharing the front end
+ * across the DiTile variants (baselines plan independently — their
+ * front ends are their own). Plans come back in fleet order and are
+ * bit-identical to calling accel->plan() per member.
+ */
+std::vector<sim::ExecutionPlan>
+planBatch(const graph::DynamicGraph &dg,
+          const model::DgnnConfig &model_config,
+          const std::vector<std::unique_ptr<sim::Accelerator>> &fleet,
+          sim::PlanCache *cache);
+
+} // namespace ditile::core
+
+#endif // DITILE_CORE_PLAN_BATCH_HH

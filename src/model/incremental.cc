@@ -109,16 +109,36 @@ IncrementalPlanner::expandOnce(const graph::Csr &g,
                                const std::vector<VertexId> &from,
                                int salt, double kappa) const
 {
-    std::vector<bool> in(static_cast<std::size_t>(g.numVertices()),
-                         false);
+    // Reused membership scratch (thread-local: plan sets build on
+    // pool workers). Only the bits this call sets — the frontier and
+    // its additions — are cleared on exit, so a call costs
+    // O(frontier + edges scanned), not an O(V) allocation + fill.
+    static thread_local std::vector<char> in;
+    if (in.size() < static_cast<std::size_t>(g.numVertices()))
+        in.assign(static_cast<std::size_t>(g.numVertices()), 0);
     for (VertexId v : from)
-        in[static_cast<std::size_t>(v)] = true;
+        in[static_cast<std::size_t>(v)] = 1;
 
     std::vector<VertexId> added;
+    // Clears the set bits even when the expansion throws, so the
+    // arena never leaks stale membership into the next call.
+    struct ScratchGuard
+    {
+        std::vector<char> &bits;
+        const std::vector<VertexId> &from;
+        const std::vector<VertexId> &added;
+        ~ScratchGuard()
+        {
+            for (VertexId v : from)
+                bits[static_cast<std::size_t>(v)] = 0;
+            for (VertexId v : added)
+                bits[static_cast<std::size_t>(v)] = 0;
+        }
+    } guard{in, from, added};
     for (VertexId v : from) {
         const double dv = g.degree(v);
         for (VertexId u : g.neighbors(v)) {
-            if (in[static_cast<std::size_t>(u)])
+            if (in[static_cast<std::size_t>(u)] != 0)
                 continue;
             if (!exactExpansion_) {
                 // Influence-damped propagation: the change at v moves
@@ -139,7 +159,7 @@ IncrementalPlanner::expandOnce(const graph::Csr &g,
                 if (unit >= p)
                     continue;
             }
-            in[static_cast<std::size_t>(u)] = true;
+            in[static_cast<std::size_t>(u)] = 1;
             added.push_back(u);
         }
     }

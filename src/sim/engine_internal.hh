@@ -55,9 +55,12 @@ namespace detail {
  * Callers guard the diagonal where it is meaningless (same-slot
  * gathers stay on-tile) and map slots to tile ids at emit time.
  *
- * The nonzero-cell count is maintained incrementally in add(): the
- * old nonzero() rescan was O(slots^2) per emit, which dominated for
- * the many snapshots whose traffic touches a handful of cells.
+ * The touched-cell list makes every post-accumulation pass
+ * O(nonzero) instead of O(slots^2): add() records the first write to
+ * each cell, emit() drains only that list (the sort order pins the
+ * output regardless of list order), and reset() zeroes only what was
+ * written, so draining a sparse snapshot no longer rescans the full
+ * matrix (ROADMAP item 5's SoA drain).
  */
 class DenseTraffic
 {
@@ -68,11 +71,17 @@ class DenseTraffic
     void
     reset(int slots)
     {
-        slots_ = slots;
-        nonzero_ = 0;
-        bytes_.assign(static_cast<std::size_t>(slots) *
-                          static_cast<std::size_t>(slots),
-                      0);
+        if (slots == slots_) {
+            // Arena path: only the touched cells are dirty.
+            for (const std::size_t idx : touched_)
+                bytes_[idx] = 0;
+        } else {
+            slots_ = slots;
+            bytes_.assign(static_cast<std::size_t>(slots) *
+                              static_cast<std::size_t>(slots),
+                          0);
+        }
+        touched_.clear();
     }
 
     void
@@ -80,10 +89,13 @@ class DenseTraffic
     {
         if (bytes == 0)
             return;
-        ByteCount &cell = bytes_[static_cast<std::size_t>(src) *
-                                     static_cast<std::size_t>(slots_) +
-                                 static_cast<std::size_t>(dst)];
-        nonzero_ += cell == 0 ? 1 : 0;
+        const std::size_t idx =
+            static_cast<std::size_t>(src) *
+                static_cast<std::size_t>(slots_) +
+            static_cast<std::size_t>(dst);
+        ByteCount &cell = bytes_[idx];
+        if (cell == 0)
+            touched_.push_back(idx);
         cell += bytes;
     }
 
@@ -91,13 +103,42 @@ class DenseTraffic
     std::size_t
     nonzero() const
     {
-        return nonzero_;
+        std::size_t count = 0;
+        for (const std::size_t idx : touched_)
+            count += bytes_[idx] != 0 ? 1 : 0;
+        return count;
+    }
+
+    /**
+     * Zero the diagonal cells, dropping them from the touched list.
+     * Lets hot loops accumulate every (src, dst) pair branch-free and
+     * discard the meaningless same-slot cells once, after the loop.
+     * Must run after accumulation finishes (a later add() to a
+     * cleared cell would re-enter the touched list).
+     */
+    void
+    clearDiagonal()
+    {
+        std::size_t kept = 0;
+        for (const std::size_t idx : touched_) {
+            const auto s = static_cast<std::size_t>(slots_);
+            if (idx / s == idx % s)
+                bytes_[idx] = 0;
+            else
+                touched_[kept++] = idx;
+        }
+        touched_.resize(kept);
     }
 
     /**
      * Flush nonzero cells in mix64(src tile, dst tile) order, mapping
      * each endpoint through its own slot->tile function (the temporal
-     * boundary places src and dst in different tile columns).
+     * boundary places src and dst in different tile columns). The
+     * mix64 sort makes the touched-list accumulation order
+     * invisible: the drain order is a deterministic hash scatter of
+     * the (src, dst) tile pair, which models simultaneous injection
+     * for the greedy link scheduler and is reproducible across
+     * platforms and thread widths.
      */
     template <typename SrcTile, typename DstTile>
     void
@@ -105,30 +146,26 @@ class DenseTraffic
          Cycle inject, SrcTile &&src_tile, DstTile &&dst_tile) const
     {
         std::vector<std::pair<std::uint64_t, noc::Message>> cells;
-        cells.reserve(nonzero());
-        for (int s = 0; s < slots_; ++s) {
-            for (int d = 0; d < slots_; ++d) {
-                const ByteCount bytes =
-                    bytes_[static_cast<std::size_t>(s) *
-                               static_cast<std::size_t>(slots_) +
-                           static_cast<std::size_t>(d)];
-                if (bytes == 0)
-                    continue;
-                noc::Message m;
-                m.src = src_tile(s);
-                m.dst = dst_tile(d);
-                m.bytes = bytes;
-                m.injectCycle = inject;
-                m.cls = cls;
-                // mix64 is a bijection, so keys are unique and the
-                // sort needs no tie-break.
-                const std::uint64_t key = mix64(
-                    (static_cast<std::uint64_t>(
-                         static_cast<std::uint32_t>(m.src))
-                     << 32) |
-                    static_cast<std::uint32_t>(m.dst));
-                cells.emplace_back(key, m);
-            }
+        cells.reserve(touched_.size());
+        for (const std::size_t idx : touched_) {
+            const ByteCount bytes = bytes_[idx];
+            if (bytes == 0)
+                continue;
+            const auto s = static_cast<std::size_t>(slots_);
+            noc::Message m;
+            m.src = src_tile(static_cast<int>(idx / s));
+            m.dst = dst_tile(static_cast<int>(idx % s));
+            m.bytes = bytes;
+            m.injectCycle = inject;
+            m.cls = cls;
+            // mix64 is a bijection, so keys are unique and the
+            // sort needs no tie-break.
+            const std::uint64_t key = mix64(
+                (static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(m.src))
+                 << 32) |
+                static_cast<std::uint32_t>(m.dst));
+            cells.emplace_back(key, m);
         }
         std::sort(cells.begin(), cells.end(),
                   [](const auto &a, const auto &b) {
@@ -141,8 +178,8 @@ class DenseTraffic
 
   private:
     int slots_ = 0;
-    std::size_t nonzero_ = 0;
     std::vector<ByteCount> bytes_;
+    std::vector<std::size_t> touched_; ///< First-write cell indices.
 };
 
 /** Cycles to execute `macs` MACs on `units` MAC units. */

@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "common/trace.hh"
+#include "tiling/comm_model.hh"
+#include "workload/digest.hh"
 
 namespace ditile::sim {
 
@@ -212,6 +214,31 @@ PlanCache::clear()
     hits_ = 0;
     misses_ = 0;
     evictions_ = 0;
+}
+
+void
+printCacheStats(std::FILE *out, const PlanCache &plan_cache)
+{
+    const auto &digests = workload::DigestCache::global();
+    const auto &comm = tiling::CommModelCache::global();
+    std::fprintf(out, "cache stats (consolidated):\n");
+    std::fprintf(
+        out, "  plan cache: %llu hits, %llu misses, %zu entries\n",
+        static_cast<unsigned long long>(plan_cache.hits()),
+        static_cast<unsigned long long>(plan_cache.misses()),
+        plan_cache.size());
+    std::fprintf(
+        out,
+        "  workload digest cache: %llu hits, %llu misses, "
+        "%zu entries (digests %s)\n",
+        static_cast<unsigned long long>(digests.hits()),
+        static_cast<unsigned long long>(digests.misses()),
+        digests.size(),
+        workload::digestEnabled() ? "enabled" : "disabled");
+    std::fprintf(
+        out, "  comm model memo: %llu hits, %llu misses, %zu points\n",
+        static_cast<unsigned long long>(comm.hits()),
+        static_cast<unsigned long long>(comm.misses()), comm.size());
 }
 
 } // namespace ditile::sim

@@ -19,6 +19,7 @@
 #ifndef DITILE_SIM_PLAN_CACHE_HH
 #define DITILE_SIM_PLAN_CACHE_HH
 
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -104,6 +105,15 @@ class PlanCache
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
 };
+
+/**
+ * Print one consolidated cache-stats block to `out` covering every
+ * caching layer a run exercises: the given PlanCache, the global
+ * workload DigestCache, and the global CommModelCache memo. Shared
+ * by ditile_sweep --digest-stats and the benches so the stderr
+ * format stays in one place (CI parses it).
+ */
+void printCacheStats(std::FILE *out, const PlanCache &plan_cache);
 
 } // namespace ditile::sim
 

@@ -179,9 +179,12 @@ evaluateSnapshot(const EvalContext &ctx, std::size_t i, SnapshotWork &w)
         // Full recomputation touches every vertex in every layer,
         // so the per-slot MAC totals and the cross-owner gather
         // bytes collapse to closed forms over the digest counters.
-        // All integer arithmetic: bit-identical to the loops.
-        const auto &deg_sum = pdigest->slotDegreeSum[i];
-        const auto &cnt = pdigest->slotVertexCount;
+        // All integer arithmetic: bit-identical to the loops. The
+        // digest rows are contiguous SoA planes, so both passes are
+        // unit-stride.
+        const auto deg_sum = pdigest->slotDegreeSum(t);
+        const auto cnt = pdigest->slotVertexCount();
+        const auto cross = pdigest->crossRow(t);
         const ByteCount gather_sum =
             static_cast<ByteCount>(ctx.sumInDims) * bpv;
         for (int sl = 0; sl < compute_slots; ++sl) {
@@ -190,16 +193,25 @@ evaluateSnapshot(const EvalContext &ctx, std::size_t i, SnapshotWork &w)
                 ctx.sumInOutDims * cnt[si];
         }
         for (int sl = 0; sl < compute_slots; ++sl) {
+            const std::uint64_t *row = cross.data() +
+                static_cast<std::size_t>(sl) *
+                    static_cast<std::size_t>(compute_slots);
             for (int d = 0; d < compute_slots; ++d) {
-                const std::uint64_t c = pdigest->cross(t, sl, d);
-                if (c != 0) {
+                if (row[d] != 0) {
                     spatial_traffic.add(
-                        sl, d, static_cast<ByteCount>(c) *
+                        sl, d, static_cast<ByteCount>(row[d]) *
                             gather_sum);
                 }
             }
         }
     } else {
+        // Flat CSR iteration: one row-pointer lookup per vertex, the
+        // neighbor walk a contiguous scan of the adjacency array.
+        // Every (ou, ov) pair accumulates branch-free — diagonal
+        // included — and the meaningless same-slot cells are dropped
+        // in one clearDiagonal() pass after the loops.
+        const EdgeId *row_ptr = g.rowPtr().data();
+        const VertexId *adj = g.adjacency().data();
         for (int l = 0; l < model_config.numGcnLayers(); ++l) {
             const auto &lw = splan.gcn[static_cast<std::size_t>(l)];
             const auto in_dim = static_cast<OpCount>(
@@ -210,10 +222,12 @@ evaluateSnapshot(const EvalContext &ctx, std::size_t i, SnapshotWork &w)
                 static_cast<ByteCount>(in_dim) * bpv;
             for (VertexId v : lw.vertices) {
                 const int ov = ovec[static_cast<std::size_t>(v)];
+                const EdgeId row_begin = row_ptr[v];
+                const EdgeId row_end = row_ptr[v + 1];
+                const auto degree =
+                    static_cast<OpCount>(row_end - row_begin);
                 const OpCount vertex_macs =
-                    (static_cast<OpCount>(g.degree(v)) + 1) *
-                        in_dim +
-                    in_dim * out_dim;
+                    (degree + 1) * in_dim + in_dim * out_dim;
                 slot_gnn[static_cast<std::size_t>(ov)] +=
                     vertex_macs;
                 if (options.detailedTileTiming) {
@@ -222,22 +236,22 @@ evaluateSnapshot(const EvalContext &ctx, std::size_t i, SnapshotWork &w)
                     task.macs = vertex_macs;
                     task.postOps = out_dim;
                     task.inputBytes =
-                        (static_cast<ByteCount>(g.degree(v)) + 1) *
+                        (static_cast<ByteCount>(degree) + 1) *
                         static_cast<ByteCount>(in_dim) * bpv;
                     slot_tasks[static_cast<std::size_t>(ov)]
                         .push_back(task);
                 }
-                for (VertexId u : g.neighbors(v)) {
-                    const int ou =
-                        ovec[static_cast<std::size_t>(u)];
-                    if (ou != ov)
-                        spatial_traffic.add(ou, ov, gather_bytes);
+                for (EdgeId e = row_begin; e < row_end; ++e) {
+                    const int ou = ovec[static_cast<std::size_t>(
+                        adj[e])];
+                    spatial_traffic.add(ou, ov, gather_bytes);
                 }
             }
         }
+        spatial_traffic.clearDiagonal();
     }
     if (digest_snapshot && rnn_all) {
-        const auto &cnt = pdigest->slotVertexCount;
+        const auto cnt = pdigest->slotVertexCount();
         for (int sl = 0; sl < compute_slots; ++sl) {
             const auto si = static_cast<std::size_t>(sl);
             slot_rnn[si] = ctx.rnnVertexMacs * cnt[si];
@@ -345,7 +359,7 @@ evaluateSnapshot(const EvalContext &ctx, std::size_t i, SnapshotWork &w)
                 // Both columns run the planned assignment, so every
                 // vertex stays in its own row: the boundary is
                 // purely diagonal with per-slot vertex counts.
-                const auto &cnt = pdigest->slotVertexCount;
+                const auto cnt = pdigest->slotVertexCount();
                 for (int sl = 0; sl < compute_slots; ++sl) {
                     boundary.add(
                         sl, sl,
@@ -385,7 +399,7 @@ evaluateSnapshot(const EvalContext &ctx, std::size_t i, SnapshotWork &w)
                         const auto si =
                             static_cast<std::size_t>(sl);
                         const std::uint64_t unchanged =
-                            pdigest->slotVertexCount[si] -
+                            pdigest->slotVertexCount()[si] -
                             changed_cnt[si];
                         if (unchanged == 0)
                             continue;

@@ -10,6 +10,7 @@
 
 #include "common/logging.hh"
 #include "common/math_util.hh"
+#include "common/simd.hh"
 #include "workload/digest.hh"
 
 namespace ditile::workload {
@@ -37,8 +38,7 @@ computeSnapshotLoads(const graph::Csr &g, int gcn_layers)
         // Eq. 17: the l'-hop volume is consumed by layers l' .. L, so
         // it enters the total with weight (L - l' + 1).
         const double weight = gcn_layers - hop + 1;
-        for (std::size_t i = 0; i < n; ++i)
-            vload[i] += weight * walks[i];
+        simd::f64Axpy(vload.data(), walks.data(), weight, n);
     }
     return vload;
 }
@@ -56,8 +56,7 @@ computeVertexLoads(const graph::DynamicGraph &dg, int gcn_layers)
     for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
         const auto snap = computeSnapshotLoads(dg.snapshot(t),
                                                gcn_layers);
-        for (std::size_t i = 0; i < vload.size(); ++i)
-            vload[i] += snap[i];
+        simd::f64Add(vload.data(), snap.data(), vload.size());
     }
     return vload;
 }

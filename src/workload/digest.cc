@@ -31,9 +31,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "common/trace.hh"
+#include "workload/slot_arrays.hh"
 
 namespace ditile::workload {
 
@@ -79,30 +82,7 @@ scratchWalks(const graph::Csr &g, int gcn_layers,
     for (int hop = 1; hop <= gcn_layers; ++hop) {
         const double weight = gcn_layers - hop + 1;
         const auto &cur = walks[static_cast<std::size_t>(hop)];
-        for (std::size_t i = 0; i < n; ++i)
-            vload[i] += weight * cur[i];
-    }
-}
-
-void
-scratchPartitionSnapshot(const graph::Csr &g,
-                         const std::vector<int> &owners, int slots,
-                         std::vector<std::uint64_t> &deg_sum,
-                         std::vector<std::uint64_t> &cross)
-{
-    std::fill(deg_sum.begin(), deg_sum.end(), 0);
-    std::fill(cross.begin(), cross.end(), 0);
-    const auto s_slots = static_cast<std::size_t>(slots);
-    for (VertexId v = 0; v < g.numVertices(); ++v) {
-        const auto ov =
-            static_cast<std::size_t>(owners[static_cast<std::size_t>(v)]);
-        deg_sum[ov] += static_cast<std::uint64_t>(g.degree(v));
-        for (VertexId u : g.neighbors(v)) {
-            const auto ou = static_cast<std::size_t>(
-                owners[static_cast<std::size_t>(u)]);
-            if (ou != ov)
-                ++cross[ou * s_slots + ov];
-        }
+        simd::f64Axpy(vload.data(), cur.data(), weight, n);
     }
 }
 
@@ -207,8 +187,7 @@ buildLoadDigest(const graph::DynamicGraph &dg, int gcn_layers)
     d.totalLoads.assign(n, 0.0);
     for (SnapshotId t = 0; t < t_count; ++t) {
         const auto &snap = d.snapshotLoads[static_cast<std::size_t>(t)];
-        for (std::size_t i = 0; i < n; ++i)
-            d.totalLoads[i] += snap[i];
+        simd::f64Add(d.totalLoads.data(), snap.data(), n);
     }
     return d;
 }
@@ -225,29 +204,32 @@ buildPartitionDigest(const graph::DynamicGraph &dg,
 
     PartitionDigest d;
     d.slots = slots;
-    d.slotVertexCount.assign(s_slots, 0);
+    d.arrays.resize(t_count, slots);
     for (const int owner : owners) {
         DITILE_ASSERT(owner >= 0 && owner < slots,
                       "vertex owner outside the slot range");
-        ++d.slotVertexCount[static_cast<std::size_t>(owner)];
+        ++d.arrays.slotVertexCount[static_cast<std::size_t>(owner)];
     }
 
-    d.slotDegreeSum.resize(static_cast<std::size_t>(t_count));
-    d.crossCount.resize(static_cast<std::size_t>(t_count));
-    d.verticalDistanceHist.resize(static_cast<std::size_t>(t_count));
+    // Edge→owner index of the current snapshot, rebuilt only on the
+    // scratch path (the patch path touches just the delta's edges).
+    std::vector<std::int32_t> edge_owner;
 
     for (SnapshotId t = 0; t < t_count; ++t) {
-        const auto i = static_cast<std::size_t>(t);
         const graph::Csr &g = dg.snapshot(t);
-        auto &deg_sum = d.slotDegreeSum[i];
-        auto &cross = d.crossCount[i];
+        std::uint64_t *deg_sum = d.arrays.degreeSumRowMut(t);
+        std::uint64_t *cross = d.arrays.crossRowMut(t);
 
         const bool patch = t > 0 &&
             static_cast<EdgeId>(dg.delta(t).numChanges()) * 4 <=
                 g.numAdjacencies();
         if (patch) {
-            deg_sum = d.slotDegreeSum[i - 1];
-            cross = d.crossCount[i - 1];
+            // Contiguous planes: the carry-forward is two memcpys
+            // from snapshot t-1's rows.
+            std::memcpy(deg_sum, d.arrays.degreeSumRowMut(t - 1),
+                        s_slots * sizeof(std::uint64_t));
+            std::memcpy(cross, d.arrays.crossRowMut(t - 1),
+                        s_slots * s_slots * sizeof(std::uint64_t));
             const graph::GraphDelta &delta = dg.delta(t);
             auto apply = [&](const graph::Edge &e, std::uint64_t up,
                              std::uint64_t down) {
@@ -268,26 +250,13 @@ buildPartitionDigest(const graph::DynamicGraph &dg,
                 apply(e, 0, 1);
             ++d.incrementalSnapshots;
         } else {
-            deg_sum.resize(s_slots);
-            cross.resize(s_slots * s_slots);
-            scratchPartitionSnapshot(g, owners, slots, deg_sum, cross);
+            buildEdgeOwnerIndex(g, owners, edge_owner);
+            countSlotEdges(g, owners, edge_owner.data(), slots,
+                           deg_sum, cross);
             ++d.scratchSnapshots;
         }
 
-        auto &hist = d.verticalDistanceHist[i];
-        hist.assign(s_slots / 2 + 1, 0);
-        for (int src = 0; src < slots; ++src) {
-            for (int dst = 0; dst < slots; ++dst) {
-                if (src == dst ||
-                    cross[static_cast<std::size_t>(src) * s_slots +
-                          static_cast<std::size_t>(dst)] == 0) {
-                    continue;
-                }
-                const int fwd = (dst - src + slots) % slots;
-                ++hist[static_cast<std::size_t>(
-                    std::min(fwd, slots - fwd))];
-            }
-        }
+        distanceHistogram(cross, slots, d.arrays.distanceHistRowMut(t));
     }
     return d;
 }

@@ -33,10 +33,12 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/dynamic_graph.hh"
+#include "workload/slot_arrays.hh"
 
 namespace ditile::workload {
 
@@ -69,24 +71,46 @@ struct LoadDigest
  * Per-snapshot, per-partition summary of the quantities the engine's
  * full-recompute fast path needs. All counters are integers, patched
  * exactly from the GraphDelta edge lists.
+ *
+ * Backed by a flat SlotArrays store (one contiguous plane per
+ * counter family) so consumers read unit-stride rows; the accessors
+ * below are the stable surface.
  */
 struct PartitionDigest
 {
     int slots = 0;
 
+    /** Flat SoA planes; prefer the row accessors below. */
+    SlotArrays arrays;
+
+    std::uint64_t incrementalSnapshots = 0;
+    std::uint64_t scratchSnapshots = 0;
+
     /** Vertices owned by each slot (static across snapshots). */
-    std::vector<std::uint64_t> slotVertexCount; ///< [S]
+    std::span<const std::uint64_t>
+    slotVertexCount() const
+    {
+        return arrays.slotVertexCount;
+    }
 
     /** Sum of snapshot-t degrees over each slot's vertices. */
-    std::vector<std::vector<std::uint64_t>> slotDegreeSum; ///< [T][S]
+    std::span<const std::uint64_t>
+    slotDegreeSum(SnapshotId t) const
+    {
+        return arrays.degreeSumRow(t);
+    }
 
     /**
-     * Directed cross-owner adjacency counts: crossCount[t][s*S+d] is
+     * Directed cross-owner adjacency counts: crossRow(t)[s*S+d] is
      * the number of adjacency entries (center v, neighbor u) of
      * snapshot t with owner(u)=s, owner(v)=d, s != d — i.e. the
      * gather-message multiplicity from slot s to slot d.
      */
-    std::vector<std::vector<std::uint64_t>> crossCount; ///< [T][S*S]
+    std::span<const std::uint64_t>
+    crossRow(SnapshotId t) const
+    {
+        return arrays.crossRow(t);
+    }
 
     /**
      * Ring-minimal vertical-distance histogram over the nonzero
@@ -94,18 +118,18 @@ struct PartitionDigest
      * ring of S rows): the shape of the distance profile the Re-Link
      * controller scores.
      */
-    std::vector<std::vector<std::uint64_t>> verticalDistanceHist;
-
-    std::uint64_t incrementalSnapshots = 0;
-    std::uint64_t scratchSnapshots = 0;
+    std::span<const std::uint64_t>
+    verticalDistanceHist(SnapshotId t) const
+    {
+        return arrays.distanceHistRow(t);
+    }
 
     std::uint64_t
     cross(SnapshotId t, int src, int dst) const
     {
-        return crossCount[static_cast<std::size_t>(t)]
-                         [static_cast<std::size_t>(src) *
-                              static_cast<std::size_t>(slots) +
-                          static_cast<std::size_t>(dst)];
+        return crossRow(t)[static_cast<std::size_t>(src) *
+                               static_cast<std::size_t>(slots) +
+                           static_cast<std::size_t>(dst)];
     }
 };
 

@@ -175,7 +175,10 @@ TEST(PartitionDigest, MatchesBruteForceCounts)
         static_cast<std::size_t>(slots), 0);
     for (const int o : owners)
         ++count[static_cast<std::size_t>(o)];
-    ASSERT_EQ(digest.slotVertexCount, count);
+    ASSERT_EQ(std::vector<std::uint64_t>(
+                  digest.slotVertexCount().begin(),
+                  digest.slotVertexCount().end()),
+              count);
 
     const auto s_slots = static_cast<std::size_t>(slots);
     for (SnapshotId t = 0; t < dg.numSnapshots(); ++t) {
@@ -194,9 +197,14 @@ TEST(PartitionDigest, MatchesBruteForceCounts)
                     ++cross[ou * s_slots + ov];
             }
         }
-        const auto i = static_cast<std::size_t>(t);
-        ASSERT_EQ(digest.slotDegreeSum[i], deg_sum);
-        ASSERT_EQ(digest.crossCount[i], cross);
+        const auto row_deg = digest.slotDegreeSum(t);
+        const auto row_cross = digest.crossRow(t);
+        ASSERT_EQ(std::vector<std::uint64_t>(row_deg.begin(),
+                                             row_deg.end()),
+                  deg_sum);
+        ASSERT_EQ(std::vector<std::uint64_t>(row_cross.begin(),
+                                             row_cross.end()),
+                  cross);
 
         std::vector<std::uint64_t> hist(s_slots / 2 + 1, 0);
         for (int src = 0; src < slots; ++src) {
@@ -211,7 +219,10 @@ TEST(PartitionDigest, MatchesBruteForceCounts)
                     std::min(fwd, slots - fwd))];
             }
         }
-        ASSERT_EQ(digest.verticalDistanceHist[i], hist);
+        const auto row_hist = digest.verticalDistanceHist(t);
+        ASSERT_EQ(std::vector<std::uint64_t>(row_hist.begin(),
+                                             row_hist.end()),
+                  hist);
     }
 }
 

@@ -9,12 +9,25 @@
  *   ditile_sweep --dataset=WD --dis=0.02,0.06,0.10,0.14 \
  *                --snapshots=4,8,16 [--all-accels] [--scale=F] \
  *                [--threads=N] [--faults=SPEC] [--digest-stats] \
- *                [--no-overlap] [--trace=FILE] [--metrics=FILE]
+ *                [--no-overlap] [--batch-plan=on|off] \
+ *                [--trace=FILE] [--metrics=FILE]
  *
  * Runs execute through the task-graph overlap scheduler by default;
  * --no-overlap selects the legacy staged barrier timeline (the
  * byte-identity reference, never faster than overlap on fault-free
  * points).
+ *
+ * Grid points that share generator parameters (same dissimilarity and
+ * snapshot count, hence the same generated graph) are planned as one
+ * batch: the group's first-arriving job generates the dataset and
+ * builds the whole fleet's execution plans once — DiTile variants
+ * drawing the graph-determined front-end prefix (workload loads +
+ * Algorithm 1) from one SharedFrontEnd — and every member replays
+ * those plans. --batch-plan=off makes every point its own group
+ * (generate + plan per point, the pre-batching behavior); the sweep
+ * CSV is byte-identical either way, batching only removes redundant
+ * front-end work. Group state is freed as soon as its last member
+ * finishes, so peak memory stays at a few live grid points.
  *
  * --trace=FILE captures a structured Chrome trace across the whole
  * sweep (each grid point on its own track group); --metrics=FILE
@@ -23,7 +36,8 @@
  * bit-identical at any --threads width; in the trace, only the
  * shared-cache hit/miss instants can shift with thread contention
  * (which racing grid point pays the miss), every modeled span is
- * width-independent.
+ * width-independent. With batching on, plan-stage spans live on the
+ * group representative's track group (they happen once per group).
  *
  * Config points are independent, so with --threads=N they fan out
  * across the process-wide thread pool; rows are still emitted in
@@ -41,9 +55,14 @@
  * kills the process immediately.
  */
 
+#include <atomic>
 #include <cstdio>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "common/cli.hh"
 #include "common/logging.hh"
@@ -52,12 +71,11 @@
 #include "common/thread_pool.hh"
 #include "common/trace.hh"
 #include "core/ditile_accelerator.hh"
+#include "core/plan_batch.hh"
 #include "graph/datasets.hh"
 #include "sim/baselines.hh"
 #include "sim/fault_model.hh"
 #include "sim/plan_cache.hh"
-#include "tiling/comm_model.hh"
-#include "workload/digest.hh"
 
 using namespace ditile;
 
@@ -77,6 +95,19 @@ parseList(const std::string &csv, double fallback)
     return values;
 }
 
+bool
+parseBatchPlan(const CliFlags &flags)
+{
+    // Not getBool: "off" must disable (getBool treats any value other
+    // than "0"/"false" as true).
+    const auto v = flags.getString("batch-plan", "on");
+    if (v == "on" || v == "1" || v == "true")
+        return true;
+    if (v == "off" || v == "0" || v == "false")
+        return false;
+    DITILE_FATAL("--batch-plan must be on or off, got '", v, "'");
+}
+
 int
 runTool(const CliFlags &flags)
 {
@@ -86,6 +117,7 @@ runTool(const CliFlags &flags)
                                      8.0);
     const bool all_accels = flags.getBool("all-accels", false);
     const bool overlap = !flags.getBool("no-overlap", false);
+    const bool batch_plan = parseBatchPlan(flags);
     const bool have_faults = flags.has("faults");
     const auto fault_spec =
         sim::FaultSpec::parse(flags.getString("faults", ""));
@@ -102,13 +134,13 @@ runTool(const CliFlags &flags)
     }
 
     // One job per (dissimilarity, snapshot-count) grid point; each
-    // job owns its dataset, accelerator fleet and row block, so jobs
-    // share nothing and merge back in grid order. A job that throws
-    // records the error instead of its rows.
+    // job owns its row block, so jobs merge back in grid order. A job
+    // that throws records the error instead of its rows.
     struct Job
     {
         double dis = 0.0;
         double snaps = 0.0;
+        std::size_t group = 0;
         std::vector<std::vector<std::string>> rows;
         std::vector<std::vector<std::string>> metricRows;
         std::string error;
@@ -118,20 +150,58 @@ runTool(const CliFlags &flags)
     std::vector<Job> jobs;
     for (double dis : dis_list)
         for (double snaps : snap_list)
-            jobs.push_back({dis, snaps, {}, {}, {}});
+            jobs.push_back({dis, snaps, 0, {}, {}, {}});
+
+    // Jobs with equal generator parameters regenerate the same graph
+    // (makeDataset is deterministic in (dataset, scale, seed, dis,
+    // snapshots)), so they share one planning group; the group key is
+    // a conservative proxy for graph::structureHash equality that
+    // needs no generation up front. --batch-plan=off degenerates to
+    // one group per point. The shared graph + plans are built lazily
+    // by the group's first-arriving job and freed by its last.
+    struct GroupState
+    {
+        std::shared_ptr<const graph::DynamicGraph> dg;
+        std::vector<sim::ExecutionPlan> plans; ///< Fleet order.
+        std::string error; ///< Build failure, replicated to members.
+    };
+    struct Group
+    {
+        std::size_t rep = 0; ///< Lowest member index: trace track owner.
+        std::mutex mutex;
+        std::shared_ptr<GroupState> state;
+        std::atomic<std::size_t> remaining{0};
+    };
+    std::map<std::pair<double, double>, std::size_t> group_index;
+    std::deque<Group> groups;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        Job &job = jobs[j];
+        const std::pair<double, double> key{job.dis, job.snaps};
+        auto it = batch_plan ? group_index.find(key)
+                             : group_index.end();
+        if (it == group_index.end()) {
+            if (batch_plan)
+                group_index.emplace(key, groups.size());
+            job.group = groups.size();
+            groups.emplace_back();
+            groups.back().rep = j;
+        } else {
+            job.group = it->second;
+        }
+        ++groups[job.group].remaining;
+    }
 
     // One process-wide plan cache: accelerators sharing an update
     // algorithm on the same grid point (ReaDy and DGNN-Booster both
     // run Re-Alg) reuse one snapshot-plan set instead of replanning.
     sim::PlanCache plan_cache;
 
-    parallelFor(jobs.size(), [&](std::size_t j) {
-        Job &job = jobs[j];
-        if (shutdownRequested()) {
-            // Skip cleanly; already-finished points still flush below.
-            job.interrupted = true;
-            return;
-        }
+    // Generate the group's graph and plan the whole fleet against it.
+    // Never throws: a failure is stored so every member of the group
+    // reports it. Plan-stage trace spans land on the representative
+    // job's track group regardless of which job arrives first.
+    const auto buildGroupState = [&](const Job &job, std::size_t rep) {
+        auto state = std::make_shared<GroupState>();
         try {
             graph::DatasetOptions options;
             options.scale = flags.getDouble("scale", 0.0);
@@ -139,7 +209,8 @@ runTool(const CliFlags &flags)
             options.dissimilarity = job.dis;
             options.seed = static_cast<std::uint64_t>(
                 flags.getInt("seed", 0));
-            const auto dg = graph::makeDataset(dataset, options);
+            state->dg = std::make_shared<const graph::DynamicGraph>(
+                graph::makeDataset(dataset, options));
             const model::DgnnConfig mconfig;
 
             std::vector<std::unique_ptr<sim::Accelerator>> fleet;
@@ -151,18 +222,67 @@ runTool(const CliFlags &flags)
             }
             fleet.push_back(
                 std::make_unique<core::DiTileAccelerator>());
+            // The shared front end memoizes the graph-determined
+            // prefix (loads + Algorithm 1) across the DiTile plans of
+            // this group; baselines plan as before.
+            core::SharedFrontEnd shared;
             std::uint64_t accel_idx = 0;
             for (auto &accel : fleet) {
-                // Disjoint track group per (grid point, accelerator)
-                // so concurrent jobs never share a trace track.
                 Tracer::setTrackBase(
-                    (static_cast<std::uint64_t>(j) * fleet.size() +
+                    (static_cast<std::uint64_t>(rep) * fleet.size() +
                      accel_idx++) * Tracer::kTracksPerRun);
-                auto plan = accel->plan(dg, mconfig, &plan_cache);
+                sim::ExecutionPlan plan;
+                if (auto *ditile =
+                        dynamic_cast<core::DiTileAccelerator *>(
+                            accel.get())) {
+                    plan = ditile->plan(*state->dg, mconfig,
+                                        &plan_cache, &shared);
+                } else {
+                    plan = accel->plan(*state->dg, mconfig,
+                                       &plan_cache);
+                }
                 if (have_faults)
                     plan.faults = fault_spec;
                 plan.options.overlap = overlap;
-                const auto r = accel->execute(dg, plan);
+                state->plans.push_back(std::move(plan));
+            }
+        } catch (const std::exception &e) {
+            state->error = e.what();
+            state->plans.clear();
+            state->dg.reset();
+        }
+        return state;
+    };
+
+    const auto runPoint = [&](std::size_t j, Job &job, Group &group) {
+        if (shutdownRequested()) {
+            // Skip cleanly; already-finished points still flush below.
+            job.interrupted = true;
+            return;
+        }
+        try {
+            std::shared_ptr<GroupState> state;
+            {
+                // Later arrivals of the group wait here for the
+                // build; they cannot proceed without the plans anyway.
+                std::lock_guard<std::mutex> lock(group.mutex);
+                if (!group.state)
+                    group.state = buildGroupState(job, group.rep);
+                state = group.state;
+            }
+            if (!state->error.empty()) {
+                job.error = state->error;
+                return;
+            }
+            const graph::DynamicGraph &dg = *state->dg;
+            const std::size_t fleet_n = state->plans.size();
+            for (std::size_t a = 0; a < fleet_n; ++a) {
+                // Disjoint track group per (grid point, accelerator)
+                // so concurrent jobs never share a trace track.
+                Tracer::setTrackBase(
+                    (static_cast<std::uint64_t>(j) * fleet_n + a) *
+                    Tracer::kTracksPerRun);
+                const auto r = sim::executePlan(dg, state->plans[a]);
                 job.rows.push_back(
                     {dataset, Table::num(job.dis, 3),
                      Table::integer(static_cast<long long>(job.snaps)),
@@ -203,6 +323,18 @@ runTool(const CliFlags &flags)
             job.rows.clear();
             job.metricRows.clear();
             job.error = e.what();
+        }
+    };
+
+    parallelFor(jobs.size(), [&](std::size_t j) {
+        Job &job = jobs[j];
+        Group &group = groups[job.group];
+        runPoint(j, job, group);
+        // Free the shared graph + plans once the last member is done
+        // so peak memory tracks live points, not the whole grid.
+        if (group.remaining.fetch_sub(1) == 1) {
+            std::lock_guard<std::mutex> lock(group.mutex);
+            group.state.reset();
         }
     });
 
@@ -256,26 +388,19 @@ runTool(const CliFlags &flags)
         std::fprintf(stderr, "wrote Chrome trace to %s\n",
                      trace_file.c_str());
     }
-    std::fprintf(stderr, "plan cache: %llu hits, %llu misses\n",
-                 static_cast<unsigned long long>(plan_cache.hits()),
-                 static_cast<unsigned long long>(plan_cache.misses()));
+    std::fprintf(stderr,
+                 "batch planning: %zu point(s) in %zu group(s) "
+                 "(batch-plan=%s)\n",
+                 jobs.size(), groups.size(),
+                 batch_plan ? "on" : "off");
     if (flags.getBool("digest-stats", false)) {
-        const auto &digests = workload::DigestCache::global();
-        std::fprintf(
-            stderr,
-            "workload digest cache: %llu hits, %llu misses, "
-            "%zu entries (digests %s)\n",
-            static_cast<unsigned long long>(digests.hits()),
-            static_cast<unsigned long long>(digests.misses()),
-            digests.size(),
-            workload::digestEnabled() ? "enabled" : "disabled");
-        const auto &comm = tiling::CommModelCache::global();
-        std::fprintf(
-            stderr,
-            "comm model memo: %llu hits, %llu misses, %zu points\n",
-            static_cast<unsigned long long>(comm.hits()),
-            static_cast<unsigned long long>(comm.misses()),
-            comm.size());
+        sim::printCacheStats(stderr, plan_cache);
+    } else {
+        std::fprintf(stderr, "plan cache: %llu hits, %llu misses\n",
+                     static_cast<unsigned long long>(
+                         plan_cache.hits()),
+                     static_cast<unsigned long long>(
+                         plan_cache.misses()));
     }
     int interrupted = 0;
     for (const auto &job : jobs)

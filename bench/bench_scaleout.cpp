@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Extension bench: multi-chip scale-out curves.
+ *
+ * Records the three curves the scale-out layer (sim/scaleout.hh) is
+ * judged by, into one CSV-able table:
+ *
+ *   - weak scaling: the workload grows with the chip count (V and E
+ *     proportional to M), so ideal scaling keeps cycles constant;
+ *     efficiency = cycles(1 chip) / cycles(M chips).
+ *   - strong scaling: one fixed workload over M = 1..8 chips;
+ *     speedup = cycles(1) / cycles(M), efficiency = speedup / M.
+ *   - interconnect sensitivity: the fixed workload on 4 chips under a
+ *     bandwidth sweep and a latency sweep, isolating how much of the
+ *     cluster makespan the inter-chip links govern.
+ *
+ * All runs share one PlanCache, so repeated shards plan once. Every
+ * number is bit-identical at any --threads width. --smoke shrinks the
+ * synthetic workloads for CI.
+ */
+
+#include <string>
+
+#include "bench/bench_util.hh"
+#include "core/ditile_accelerator.hh"
+#include "graph/generator.hh"
+#include "sim/execution_plan.hh"
+#include "sim/plan_cache.hh"
+#include "sim/scaleout.hh"
+
+using namespace ditile;
+
+namespace {
+
+graph::DynamicGraph
+makeWorkload(VertexId vertices, EdgeId edges, SnapshotId snapshots,
+             std::uint64_t seed)
+{
+    graph::EvolutionConfig config;
+    config.name = "scaleout-v" + std::to_string(vertices);
+    config.numVertices = vertices;
+    config.numEdges = edges;
+    config.numSnapshots = snapshots;
+    config.dissimilarity = 0.10;
+    config.featureDim = 128;
+    config.seed = seed;
+    return graph::generateDynamicGraph(config);
+}
+
+Cycle
+runChips(const graph::DynamicGraph &dg, int chips,
+         const noc::InterChipLinkConfig &link, sim::PlanCache &cache)
+{
+    core::DiTileAccelerator ditile;
+    auto plan = ditile.plan(dg, bench::paperModel(), &cache);
+    if (chips > 1)
+        sim::applyScaleOut(plan, dg, chips, link);
+    return sim::executePlan(dg, plan, &cache).totalCycles;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto options = bench::BenchOptions::parse(argc, argv);
+    const VertexId base_v = options.smoke ? 1500 : 6000;
+    const EdgeId base_e = options.smoke ? 9000 : 48000;
+    const SnapshotId snapshots =
+        options.smoke ? SnapshotId{4} : options.numSnapshots;
+    const std::uint64_t seed = options.seed + 1;
+    const noc::InterChipLinkConfig default_link;
+
+    sim::PlanCache cache;
+    Table table("Scale-out: weak / strong scaling + interconnect "
+                "sensitivity");
+    table.setHeader({"mode", "chips", "gbps", "latency_ns", "vertices",
+                     "cycles", "speedup", "efficiency"});
+
+    // ---- Weak scaling: workload grows with the cluster.
+    double weak_base = 0.0;
+    for (const int chips : {1, 2, 4, 8}) {
+        const auto dg = makeWorkload(
+            base_v * static_cast<VertexId>(chips),
+            base_e * static_cast<EdgeId>(chips), snapshots, seed);
+        const auto cycles = static_cast<double>(
+            runChips(dg, chips, default_link, cache));
+        if (chips == 1)
+            weak_base = cycles;
+        table.addRow({"weak", Table::integer(chips),
+                      Table::num(default_link.bandwidthGbps, 0),
+                      Table::num(default_link.latencyNs, 0),
+                      Table::integer(static_cast<long long>(
+                          dg.numVertices())),
+                      Table::integer(static_cast<long long>(cycles)),
+                      Table::num(weak_base / cycles, 4),
+                      Table::num(weak_base / cycles, 4)});
+    }
+
+    // ---- Strong scaling: one fixed workload, more chips.
+    const auto strong_dg =
+        makeWorkload(base_v * 4, base_e * 4, snapshots, seed);
+    double strong_base = 0.0;
+    for (const int chips : {1, 2, 4, 8}) {
+        const auto cycles = static_cast<double>(
+            runChips(strong_dg, chips, default_link, cache));
+        if (chips == 1)
+            strong_base = cycles;
+        const double speedup = strong_base / cycles;
+        table.addRow({"strong", Table::integer(chips),
+                      Table::num(default_link.bandwidthGbps, 0),
+                      Table::num(default_link.latencyNs, 0),
+                      Table::integer(static_cast<long long>(
+                          strong_dg.numVertices())),
+                      Table::integer(static_cast<long long>(cycles)),
+                      Table::num(speedup, 4),
+                      Table::num(speedup / chips, 4)});
+    }
+
+    // ---- Interconnect sensitivity on 4 chips: bandwidth sweep at
+    // the default latency, then latency sweep at the default
+    // bandwidth.
+    for (const double gbps : {25.0, 100.0, 400.0, 1600.0}) {
+        noc::InterChipLinkConfig link = default_link;
+        link.bandwidthGbps = gbps;
+        const auto cycles = static_cast<double>(
+            runChips(strong_dg, 4, link, cache));
+        table.addRow({"bandwidth", Table::integer(4),
+                      Table::num(gbps, 0),
+                      Table::num(link.latencyNs, 0),
+                      Table::integer(static_cast<long long>(
+                          strong_dg.numVertices())),
+                      Table::integer(static_cast<long long>(cycles)),
+                      Table::num(strong_base / cycles, 4), "n/a"});
+    }
+    for (const double latency_ns : {50.0, 350.0, 2000.0}) {
+        noc::InterChipLinkConfig link = default_link;
+        link.latencyNs = latency_ns;
+        const auto cycles = static_cast<double>(
+            runChips(strong_dg, 4, link, cache));
+        table.addRow({"latency", Table::integer(4),
+                      Table::num(link.bandwidthGbps, 0),
+                      Table::num(latency_ns, 0),
+                      Table::integer(static_cast<long long>(
+                          strong_dg.numVertices())),
+                      Table::integer(static_cast<long long>(cycles)),
+                      Table::num(strong_base / cycles, 4), "n/a"});
+    }
+
+    bench::emit(table, options);
+    return 0;
+}

@@ -7,6 +7,8 @@
 
 #include <cstdlib>
 
+#include "common/logging.hh"
+
 namespace ditile {
 
 CliFlags
@@ -49,17 +51,30 @@ double
 CliFlags::getDouble(const std::string &name, double fallback) const
 {
     auto it = values_.find(name);
-    return it == values_.end() ? fallback : std::strtod(it->second.c_str(),
-                                                        nullptr);
+    if (it == values_.end())
+        return fallback;
+    const std::string &value = it->second;
+    char *endp = nullptr;
+    const double v = std::strtod(value.c_str(), &endp);
+    if (value.empty() || endp != value.c_str() + value.size())
+        DITILE_THROW("--", name, " expects a number, got '", value,
+                     "'");
+    return v;
 }
 
 long long
 CliFlags::getInt(const std::string &name, long long fallback) const
 {
     auto it = values_.find(name);
-    return it == values_.end()
-        ? fallback
-        : std::strtoll(it->second.c_str(), nullptr, 10);
+    if (it == values_.end())
+        return fallback;
+    const std::string &value = it->second;
+    char *endp = nullptr;
+    const long long v = std::strtoll(value.c_str(), &endp, 10);
+    if (value.empty() || endp != value.c_str() + value.size())
+        DITILE_THROW("--", name, " expects an integer, got '", value,
+                     "'");
+    return v;
 }
 
 bool

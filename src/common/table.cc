@@ -76,32 +76,52 @@ Table::toString() const
     return out.str();
 }
 
+namespace {
+
 std::string
-Table::toCsv() const
+csvQuote(const std::string &s)
 {
-    auto quote = [](const std::string &s) {
-        if (s.find_first_of(",\"\n") == std::string::npos)
-            return s;
-        std::string q = "\"";
-        for (char ch : s) {
-            if (ch == '"')
-                q += "\"\"";
-            else
-                q += ch;
-        }
-        q += "\"";
-        return q;
-    };
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string q = "\"";
+    for (char ch : s) {
+        if (ch == '"')
+            q += "\"\"";
+        else
+            q += ch;
+    }
+    q += "\"";
+    return q;
+}
+
+} // namespace
+
+std::string
+Table::headerCsv() const
+{
     std::ostringstream out;
     for (std::size_t c = 0; c < header_.size(); ++c)
-        out << (c ? "," : "") << quote(header_[c]);
+        out << (c ? "," : "") << csvQuote(header_[c]);
     out << "\n";
+    return out.str();
+}
+
+std::string
+Table::rowsCsv() const
+{
+    std::ostringstream out;
     for (const auto &row : rows_) {
         for (std::size_t c = 0; c < row.size(); ++c)
-            out << (c ? "," : "") << quote(row[c]);
+            out << (c ? "," : "") << csvQuote(row[c]);
         out << "\n";
     }
     return out.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    return headerCsv() + rowsCsv();
 }
 
 void

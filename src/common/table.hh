@@ -35,6 +35,15 @@ class Table
     /** Render as CSV (header + rows, comma-separated, quoted as needed). */
     std::string toCsv() const;
 
+    /**
+     * The CSV header line alone / the data rows alone. toCsv() ==
+     * headerCsv() + rowsCsv(); split out so streaming writers can
+     * flush the header before any row exists (a partially produced
+     * CSV then stays machine-readable even when every point fails).
+     */
+    std::string headerCsv() const;
+    std::string rowsCsv() const;
+
     /** Convenience: print toString() to stdout. */
     void print() const;
 

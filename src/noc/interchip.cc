@@ -1,0 +1,52 @@
+/**
+ * @file
+ * InterChipLink cycle-cost model.
+ */
+
+#include "noc/interchip.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace ditile::noc {
+
+InterChipLink::InterChipLink(const InterChipLinkConfig &config,
+                             double frequency_ghz)
+    : config_(config)
+{
+    DITILE_ASSERT(config.bandwidthGbps > 0.0,
+                  "inter-chip bandwidth must be positive");
+    DITILE_ASSERT(config.latencyNs >= 0.0,
+                  "inter-chip latency must be nonnegative");
+    DITILE_ASSERT(config.packetBytes > 0,
+                  "inter-chip packet size must be positive");
+    DITILE_ASSERT(frequency_ghz > 0.0,
+                  "chip frequency must be positive");
+    // ns * GHz = cycles; Gbps / 8 = GB/s; GB/s / GHz = bytes/cycle.
+    latencyCycles_ = static_cast<Cycle>(
+        std::ceil(config.latencyNs * frequency_ghz));
+    bytesPerCycle_ = config.bandwidthGbps / 8.0 / frequency_ghz;
+}
+
+ByteCount
+InterChipLink::wireBytes(ByteCount payload_bytes) const
+{
+    if (payload_bytes == 0)
+        return 0;
+    const ByteCount packets =
+        (payload_bytes + config_.packetBytes - 1) / config_.packetBytes;
+    return payload_bytes + packets * config_.packetHeaderBytes;
+}
+
+Cycle
+InterChipLink::transferCycles(ByteCount payload_bytes) const
+{
+    if (payload_bytes == 0)
+        return 0;
+    const double serialization =
+        static_cast<double>(wireBytes(payload_bytes)) / bytesPerCycle_;
+    return latencyCycles_ + static_cast<Cycle>(std::ceil(serialization));
+}
+
+} // namespace ditile::noc

@@ -28,16 +28,25 @@ metric(const char *path)
     Tracer::global().addMetric(path, 1);
 }
 
+} // namespace
+
 std::uint64_t
-percentile(const std::vector<std::uint64_t> &sorted, unsigned pct)
+percentileNearestRank(const std::vector<std::uint64_t> &sorted,
+                      unsigned pct)
 {
     if (sorted.empty())
         return 0;
-    const std::size_t idx = (sorted.size() - 1) * pct / 100;
-    return sorted[idx];
+    // Nearest-rank: the smallest sample with at least pct% of the
+    // distribution at or below it, idx = ceil(N * pct / 100) - 1.
+    // (The previous (N-1)*pct/100 truncation under-reported tail
+    // percentiles on small windows: p99 of 2 samples picked the min.)
+    std::size_t rank = (sorted.size() * pct + 99) / 100;
+    if (rank == 0)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return sorted[rank - 1];
 }
-
-} // namespace
 
 /**
  * One live tenant: provisioning spec, the snapshot window its event
@@ -895,8 +904,8 @@ Server::summary() const
     s.tenants = tenants_.size();
     std::vector<std::uint64_t> sorted = latencies_;
     std::sort(sorted.begin(), sorted.end());
-    s.p50Us = percentile(sorted, 50);
-    s.p99Us = percentile(sorted, 99);
+    s.p50Us = percentileNearestRank(sorted, 50);
+    s.p99Us = percentileNearestRank(sorted, 99);
     if (!sorted.empty()) {
         std::uint64_t total = 0;
         for (std::uint64_t v : sorted)

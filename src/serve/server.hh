@@ -107,6 +107,15 @@ struct ServerOptions
 };
 
 /**
+ * Nearest-rank percentile of an ascending-sorted sample vector: the
+ * smallest sample with at least pct% of the distribution at or below
+ * it (so p99 of a single sample is that sample, and p99 of 2 samples
+ * is the max, not the min). Returns 0 on empty input.
+ */
+std::uint64_t percentileNearestRank(
+    const std::vector<std::uint64_t> &sorted, unsigned pct);
+
+/**
  * End-of-run summary. All counter fields are deterministic under the
  * virtual clock; renderings keep doubles to fixed two-decimal prints
  * derived from integer quantities.

@@ -62,6 +62,7 @@
 #include "sim/engine_internal.hh"
 #include "sim/execution_plan.hh"
 #include "sim/fault_model.hh"
+#include "sim/scaleout.hh"
 #include "sim/scheduler.hh"
 #include "sim/task_graph.hh"
 #include "workload/balance.hh"
@@ -73,8 +74,12 @@ using detail::DramObs;
 using detail::SnapshotWork;
 
 RunResult
-executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan)
+executePlan(const graph::DynamicGraph &dg, const ExecutionPlan &plan,
+            PlanCache *scaleout_cache)
 {
+    if (plan.scaleout.enabled())
+        return runScaleOut(dg, plan, scaleout_cache);
+
     const AcceleratorConfig &hw = plan.hw;
     const model::DgnnConfig &model_config = plan.modelConfig;
     const MappingSpec &mapping = plan.mapping;

@@ -292,7 +292,9 @@ ExecutionPlan::toJson() const
     e.open();
     // Format 2 added the "overlap" option and the derived "task_graph"
     // section; format-1 documents still load (overlap defaults off).
-    e.kv("plan_format", 2ll);
+    // Format 3 adds the "scaleout" section for multi-chip plans;
+    // single-chip plans keep serializing as format 2 byte-identically.
+    e.kv("plan_format", scaleout.enabled() ? 3ll : 2ll);
     e.kv("accelerator", acceleratorName);
     e.kv("workload", workloadName);
     e.kvU("workload_digest", workloadDigest);
@@ -460,6 +462,21 @@ ExecutionPlan::toJson() const
     out << "]";
     e.close();
 
+    // ---- Multi-chip scale-out (format 3 only). ----
+    if (scaleout.enabled()) {
+        e.open("scaleout");
+        e.kv("chips", static_cast<long long>(scaleout.chips));
+        e.open("interchip");
+        e.kv("bandwidth_gbps", scaleout.link.bandwidthGbps);
+        e.kv("latency_ns", scaleout.link.latencyNs);
+        e.kvU("packet_bytes", scaleout.link.packetBytes);
+        e.kvU("packet_header_bytes", scaleout.link.packetHeaderBytes);
+        e.close();
+        e.kv("chunk_span", static_cast<long long>(scaleout.chunkSpan));
+        e.intArray("chip_of_chunk", scaleout.chipOfChunk);
+        e.close();
+    }
+
     // ---- Task-graph skeleton (overlap scheduler input). ----
     // Derived entirely from the fields above, re-derived on load
     // (fromJson ignores it): serialized so plan documents are
@@ -541,7 +558,7 @@ ExecutionPlan::fromJson(const std::string &text)
 {
     const JsonValue doc = JsonValue::parse(text);
     const long long format = doc.at("plan_format").asInt();
-    if (format != 1 && format != 2)
+    if (format != 1 && format != 2 && format != 3)
         DITILE_THROW("unsupported plan_format");
 
     ExecutionPlan plan;
@@ -727,6 +744,24 @@ ExecutionPlan::fromJson(const std::string &text)
             ev.channel = static_cast<int>(item.at("channel").asInt());
             plan.faults.events.push_back(ev);
         }
+    }
+
+    // Format-2 (and earlier) documents carry no "scaleout" key; they
+    // load as single-chip plans.
+    if (const JsonValue *so = doc.find("scaleout")) {
+        plan.scaleout.chips = static_cast<int>(so->at("chips").asInt());
+        const JsonValue &link = so->at("interchip");
+        plan.scaleout.link.bandwidthGbps =
+            link.at("bandwidth_gbps").asDouble();
+        plan.scaleout.link.latencyNs = link.at("latency_ns").asDouble();
+        plan.scaleout.link.packetBytes =
+            link.at("packet_bytes").asUint();
+        plan.scaleout.link.packetHeaderBytes =
+            link.at("packet_header_bytes").asUint();
+        plan.scaleout.chunkSpan = static_cast<VertexId>(
+            so->at("chunk_span").asInt());
+        plan.scaleout.chipOfChunk =
+            parseIntArray<int>(so->at("chip_of_chunk"));
     }
 
     auto snaps = std::make_shared<std::vector<model::SnapshotPlan>>();

@@ -36,6 +36,7 @@
 #include "model/incremental.hh"
 #include "sim/engine.hh"
 #include "sim/fault_model.hh"
+#include "sim/scaleout.hh"
 #include "tiling/optimizer.hh"
 #include "workload/balance.hh"
 
@@ -106,6 +107,14 @@ struct ExecutionPlan
     FaultSpec faults;
 
     /**
+     * Multi-chip scale-out spec (sim/scaleout.hh). Default (chips = 1)
+     * means single chip: the plan serializes as plan_format 2 exactly
+     * as before; chips > 1 plans serialize as format 3 with a
+     * "scaleout" section and execute through runScaleOut().
+     */
+    ScaleOutSpec scaleout;
+
+    /**
      * Redundancy-free per-snapshot plans, shared so a PlanCache can
      * hand the same (expensive) planner output to many plans.
      */
@@ -153,10 +162,14 @@ ExecutionPlan buildEnginePlan(const graph::DynamicGraph &dg,
  * Execute a plan over a dynamic graph and return the full result
  * record. Pure replay: all planning decisions come from the plan; the
  * graph supplies the adjacency the plan's vertex sets index into, and
- * must structurally match the planning-time workload.
+ * must structurally match the planning-time workload. Scale-out plans
+ * (scaleout.enabled()) dispatch to runScaleOut(); `scaleout_cache`
+ * optionally shares the per-shard snapshot-plan sets across chips and
+ * repeated runs, and is ignored by single-chip plans.
  */
 RunResult executePlan(const graph::DynamicGraph &dg,
-                      const ExecutionPlan &plan);
+                      const ExecutionPlan &plan,
+                      PlanCache *scaleout_cache = nullptr);
 
 } // namespace ditile::sim
 

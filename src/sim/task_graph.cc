@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "sim/execution_plan.hh"
+#include "sim/scaleout.hh"
 
 namespace ditile::sim {
 
@@ -21,6 +22,8 @@ taskKindToken(TaskKind kind)
     case TaskKind::TemporalComm: return "temporal";
     case TaskKind::DramStream: return "dram";
     case TaskKind::RelinkReconfig: return "relink";
+    case TaskKind::ChipCompute: return "chip";
+    case TaskKind::InterChipComm: return "interchip";
     }
     return "gnn";
 }
@@ -35,6 +38,8 @@ laneKindToken(LaneKind kind)
     case LaneKind::TemporalLink: return "temporal-link";
     case LaneKind::DramChannel: return "dram";
     case LaneKind::RelinkController: return "relink";
+    case LaneKind::Chip: return "chip";
+    case LaneKind::InterChipLink: return "interchip";
     }
     return "tile-col";
 }
@@ -74,6 +79,10 @@ TaskGraph::addDep(int src, int dst)
 TaskGraph
 buildTaskGraph(const ExecutionPlan &plan)
 {
+    // Scale-out plans schedule whole chips, not tile columns: the
+    // cluster-level DAG is the plan's task graph.
+    if (plan.scaleout.enabled())
+        return buildClusterTaskGraph(plan);
     TaskGraph g;
     const SnapshotId num_snapshots = plan.numSnapshots();
     const MappingSpec &mapping = plan.mapping;

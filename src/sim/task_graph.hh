@@ -44,6 +44,10 @@ enum class TaskKind
     TemporalComm,   ///< RNN-boundary temporal + reuse NoC traffic.
     DramStream,     ///< Off-chip stream of one snapshot.
     RelinkReconfig, ///< Per-snapshot Re-Link switch budget.
+    ChipCompute,    ///< One chip's full snapshot in a scale-out
+                    ///< cluster (sim/scaleout.hh).
+    InterChipComm,  ///< Cross-chip boundary exchange after one
+                    ///< snapshot.
 };
 
 /** Canonical serialization token ("gnn", "rnn", "spatial", ...). */
@@ -68,6 +72,8 @@ enum class LaneKind
     DramChannel,     ///< The off-chip channel group (the DRAM model
                      ///< serializes streams through one cursor).
     RelinkController,///< The Re-Link controller's reconfig sequencer.
+    Chip,            ///< One whole chip of a scale-out cluster.
+    InterChipLink,   ///< One chip's egress inter-chip link.
 };
 
 /** Canonical serialization token ("tile-col", "rnn-engine", ...). */

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * DGC-style snapshot×vertex chunk partitioner for multi-chip
+ * scale-out.
+ *
+ * The vertex universe is cut into contiguous chunks (several per
+ * chip), the SlotArrays census kernels count per-chunk degree mass and
+ * cross-chunk adjacency per snapshot, and a deterministic greedy
+ * placement assigns chunks to chips: longest-processing-time first for
+ * load balance, then a bounded refinement sweep that moves chunks only
+ * when the move strictly reduces modeled cross-chip adjacency without
+ * breaking the balance slack. Chunks — not single vertices — are the
+ * placement granularity, exactly DGC's argument: the spatio-temporal
+ * load varies per (snapshot, region), so the census integrates degree
+ * mass over every snapshot before placing anything.
+ *
+ * Everything here is integer counting plus a fixed-order greedy, so
+ * the assignment is a pure function of the graph and the options —
+ * bit-identical at any --threads width, safe to record in plan JSON.
+ */
+
+#ifndef DITILE_WORKLOAD_CHUNK_PARTITION_HH
+#define DITILE_WORKLOAD_CHUNK_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.hh"
+
+namespace ditile::workload {
+
+/** Partitioner knobs. */
+struct ChunkPartitionOptions
+{
+    /** Number of chips to place chunks on (>= 1). */
+    int chips = 1;
+
+    /** Target vertex chunks per chip (placement granularity). */
+    int chunksPerChip = 8;
+
+    /**
+     * Refinement may not push a chip's load past
+     * (1 + balanceSlack) x mean chip load.
+     */
+    double balanceSlack = 0.10;
+};
+
+/**
+ * Chunk→chip assignment plus the census it was derived from.
+ */
+struct ChunkPartition
+{
+    int chips = 1;
+    int chunks = 0;
+
+    /** Vertices per chunk (contiguous: chunk of v is v / chunkSpan). */
+    VertexId chunkSpan = 1;
+
+    /** Chunk -> owning chip, size `chunks`. */
+    std::vector<int> chipOfChunk;
+
+    /**
+     * Per-chunk modeled load: degree mass summed over every snapshot
+     * plus one RNN unit per vertex per snapshot.
+     */
+    std::vector<std::uint64_t> chunkLoad;
+
+    /** Per-chip load under the final assignment, size `chips`. */
+    std::vector<std::uint64_t> chipLoad;
+
+    /**
+     * Cross-chip adjacency entries whose source chunk lives on chip c
+     * at snapshot t (the chip's boundary egress), row-major [T*chips].
+     */
+    std::vector<std::uint64_t> egressAdj;
+
+    /** Cross-chip adjacency entries per snapshot, size T. */
+    std::vector<std::uint64_t> crossAdjPerSnapshot;
+
+    /** Total cross-chip adjacency entries over all snapshots. */
+    std::uint64_t crossAdjTotal = 0;
+
+    int
+    chipOfVertex(VertexId v) const
+    {
+        return chipOfChunk[static_cast<std::size_t>(v / chunkSpan)];
+    }
+
+    /** Max chip load / mean chip load (1.0 = perfectly balanced). */
+    double imbalance() const;
+};
+
+/**
+ * Build the chunk census with the SlotArrays kernels and place chunks
+ * on `options.chips` chips. Throws InputError when the graph has
+ * fewer vertices than chips (a chip would be empty) or when options
+ * are out of range.
+ */
+ChunkPartition buildChunkPartition(const graph::DynamicGraph &dg,
+                                   const ChunkPartitionOptions &options);
+
+} // namespace ditile::workload
+
+#endif // DITILE_WORKLOAD_CHUNK_PARTITION_HH

@@ -296,6 +296,41 @@ TEST(CliFlags, BooleanFalseValues)
     EXPECT_FALSE(flags.getBool("other", true));
 }
 
+TEST(CliFlags, RejectsMalformedNumbers)
+{
+    // strtod/strtoll must consume the whole value: trailing junk,
+    // empty strings, and plain words are typed InputErrors, not
+    // silently-truncated parses.
+    const char *argv[] = {"prog", "--scale=1.5x", "--n=7q",
+                          "--empty=", "--word=abc"};
+    auto flags = CliFlags::parse(5, const_cast<char **>(argv));
+    EXPECT_THROW(flags.getDouble("scale", 0.0), InputError);
+    EXPECT_THROW(flags.getInt("n", 0), InputError);
+    EXPECT_THROW(flags.getDouble("empty", 0.0), InputError);
+    EXPECT_THROW(flags.getInt("empty", 0), InputError);
+    EXPECT_THROW(flags.getDouble("word", 0.0), InputError);
+    EXPECT_THROW(flags.getInt("word", 0), InputError);
+    // getInt must not accept a double's fractional tail either.
+    const char *argv2[] = {"prog", "--n=1.5"};
+    auto flags2 = CliFlags::parse(2, const_cast<char **>(argv2));
+    EXPECT_THROW(flags2.getInt("n", 0), InputError);
+    EXPECT_DOUBLE_EQ(flags2.getDouble("n", 0.0), 1.5);
+}
+
+TEST(Table, HeaderAndRowsCsvSplitCleanly)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    EXPECT_EQ(t.headerCsv(), "a,b\n");
+    EXPECT_EQ(t.rowsCsv(), "");
+    t.addRow({"1", "x,y"});
+    t.addRow({"2", "z"});
+    EXPECT_EQ(t.rowsCsv(), "1,\"x,y\"\n2,z\n");
+    // toCsv is exactly the concatenation, so a header flushed early
+    // plus rows flushed late reproduces the one-shot output.
+    EXPECT_EQ(t.toCsv(), t.headerCsv() + t.rowsCsv());
+}
+
 TEST(MathUtil, CeilDiv)
 {
     EXPECT_EQ(ceilDiv(10, 3), 4);

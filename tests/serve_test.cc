@@ -561,5 +561,37 @@ TEST(ServeServer, ReplaySummaryAccountsForEveryRequest)
     EXPECT_NE(table.find("sustained QPS"), std::string::npos);
 }
 
+TEST(Percentile, NearestRankOnSmallSamples)
+{
+    // Nearest-rank: rank = ceil(N * p / 100), 1-based. A single
+    // sample IS every percentile of itself.
+    EXPECT_EQ(serve::percentileNearestRank({42}, 50), 42u);
+    EXPECT_EQ(serve::percentileNearestRank({42}, 99), 42u);
+    EXPECT_EQ(serve::percentileNearestRank({42}, 100), 42u);
+    // Two samples: p50 is the first, p99 the second (the old
+    // truncating interpolation picked the minimum for p99).
+    EXPECT_EQ(serve::percentileNearestRank({10, 20}, 50), 10u);
+    EXPECT_EQ(serve::percentileNearestRank({10, 20}, 99), 20u);
+}
+
+TEST(Percentile, NearestRankOnHundredAndHundredOne)
+{
+    std::vector<std::uint64_t> hundred(100);
+    for (std::size_t i = 0; i < hundred.size(); ++i)
+        hundred[i] = 1000 + i;  // sorted[k] = 1000 + k
+    // N=100: rank(p) = p exactly, so p50 -> sorted[49].
+    EXPECT_EQ(serve::percentileNearestRank(hundred, 50), 1049u);
+    EXPECT_EQ(serve::percentileNearestRank(hundred, 99), 1098u);
+    EXPECT_EQ(serve::percentileNearestRank(hundred, 100), 1099u);
+
+    std::vector<std::uint64_t> hundred_one(101);
+    for (std::size_t i = 0; i < hundred_one.size(); ++i)
+        hundred_one[i] = 2000 + i;
+    // N=101: rank = ceil(101 * p / 100) = p + 1 for p in (0, 100).
+    EXPECT_EQ(serve::percentileNearestRank(hundred_one, 50), 2050u);
+    EXPECT_EQ(serve::percentileNearestRank(hundred_one, 99), 2099u);
+    EXPECT_EQ(serve::percentileNearestRank(hundred_one, 100), 2100u);
+}
+
 } // namespace
 } // namespace ditile

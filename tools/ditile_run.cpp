@@ -36,6 +36,12 @@
  *                           sim/fault_model.hh for the grammar, e.g.
  *                           "tile@1:r3c2;vlink@0:r1c2;dram@2:ch*".
  *                           Overrides the schedule in --plan-in)
+ *   --chips=M              (shard the run over M chips through the
+ *                           chunk partitioner + inter-chip links;
+ *                           default 1 = the unchanged single-chip
+ *                           path. Overrides the spec in --plan-in)
+ *   --interchip-gbps=G     (inter-chip link bandwidth, default 100)
+ *   --interchip-ns=L       (inter-chip link latency, default 350)
  *   --json / --csv         (output format; default ASCII table)
  *   --trace                (per-snapshot timeline table)
  *   --trace=FILE           (structured Chrome trace_event JSON; open
@@ -66,6 +72,7 @@
 #include "sim/engine.hh"
 #include "sim/execution_plan.hh"
 #include "sim/fault_model.hh"
+#include "sim/scaleout.hh"
 
 using namespace ditile;
 
@@ -340,6 +347,12 @@ runTool(const CliFlags &flags)
     const bool have_faults = flags.has("faults");
     const auto fault_spec =
         sim::FaultSpec::parse(flags.getString("faults", ""));
+    const bool have_chips = flags.has("chips");
+    const int chips = static_cast<int>(flags.getInt("chips", 1));
+    noc::InterChipLinkConfig link;
+    link.bandwidthGbps =
+        flags.getDouble("interchip-gbps", link.bandwidthGbps);
+    link.latencyNs = flags.getDouble("interchip-ns", link.latencyNs);
 
     // Collect results first: either replay a dumped plan, or plan +
     // execute the selected accelerators (optionally dumping the plan).
@@ -357,6 +370,8 @@ runTool(const CliFlags &flags)
             // The command line decides the timeline model, overriding
             // whatever the dumped plan recorded.
             plan.options.overlap = overlap;
+            if (have_chips)
+                sim::applyScaleOut(plan, dg, chips, link);
             results.push_back(sim::executePlan(dg, plan));
         } catch (const std::runtime_error &e) {
             DITILE_FATAL("failed to load plan '", plan_in, "': ",
@@ -374,6 +389,9 @@ runTool(const CliFlags &flags)
             if (have_faults)
                 plan.faults = fault_spec;
             plan.options.overlap = overlap;
+            // Before --plan-out so the dumped JSON records the spec.
+            if (chips > 1)
+                sim::applyScaleOut(plan, dg, chips, link);
             if (!plan_out.empty()) {
                 std::ofstream out(plan_out);
                 if (!out)

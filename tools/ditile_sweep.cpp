@@ -10,7 +10,13 @@
  *                --snapshots=4,8,16 [--all-accels] [--scale=F] \
  *                [--threads=N] [--faults=SPEC] [--digest-stats] \
  *                [--no-overlap] [--batch-plan=on|off] \
+ *                [--chips=M] [--interchip-gbps=G] [--interchip-ns=L] \
  *                [--trace=FILE] [--metrics=FILE]
+ *
+ * --chips=M > 1 shards every run over an M-chip cluster through the
+ * chunk partitioner and the inter-chip link model (sim/scaleout.hh);
+ * the default M=1 is the unchanged single-chip path, byte-identical
+ * to sweeps predating the flag.
  *
  * Runs execute through the task-graph overlap scheduler by default;
  * --no-overlap selects the legacy staged barrier timeline (the
@@ -76,6 +82,7 @@
 #include "sim/baselines.hh"
 #include "sim/fault_model.hh"
 #include "sim/plan_cache.hh"
+#include "sim/scaleout.hh"
 
 using namespace ditile;
 
@@ -87,9 +94,16 @@ parseList(const std::string &csv, double fallback)
     std::vector<double> values;
     std::stringstream stream(csv);
     std::string item;
-    while (std::getline(stream, item, ','))
-        if (!item.empty())
-            values.push_back(std::strtod(item.c_str(), nullptr));
+    while (std::getline(stream, item, ',')) {
+        if (item.empty())
+            continue;
+        char *endp = nullptr;
+        const double v = std::strtod(item.c_str(), &endp);
+        if (endp != item.c_str() + item.size())
+            DITILE_THROW("invalid number '", item, "' in list '", csv,
+                         "'");
+        values.push_back(v);
+    }
     if (values.empty())
         values.push_back(fallback);
     return values;
@@ -121,6 +135,12 @@ runTool(const CliFlags &flags)
     const bool have_faults = flags.has("faults");
     const auto fault_spec =
         sim::FaultSpec::parse(flags.getString("faults", ""));
+    const int chips = static_cast<int>(flags.getInt("chips", 1));
+    noc::InterChipLinkConfig interchip;
+    interchip.bandwidthGbps =
+        flags.getDouble("interchip-gbps", interchip.bandwidthGbps);
+    interchip.latencyNs =
+        flags.getDouble("interchip-ns", interchip.latencyNs);
     ThreadPool::setGlobalThreads(
         static_cast<int>(flags.getInt("threads", 1)));
     const auto trace_file = flags.getString("trace", "");
@@ -244,6 +264,9 @@ runTool(const CliFlags &flags)
                 if (have_faults)
                     plan.faults = fault_spec;
                 plan.options.overlap = overlap;
+                if (chips > 1)
+                    sim::applyScaleOut(plan, *state->dg, chips,
+                                       interchip);
                 state->plans.push_back(std::move(plan));
             }
         } catch (const std::exception &e) {
@@ -282,7 +305,8 @@ runTool(const CliFlags &flags)
                 Tracer::setTrackBase(
                     (static_cast<std::uint64_t>(j) * fleet_n + a) *
                     Tracer::kTracksPerRun);
-                const auto r = sim::executePlan(dg, state->plans[a]);
+                const auto r = sim::executePlan(dg, state->plans[a],
+                                                &plan_cache);
                 job.rows.push_back(
                     {dataset, Table::num(job.dis, 3),
                      Table::integer(static_cast<long long>(job.snaps)),
@@ -326,6 +350,16 @@ runTool(const CliFlags &flags)
         }
     };
 
+    // The CSV header goes out (and is flushed) before any point runs:
+    // a sweep that dies mid-grid — or whose very first point fails —
+    // still leaves a machine-readable CSV behind.
+    Table table("sweep");
+    table.setHeader({"dataset", "dissimilarity", "snapshots",
+                     "accelerator", "cycles", "ops", "dram_bytes",
+                     "noc_bytes", "energy_pj", "pe_utilization"});
+    std::fputs(table.headerCsv().c_str(), stdout);
+    std::fflush(stdout);
+
     parallelFor(jobs.size(), [&](std::size_t j) {
         Job &job = jobs[j];
         Group &group = groups[job.group];
@@ -340,15 +374,11 @@ runTool(const CliFlags &flags)
 
     // Flush every successful point in grid order even when some
     // points failed, so a long sweep's partial CSV survives.
-    Table table("sweep");
-    table.setHeader({"dataset", "dissimilarity", "snapshots",
-                     "accelerator", "cycles", "ops", "dram_bytes",
-                     "noc_bytes", "energy_pj", "pe_utilization"});
     int failed = 0;
     for (const auto &job : jobs)
         for (const auto &row : job.rows)
             table.addRow(row);
-    std::fputs(table.toCsv().c_str(), stdout);
+    std::fputs(table.rowsCsv().c_str(), stdout);
     std::fflush(stdout);
     // Stderr so the CSV on stdout stays byte-identical to the
     // uncached runs.
